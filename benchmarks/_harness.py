@@ -1,0 +1,21 @@
+"""Shared helpers for the bench suite.
+
+Every bench prints its paper-style table *and* writes it to
+``benchmarks/results/<name>.txt`` so the regenerated artifacts survive
+pytest's output capturing.  EXPERIMENTS.md records the reference outputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> str:
+    """Print a bench artifact and persist it under ``results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print(f"\n=== {name} ===")
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text

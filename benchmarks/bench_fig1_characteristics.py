@@ -1,0 +1,81 @@
+"""Experiment F1 — Figure 1: conventional transactions vs oo operations.
+
+The paper's Figure 1 is a qualitative table contrasting financial-market
+transactions (small objects, short duration, simple actions) with
+publication-environment operations (large structured objects, long
+duration, complex structured actions).  This bench measures the contrast on
+our two corresponding workloads: per-transaction object footprint, action
+count, call-tree depth and duration in simulated ticks.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import emit
+
+from repro.analysis.reporting import render_table
+from repro.oodb import ObjectDatabase
+from repro.runtime import InterleavedExecutor
+from repro.workloads import (
+    BankingWorkload,
+    EditingWorkload,
+    build_banking_workload,
+    build_editing_workload,
+)
+
+
+def _profile(workload_name: str, build, spec) -> list:
+    db = ObjectDatabase()
+    _, programs = build(db, spec)
+    result = InterleavedExecutor(db, seed=0).run(programs)
+    assert result.all_committed
+    rows = []
+    for outcome in result.committed:
+        ctx = outcome.final_ctx
+        txn = ctx.txn
+        actions = list(txn.actions())
+        objects = {a.obj for a in actions if a.parent is not None}
+        depth = max(a.depth for a in actions)
+        duration = ctx.stats.commit_tick - ctx.stats.begin_tick
+        rows.append((len(objects), len(actions) - 1, depth, duration))
+    n = len(rows)
+    return [
+        workload_name,
+        f"{sum(r[0] for r in rows) / n:.1f}",
+        f"{sum(r[1] for r in rows) / n:.1f}",
+        f"{sum(r[2] for r in rows) / n:.1f}",
+        f"{sum(r[3] for r in rows) / n:.1f}",
+    ]
+
+
+def build_figure1_table() -> str:
+    banking = BankingWorkload(n_transactions=10, transfers_per_transaction=2, seed=1)
+    editing = EditingWorkload(
+        n_sections=10, n_authors=5, edits_per_author=4, think_ticks=15, seed=1
+    )
+    rows = [
+        _profile("banking (conventional)", build_banking_workload, banking),
+        _profile("editing (object-oriented)", build_editing_workload, editing),
+    ]
+    return render_table(
+        ["workload", "objects/txn", "actions/txn", "call depth", "duration"],
+        rows,
+        title="Figure 1 — conventional transactions vs object-oriented operations",
+    )
+
+
+def test_fig1_characteristics(benchmark):
+    table = benchmark(build_figure1_table)
+    emit("fig1_characteristics", table)
+    lines = table.splitlines()
+    banking_row, editing_row = lines[-2], lines[-1]
+    # the qualitative contrast of Figure 1, asserted:
+    banking_duration = float(banking_row.split()[-1])
+    editing_duration = float(editing_row.split()[-1])
+    assert editing_duration > 3 * banking_duration  # long vs short
+    banking_depth = float(banking_row.split()[-2])
+    editing_depth = float(editing_row.split()[-2])
+    assert editing_depth >= banking_depth  # complex structured actions

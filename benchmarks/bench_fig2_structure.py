@@ -1,0 +1,57 @@
+"""Experiment F2 — Figure 2: the structure of the encyclopedia.
+
+Figure 2 draws ``Enc`` as a linked list of items plus a B+ tree over pages.
+This bench builds encyclopedias of growing size and reports the object
+graph the figure depicts: item count, list length, tree height, node/leaf
+counts and page population.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import emit
+
+from repro.analysis.reporting import render_table
+from repro.oodb import ObjectDatabase
+from repro.structures import build_encyclopedia
+from repro.workloads.keys import key_name
+
+
+def build_one(n_items: int, order: int):
+    db = ObjectDatabase(page_capacity=max(64, order * 2))
+    enc = build_encyclopedia(db, order=order)
+    ctx = db.begin("load")
+    for i in range(n_items):
+        db.send(ctx, enc, "insertItem", key_name(i), f"article {i}")
+    db.commit(ctx)
+    check = db.begin("check")
+    height = db.send(check, enc + "BpTree", "height")
+    length = db.send(check, enc, "length")
+    db.commit(check)
+    leaves = sum(1 for oid in db.object_ids if oid.startswith("TreeLeaf"))
+    nodes = sum(1 for oid in db.object_ids if oid.startswith("TreeNode"))
+    items = sum(1 for oid in db.object_ids if oid.startswith("Item"))
+    return [n_items, order, length, height, nodes, leaves, items, len(db.store)]
+
+
+def build_figure2_table() -> str:
+    rows = [build_one(n, order) for n, order in ((10, 4), (50, 4), (50, 16), (200, 16))]
+    return render_table(
+        ["items", "keys/page", "list-len", "height", "nodes", "leaves", "item-objs", "pages"],
+        rows,
+        title="Figure 2 — encyclopedia object graph (list + B+ tree over pages)",
+    )
+
+
+def test_fig2_structure(benchmark):
+    table = benchmark(build_figure2_table)
+    emit("fig2_structure", table)
+    rows = [line.split() for line in table.splitlines()[3:]]
+    for row in rows:
+        items, order, length = int(row[0]), int(row[1]), int(row[2])
+        assert length == items  # every item is in the list
+        leaves = int(row[5])
+        assert leaves >= max(1, items // (order + 1))  # index spans pages

@@ -1,0 +1,52 @@
+"""Experiment F5 — Example 2 / Figure 5: the tree of an oo-transaction.
+
+Rebuilds the figure's transaction tree and reports the Definition 2/3
+structure: action sets, precedence edges, primitive actions, and the
+Definition 7 conformity of a conforming and a violating execution order.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import emit
+
+from repro.analysis.reporting import render_kv
+from repro.core.schedule import program_precedes
+from repro.scenarios import figure5_tree
+
+
+def build_figure5_report():
+    tree = figure5_tree()
+    leaves = tree.leaves
+    facts = [
+        ("call tree", "\n" + tree.transaction.pretty()),
+        ("primitive actions", ", ".join(a.method for a in leaves)),
+        ("action set A_11 size", len(tree.a11.children)),
+        ("action set A_12 size", len(tree.a12.children)),
+        ("a111 precedes a112", tree.a111.precedes_sibling(tree.a112)),
+        ("a11 precedes a12", tree.a11.precedes_sibling(tree.a12)),
+        (
+            "inherited: a113 before a121",
+            program_precedes(tree.a113, tree.a121),
+        ),
+    ]
+    parallel = figure5_tree(parallel_branches=True)
+    facts.append(
+        (
+            "parallel variant: a113 vs a121 ordered",
+            program_precedes(parallel.a113, parallel.a121)
+            or program_precedes(parallel.a121, parallel.a113),
+        )
+    )
+    return render_kv(facts, title="Figure 5 — the tree of oo-transaction t1"), tree
+
+
+def test_fig5_tree(benchmark):
+    report, tree = benchmark(build_figure5_report)
+    emit("fig5_tree", report)
+    assert len(tree.leaves) == 5  # a111, a112, a113, a121, a122
+    assert all(leaf.is_primitive for leaf in tree.leaves)
+    assert not tree.transaction.root.is_primitive

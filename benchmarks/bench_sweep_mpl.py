@@ -1,0 +1,82 @@
+"""Experiment C7 — multiprogramming-level sweep.
+
+Section 1: "A relatively high degree — compared to the maximal possible
+degree — of concurrency is necessary for information and publication
+systems."  This sweep raises the number of concurrent transactions on a
+fixed encyclopedia and reports throughput per protocol.
+
+Expected shape: at MPL 2 the protocols are close (little to overlap); the
+open-nested advantage widens with MPL because page-2PL's lock-hold times
+turn added transactions into queueing, not concurrency.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import emit
+
+from repro.analysis.reporting import render_table
+from repro.analysis.sweep import sweep, sweep_rows
+from repro.workloads import (
+    EncyclopediaWorkload,
+    build_encyclopedia_workload,
+    encyclopedia_layers,
+)
+
+MPL_VALUES = (2, 4, 8, 16)
+
+
+def factory(mpl):
+    spec = EncyclopediaWorkload(
+        n_transactions=mpl,
+        ops_per_transaction=3,
+        preload=40,
+        keys_per_page=64,
+        think_ticks=3,
+        seed=17,
+    )
+    return functools.partial(build_encyclopedia_workload, spec=spec)
+
+
+def run_sweep():
+    results = sweep(
+        factory,
+        MPL_VALUES,
+        protocols=("page-2pl", "open-nested-oo"),
+        layers=encyclopedia_layers(),
+        seeds=(0, 1),
+    )
+    headers, rows = sweep_rows(results, metric="throughput")
+    throughput = render_table(
+        ["MPL", *headers[1:]],
+        rows,
+        title="C7 — committed txns per 1000 ticks vs multiprogramming level",
+    )
+    headers2, rows2 = sweep_rows(results, metric="mean_latency", fmt="{:.0f}")
+    latency = render_table(
+        ["MPL", *headers2[1:]],
+        rows2,
+        title="C7 — mean transaction latency vs multiprogramming level",
+    )
+    return throughput + "\n\n" + latency, results
+
+
+def test_sweep_mpl(benchmark):
+    report, results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("sweep_mpl", report)
+    gains = {
+        mpl: results[mpl]["open-nested-oo"].throughput
+        / max(results[mpl]["page-2pl"].throughput, 0.001)
+        for mpl in MPL_VALUES
+    }
+    # everyone commits at every MPL
+    for mpl in MPL_VALUES:
+        for metrics in results[mpl].values():
+            assert metrics.committed == mpl
+    # the advantage widens with concurrency
+    assert gains[16] > gains[2]
+    assert gains[16] > 1.5

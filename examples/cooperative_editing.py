@@ -1,0 +1,68 @@
+"""Cooperative editing of one document by several authors (Section 1).
+
+The paper's motivating scenario: "a publication system which allows the
+cooperative editing of documents by several authors (like this paper)".
+Four authors edit disjoint sections of one shared document — long
+transactions with think time — while readers take snapshots.  The script
+compares page-level 2PL against the paper's open-nested protocol and prints
+where each author spent their time.
+
+Run:  python examples/cooperative_editing.py
+"""
+
+import functools
+
+from repro.analysis import RunMetrics, compare_protocols, render_table
+from repro.analysis.compare import run_one
+from repro.workloads import EditingWorkload, build_editing_workload
+from repro.workloads.editing_wl import editing_layers
+
+
+def main() -> None:
+    spec = EditingWorkload(
+        n_sections=8,
+        n_authors=4,
+        edits_per_author=3,
+        think_ticks=12,
+        n_readers=2,
+        seed=1,
+    )
+    build = functools.partial(build_editing_workload, spec=spec)
+
+    comparison = compare_protocols(
+        build, layers=editing_layers(), seeds=(0, 1, 2)
+    )
+    print(render_table(
+        RunMetrics.headers(),
+        comparison.table_rows(),
+        title="four authors, disjoint sections, two readers (means of 3 seeds)",
+    ))
+
+    # Zoom into one run per protocol: per-author blocking time.
+    print("\nper-author blocking (seed 0):")
+    rows = []
+    for protocol in ("page-2pl", "open-nested-oo"):
+        result = run_one(build, protocol, layers=editing_layers(), seed=0)
+        for outcome in result.committed:
+            if outcome.program.kind != "author":
+                continue
+            ctx = outcome.final_ctx
+            rows.append(
+                [
+                    protocol,
+                    outcome.label,
+                    ctx.stats.commit_tick - ctx.stats.begin_tick,
+                    ctx.stats.wait_ticks,
+                ]
+            )
+    print(render_table(["protocol", "author", "latency", "blocked ticks"], rows))
+    print(
+        "\nUnder 2PL the document's pages serialize the authors; the "
+        "open-nested protocol holds only per-section semantic locks, so "
+        "authors of different sections write concurrently — the paper's "
+        "'every author wants to write down his ideas immediately'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Explore the schedule space of small transaction sets exhaustively.
+
+For each scenario, every interleaving of the primitive actions is
+enumerated and classified under the conventional criterion and under
+oo-serializability — the sharpest way to *see* the concurrency the paper's
+definition gains, and its limits:
+
+- atomicity of subtransactions per object is never relaxed;
+- what is relaxed is the single global low-level order.
+
+Run:  python examples/schedule_explorer.py
+"""
+
+from repro.analysis.reporting import render_table
+from repro.core.enumerate import ScheduleSpace, classify_schedules, interleavings
+from repro.scenarios.schedule_space import (
+    single_leaf_commuting,
+    three_txn_ring,
+    two_leaf_commuting,
+    two_leaf_same_key,
+)
+
+
+def census() -> None:
+    rows = []
+    for name, build in (
+        ("single leaf, distinct keys", single_leaf_commuting),
+        ("two leaves, distinct keys", two_leaf_commuting),
+        ("two leaves, same keys", two_leaf_same_key),
+        ("three txns, ring over 3 leaves", three_txn_ring),
+    ):
+        space = classify_schedules(build)
+        rows.append([name, *space.row()])
+    print(render_table(["scenario", *ScheduleSpace.headers()], rows,
+                       title="exhaustive schedule census"))
+
+
+def show_one_gained_schedule() -> None:
+    """Print one concrete schedule only oo-serializability admits."""
+    space = classify_schedules(two_leaf_commuting)
+    order = space.examples["oo_only"]
+    system, _ = two_leaf_commuting()
+    streams = [[a for a in t.actions() if a.is_primitive] for t in system.tops]
+    positions = [0, 0]
+    print("\none schedule admitted only by oo-serializability:")
+    for stream in order:
+        action = streams[stream][positions[stream]]
+        positions[stream] += 1
+        print(f"  {action.top}: {action.obj}.{action.method} "
+              f"(inside {action.parent.label})")
+    print(
+        "  -> Page4712 and Page4713 serialize T1 and T2 in opposite orders; "
+        "the leaf inserts commute, so neither order needs to be kept."
+    )
+
+
+def main() -> None:
+    census()
+    show_one_gained_schedule()
+    counts = [2, 2, 2]
+    print(f"\n(FYI: three 2-action transactions have "
+          f"{sum(1 for _ in interleavings(counts))} interleavings)")
+
+
+if __name__ == "__main__":
+    main()

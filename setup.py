@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` in environments without the
+`wheel` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — a reproduction of *Serializability in Object-Oriented Database
+Systems* (Rakow, Gu, Neuhold, ICDE 1990).
+
+The library provides:
+
+- :mod:`repro.core` — the formal model: oo-transactions, the Definition 5
+  extension, commutativity, dependency inheritance and the oo-serializability
+  verdicts (the paper's contribution).
+- :mod:`repro.oodb` — a VODAK-like object database substrate: encapsulated
+  objects, message dispatch with call-tree tracing, slotted pages, undo and
+  compensation logs.
+- :mod:`repro.structures` — the paper's example application objects: a B+
+  tree with B-link splits over pages, the encyclopedia (linked list + index),
+  documents, escrow accounts and Weihl-style ADTs.
+- :mod:`repro.runtime` — a deterministic interleaved executor for running
+  transaction programs under a pluggable concurrency-control scheduler.
+- :mod:`repro.locking` — four schedulers: conventional page-level strict
+  2PL, closed nested (Moss), layered multi-level locking, and the paper's
+  open-nested object-oriented protocol.
+- :mod:`repro.workloads`, :mod:`repro.analysis` — workload generators,
+  metrics and the cross-protocol comparison harness behind the benches.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    DatabaseError,
+    DeadlockError,
+    ModelError,
+    ReproError,
+    ScheduleError,
+    SubtransactionAbort,
+    TransactionAborted,
+)
+
+__all__ = [
+    "DatabaseError",
+    "DeadlockError",
+    "ModelError",
+    "ReproError",
+    "ScheduleError",
+    "SubtransactionAbort",
+    "TransactionAborted",
+    "__version__",
+]

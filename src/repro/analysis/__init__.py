@@ -1,0 +1,31 @@
+"""Measurement and comparison harness behind the benches.
+
+- :mod:`repro.analysis.metrics` — per-run metrics (throughput, blocking,
+  aborts) from an :class:`~repro.runtime.executor.ExecutionResult`;
+- :mod:`repro.analysis.conflicts` — the C1 statistics: ordering constraints
+  and conflicting pairs under the conventional vs the oo criterion, from an
+  executed trace;
+- :mod:`repro.analysis.compare` — run one workload under several protocols
+  and seeds, aggregate;
+- :mod:`repro.analysis.reporting` — fixed-width tables, the output format
+  of every bench.
+"""
+
+from repro.analysis.compare import ProtocolComparison, compare_protocols, make_scheduler
+from repro.analysis.conflicts import ConflictStatistics, conflict_statistics
+from repro.analysis.metrics import RunMetrics, metrics_from_result
+from repro.analysis.reporting import render_table
+from repro.analysis.sweep import sweep, sweep_rows
+
+__all__ = [
+    "ConflictStatistics",
+    "ProtocolComparison",
+    "RunMetrics",
+    "compare_protocols",
+    "conflict_statistics",
+    "make_scheduler",
+    "metrics_from_result",
+    "render_table",
+    "sweep",
+    "sweep_rows",
+]

@@ -1,0 +1,148 @@
+"""Conflict statistics: the quantitative form of the paper's claim.
+
+Given an *executed* trace (a transaction system plus its commutativity
+registry), compare what the two correctness criteria demand:
+
+- the **conventional** criterion counts every cross-transaction pair of
+  primitive actions on one object that is not read/read as a conflict, and
+  each such pair as an ordering constraint between the top-level
+  transactions;
+- **oo-serializability** runs the Definition 10/11 inheritance and counts
+  only the constraints that survive to the top level (dependencies that
+  stop at a commuting level are dropped).
+
+``conflict_rate_reduction`` is the paper's "lower rate of conflicting
+accesses" in one number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.actions import same_process
+from repro.core.commutativity import CommutativityRegistry
+from repro.core.serializability import analyze_system, conventional_constraints
+from repro.core.transactions import TransactionSystem
+
+
+@dataclass
+class ConflictStatistics:
+    """Side-by-side conflict accounting for one executed schedule."""
+
+    conventional_pairs: int  # conflicting primitive pairs (page level)
+    conventional_top_constraints: int
+    oo_conflicting_pairs: int  # semantically conflicting pairs at any object
+    oo_top_constraints: int
+    conventional_serializable: bool
+    oo_serializable: bool
+
+    @property
+    def constraint_reduction(self) -> float:
+        """Fraction of top-level ordering constraints that oo-serializability
+        discards relative to the conventional criterion (0..1)."""
+        if self.conventional_top_constraints == 0:
+            return 0.0
+        return 1.0 - (
+            self.oo_top_constraints / self.conventional_top_constraints
+        )
+
+    def row(self) -> list:
+        return [
+            self.conventional_pairs,
+            self.conventional_top_constraints,
+            self.oo_conflicting_pairs,
+            self.oo_top_constraints,
+            f"{100 * self.constraint_reduction:.0f}%",
+        ]
+
+    @staticmethod
+    def headers() -> list[str]:
+        return [
+            "page-conflicts",
+            "conv-constraints",
+            "oo-conflicts",
+            "oo-constraints",
+            "reduction",
+        ]
+
+
+def count_conventional_pairs(
+    system: TransactionSystem,
+    read_methods: tuple[str, ...] = ("read",),
+    tops: set[str] | None = None,
+) -> int:
+    """Cross-transaction conflicting primitive pairs (page-level R/W),
+    optionally restricted to the given top-level transactions."""
+    primitives = sorted(
+        (
+            a
+            for a in system.all_actions()
+            if a.is_primitive and (tops is None or a.top in tops)
+        ),
+        key=lambda a: (a.seq, a.aid),
+    )
+    by_object: dict[str, list] = {}
+    for action in primitives:
+        by_object.setdefault(action.obj, []).append(action)
+    count = 0
+    for actions in by_object.values():
+        for i, first in enumerate(actions):
+            for second in actions[i + 1 :]:
+                if first.top == second.top and same_process(first, second):
+                    continue
+                if first.method in read_methods and second.method in read_methods:
+                    continue
+                count += 1
+    return count
+
+
+def count_oo_conflicting_pairs(schedules, tops: set[str] | None = None) -> int:
+    """Semantically conflicting dependency edges recorded at any object."""
+    total = 0
+    for sched in schedules.values():
+        for src, dst in sched.txn_dep.edges:
+            if tops is None or (src.top in tops and dst.top in tops):
+                total += 1
+    return total
+
+
+def conflict_statistics(
+    system: TransactionSystem,
+    registry: CommutativityRegistry,
+    *,
+    committed_only: set[str] | None = None,
+) -> ConflictStatistics:
+    """Compute the side-by-side statistics for one executed trace.
+
+    ``committed_only`` restricts the conventional/oo comparison to the given
+    top-level transaction labels (aborted attempts are excluded by passing
+    an :class:`ExecutionResult`'s ``committed_labels``).  Restriction is by
+    *ignoring* other transactions' contributions, not by rebuilding the
+    trace.
+    """
+    from repro.core.serializability import conventional_serializable
+
+    verdict, schedules = analyze_system(system, registry)
+    conv_constraints = conventional_constraints(system)
+    oo_constraints = verdict.top_order_constraints
+    if committed_only is not None:
+        conv_constraints = {
+            pair
+            for pair in conv_constraints
+            if pair[0] in committed_only and pair[1] in committed_only
+        }
+        oo_constraints = {
+            pair
+            for pair in oo_constraints
+            if pair[0] in committed_only and pair[1] in committed_only
+        }
+    return ConflictStatistics(
+        conventional_pairs=count_conventional_pairs(system, tops=committed_only),
+        conventional_top_constraints=len(conv_constraints),
+        oo_conflicting_pairs=count_oo_conflicting_pairs(
+            schedules, tops=committed_only
+        ),
+        oo_top_constraints=len(oo_constraints),
+        conventional_serializable=conventional_serializable(system),
+        oo_serializable=verdict.oo_serializable,
+    )

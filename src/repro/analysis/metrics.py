@@ -1,0 +1,97 @@
+"""Per-run performance metrics.
+
+Everything is in simulated ticks: one tick is one scheduling slice of the
+interleaved executor (roughly, one database action or one unit of think
+time).  Throughput is committed transactions per 1000 ticks so that the
+numbers stay readable across workload sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.executor import ExecutionResult
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated outcome of one interleaved run."""
+
+    protocol: str
+    committed: int
+    gave_up: int
+    makespan: int
+    throughput: float  # committed transactions per 1000 ticks
+    lock_waits: int
+    wait_ticks: int
+    mean_wait_ticks: float  # per committed transaction
+    mean_latency: float  # first begin to commit, per committed transaction
+    deadlocks: int
+    wounds: int
+    restarts: int
+
+    def row(self) -> list:
+        return [
+            self.protocol,
+            self.committed,
+            self.makespan,
+            f"{self.throughput:.2f}",
+            f"{self.mean_latency:.0f}",
+            self.lock_waits,
+            f"{self.mean_wait_ticks:.1f}",
+            self.deadlocks,
+            self.restarts,
+        ]
+
+    @staticmethod
+    def headers() -> list[str]:
+        return [
+            "protocol",
+            "commits",
+            "makespan",
+            "tput/1k",
+            "latency",
+            "waits",
+            "wait/txn",
+            "deadlocks",
+            "restarts",
+        ]
+
+
+def metrics_from_result(result: ExecutionResult, protocol: str = "") -> RunMetrics:
+    """Summarize an :class:`ExecutionResult` into :class:`RunMetrics`."""
+    committed = result.committed
+    wait_ticks = sum(
+        outcome.final_ctx.stats.wait_ticks
+        for outcome in committed
+        if outcome.final_ctx is not None
+    )
+    # waits experienced by aborted attempts count too: they are real time
+    for outcome in result.outcomes:
+        for ctx in outcome.aborted_ctxs:
+            wait_ticks += ctx.stats.wait_ticks
+    latencies = []
+    for outcome in committed:
+        if outcome.final_ctx is None:
+            continue
+        first_begin = outcome.final_ctx.stats.begin_tick
+        if outcome.aborted_ctxs:
+            first_begin = outcome.aborted_ctxs[0].stats.begin_tick
+        latencies.append(outcome.final_ctx.stats.commit_tick - first_begin)
+    stats = result.scheduler_stats
+    name = protocol or getattr(result.db.scheduler, "name", "?")
+    makespan = max(1, result.makespan)
+    return RunMetrics(
+        protocol=name,
+        committed=len(committed),
+        gave_up=sum(1 for o in result.outcomes if not o.committed),
+        makespan=result.makespan,
+        throughput=1000.0 * len(committed) / makespan,
+        lock_waits=stats.get("waits", 0),
+        wait_ticks=wait_ticks,
+        mean_wait_ticks=wait_ticks / max(1, len(committed)),
+        mean_latency=sum(latencies) / max(1, len(latencies)),
+        deadlocks=stats.get("deadlocks", 0),
+        wounds=stats.get("wounds", 0),
+        restarts=result.total_restarts,
+    )

@@ -1,0 +1,53 @@
+"""Fixed-width table rendering — the output format of every bench.
+
+The benches print the same kind of per-object/per-protocol tables the paper
+draws by hand (Figures 4, 7, 8), so the rendering is deliberately plain:
+monospace columns, a header rule, no dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    >>> print(render_table(["a", "b"], [[1, "x"]], title="demo"))
+    demo
+    a  b
+    -  -
+    1  x
+    """
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[tuple[str, object]], title: str = "") -> str:
+    """Render key/value pairs, one per line."""
+    lines = [title] if title else []
+    items = list(pairs)
+    width = max((len(k) for k, _ in items), default=0)
+    for key, value in items:
+        lines.append(f"{key.ljust(width)} : {value}")
+    return "\n".join(lines)

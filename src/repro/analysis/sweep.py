@@ -1,0 +1,65 @@
+"""Parameter sweeps: one knob, many protocols, aggregated rows.
+
+Generic driver behind the sweep benches (C7): a factory maps each knob
+value to a workload builder; every (value, protocol, seed) cell runs on a
+fresh database and the per-protocol means are collected per value.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.analysis.compare import WorkloadBuilder, compare_protocols
+from repro.analysis.metrics import RunMetrics
+
+#: maps one knob value to a workload builder
+WorkloadFactory = Callable[[object], WorkloadBuilder]
+
+
+def sweep(
+    factory: WorkloadFactory,
+    values: Iterable[object],
+    *,
+    protocols: Sequence[str],
+    layers: dict[str, int] | None = None,
+    seeds: tuple[int, ...] = (0, 1),
+    page_capacity: int = 256,
+) -> dict[object, dict[str, RunMetrics]]:
+    """Run the sweep; returns ``{value: {protocol: mean RunMetrics}}``."""
+    results: dict[object, dict[str, RunMetrics]] = {}
+    for value in values:
+        comparison = compare_protocols(
+            factory(value),
+            protocols=tuple(protocols),
+            layers=layers,
+            seeds=seeds,
+            page_capacity=page_capacity,
+        )
+        results[value] = comparison.rows
+    return results
+
+
+def sweep_rows(
+    results: dict[object, dict[str, RunMetrics]],
+    metric: str = "throughput",
+    fmt: str = "{:.2f}",
+) -> tuple[list[str], list[list]]:
+    """Pivot sweep results into a printable table.
+
+    Rows are knob values, columns are protocols, cells the chosen metric.
+    """
+    protocols: list[str] = []
+    for per_protocol in results.values():
+        for name in per_protocol:
+            if name not in protocols:
+                protocols.append(name)
+    headers = ["value", *protocols]
+    rows = []
+    for value, per_protocol in results.items():
+        row: list = [value]
+        for name in protocols:
+            metrics = per_protocol.get(name)
+            cell = getattr(metrics, metric) if metrics is not None else ""
+            row.append(fmt.format(cell) if isinstance(cell, float) else cell)
+        rows.append(row)
+    return headers, rows

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the library's common entry points without writing
+code:
+
+- ``compare`` — run a workload under selected protocols and print the
+  RunMetrics table (the C2/C3 harness);
+- ``census`` — the exhaustive schedule-space census (C5);
+- ``figures`` — regenerate the paper's Example 1 / Example 4 dependency
+  tables with provenance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import sys
+
+from repro.analysis import RunMetrics, compare_protocols, render_table
+from repro.analysis.compare import PROTOCOLS
+
+
+def _build_compare_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "compare", help="run a workload under several protocols"
+    )
+    parser.add_argument(
+        "--workload",
+        choices=("encyclopedia", "banking", "editing", "index"),
+        default="encyclopedia",
+    )
+    parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(PROTOCOLS),
+        choices=list(PROTOCOLS) + ["optimistic-oo"],
+    )
+    parser.add_argument("--transactions", type=int, default=8)
+    parser.add_argument("--ops", type=int, default=3)
+    parser.add_argument("--keys-per-page", type=int, default=32)
+    parser.add_argument("--think", type=int, default=2)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    parser.add_argument("--workload-seed", type=int, default=0)
+
+
+def _workload(args):
+    if args.workload == "encyclopedia":
+        from repro.workloads import (
+            EncyclopediaWorkload,
+            build_encyclopedia_workload,
+            encyclopedia_layers,
+        )
+
+        spec = EncyclopediaWorkload(
+            n_transactions=args.transactions,
+            ops_per_transaction=args.ops,
+            keys_per_page=args.keys_per_page,
+            think_ticks=args.think,
+            seed=args.workload_seed,
+        )
+        return (
+            functools.partial(build_encyclopedia_workload, spec=spec),
+            encyclopedia_layers(),
+        )
+    if args.workload == "banking":
+        from repro.workloads import BankingWorkload, build_banking_workload
+        from repro.workloads.banking_wl import banking_layers
+
+        spec = BankingWorkload(
+            n_transactions=args.transactions,
+            think_ticks=args.think,
+            seed=args.workload_seed,
+        )
+        return functools.partial(build_banking_workload, spec=spec), banking_layers()
+    if args.workload == "editing":
+        from repro.workloads import EditingWorkload, build_editing_workload
+        from repro.workloads.editing_wl import editing_layers
+
+        spec = EditingWorkload(
+            n_authors=args.transactions,
+            think_ticks=max(args.think, 1),
+            seed=args.workload_seed,
+        )
+        return functools.partial(build_editing_workload, spec=spec), editing_layers()
+    from repro.workloads import IndexWorkload, build_index_workload, index_layers
+
+    spec = IndexWorkload(
+        n_transactions=args.transactions,
+        ops_per_transaction=args.ops,
+        keys_per_page=args.keys_per_page,
+        think_ticks=args.think,
+        seed=args.workload_seed,
+    )
+    return functools.partial(build_index_workload, spec=spec), index_layers()
+
+
+def cmd_compare(args) -> int:
+    builder, layers = _workload(args)
+    comparison = compare_protocols(
+        builder,
+        protocols=tuple(args.protocols),
+        layers=layers,
+        seeds=tuple(args.seeds),
+    )
+    print(
+        render_table(
+            RunMetrics.headers(),
+            comparison.table_rows(),
+            title=f"{args.workload} workload, {len(args.seeds)} seed(s), means",
+        )
+    )
+    return 0
+
+
+def cmd_census(args) -> int:
+    from repro.core.enumerate import ScheduleSpace, classify_schedules
+    from repro.scenarios.schedule_space import (
+        single_leaf_commuting,
+        three_txn_ring,
+        two_leaf_commuting,
+        two_leaf_same_key,
+    )
+
+    rows = []
+    for name, build in (
+        ("single leaf, distinct keys", single_leaf_commuting),
+        ("two leaves, distinct keys", two_leaf_commuting),
+        ("two leaves, same keys", two_leaf_same_key),
+        ("three txns, ring over 3 leaves", three_txn_ring),
+    ):
+        rows.append([name, *classify_schedules(build).row()])
+    print(
+        render_table(
+            ["scenario", *ScheduleSpace.headers()],
+            rows,
+            title="exhaustive schedule census",
+        )
+    )
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.core import analyze_system
+    from repro.scenarios import (
+        example4_system,
+        scenario_commuting_inserts,
+        scenario_same_key_conflict,
+    )
+    from repro.scenarios.example4 import figure8_rows
+
+    for title, build in (
+        ("Example 1 — commuting inserts", scenario_commuting_inserts),
+        ("Example 1 — same-key conflict", scenario_same_key_conflict),
+    ):
+        scenario = build()
+        verdict, schedules = analyze_system(scenario.system, scenario.registry)
+        print(f"--- {title} ---")
+        for oid in ("Page4712", "Leaf11", "BpTree"):
+            print(schedules[oid].describe(verbose=args.verbose))
+        print(f"oo-serializable: {verdict.oo_serializable}, "
+              f"top constraints: {sorted(verdict.top_order_constraints)}\n")
+
+    scenario = example4_system()
+    verdict, schedules = analyze_system(scenario.system, scenario.registry)
+    print(render_table(
+        ["object", "schedule dependencies"],
+        figure8_rows(schedules),
+        title="Example 4 / Figure 8",
+    ))
+    print(f"serial order: {verdict.serial_order}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Serializability in Object-Oriented "
+        "Database Systems' (ICDE 1990)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _build_compare_parser(subparsers)
+    subparsers.add_parser("census", help="exhaustive schedule-space census")
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the paper's dependency tables"
+    )
+    figures.add_argument(
+        "--verbose", action="store_true", help="show dependency provenance"
+    )
+    args = parser.parse_args(argv)
+    if args.command == "compare":
+        return cmd_compare(args)
+    if args.command == "census":
+        return cmd_census(args)
+    return cmd_figures(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""Dependency inheritance (Axiom 1, Definitions 10, 11 and 15).
+
+This module turns an executed transaction system plus a commutativity
+registry into the per-object dependency relations.  The computation follows
+the paper's information-flow story ("divide et impera", Section 1):
+
+1. **Bootstrap (Axiom 1).**  Conflicting primitive actions on an object are
+   totally ordered — we take the execution order (``seq`` stamps).  The same
+   bootstrap applies when exactly one action of a conflicting pair is
+   primitive: the primitive side has no deeper structure to inherit from, so
+   its order "must be given" and the execution order supplies it.
+
+2. **Lifting (Definition 10).**  If two actions on ``O`` are in conflict and
+   an action dependency orders them, the dependency is inherited upward to
+   the calling actions, which play the role of transactions on ``O``:
+   ``t ↝ t'``.  Dependencies of *commuting* actions are **not** lifted —
+   this is where oo-serializability gains concurrency over the conventional
+   definition.
+
+3. **Information flow (Definition 11).**  A transaction dependency recorded
+   at ``P`` whose endpoints are both actions on another object ``O`` becomes
+   an action dependency of ``O``'s schedule.  Steps 2-3 repeat to a fixpoint;
+   for layered systems this is the usual level-by-level inheritance, but the
+   fixpoint also covers the paper's non-layered call structures.
+
+4. **Added dependencies (Definition 15).**  A transaction dependency whose
+   endpoints are actions on *different* objects cannot be recorded as an
+   action dependency anywhere; it is recorded redundantly at both objects in
+   their *added action dependency* relations.
+
+5. **Cross-object closure (reconstruction).**  Recording alone does not make
+   contradictions *detectable* when the two call paths have different depths
+   (DESIGN.md documents a counterexample schedule).  Commutativity is only
+   defined per object, so a cross-object pair can never be shown to commute;
+   we therefore keep lifting such a dependency to the calling actions until
+   both endpoints are actions on one common object — where the object's
+   commutativity may stop it, preserving the paper's concurrency gain — or
+   both are top-level roots, where it becomes a top-level ordering
+   constraint.  ``propagate_cross_object=False`` restores the literal
+   Definition 15/16 reading (used by ablation benches).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.actions import ActionNode
+from repro.core.commutativity import CommutativityRegistry
+from repro.core.extension import extend_system
+from repro.core.identifiers import SYSTEM_OBJECT, ObjectId
+from repro.core.schedule import ObjectSchedule
+from repro.core.transactions import TransactionSystem
+
+
+class DependencyAnalysis:
+    """Computes every object schedule of a transaction system.
+
+    Parameters
+    ----------
+    system:
+        The executed transaction system.  Unless ``extend=False``, the
+        Definition 5 extension is applied first (mutating the system) so
+        that no action has a call ancestor on its own object.
+    commutativity:
+        The registry of per-object commutativity specifications.
+    extend:
+        Disable the extension only to demonstrate why it is needed (the
+        ablation bench A2); verdicts on unextended systems with call cycles
+        are not trustworthy.
+    """
+
+    def __init__(
+        self,
+        system: TransactionSystem,
+        commutativity: CommutativityRegistry,
+        *,
+        extend: bool = True,
+        propagate_cross_object: bool = True,
+    ):
+        self.system = system
+        self.commutativity = commutativity
+        self.extension = extend_system(system) if extend else None
+        self.propagate_cross_object = propagate_cross_object
+        #: top-level ordering constraints discovered by the cross-object
+        #: closure (pairs of root actions)
+        self.top_cross_deps: set[tuple[ActionNode, ActionNode]] = set()
+        self._schedules: dict[ObjectId, ObjectSchedule] | None = None
+
+    # -- public API ----------------------------------------------------------
+
+    def schedules(self) -> dict[ObjectId, ObjectSchedule]:
+        """Compute (once) and return all object schedules, keyed by object."""
+        if self._schedules is None:
+            self._schedules = self._compute()
+        return self._schedules
+
+    def schedule(self, oid: ObjectId) -> ObjectSchedule:
+        return self.schedules()[oid]
+
+    # -- computation -----------------------------------------------------------
+
+    def _conflict(self, a: ActionNode, b: ActionNode) -> bool:
+        """Definition 9 conflict test, never raising for same-object pairs."""
+        return self.commutativity.in_conflict(a, b)
+
+    def _compute(self) -> dict[ObjectId, ObjectSchedule]:
+        system = self.system
+        objects = sorted(system.objects - {SYSTEM_OBJECT})
+        schedules: dict[ObjectId, ObjectSchedule] = {}
+
+        for oid in objects:
+            sched = ObjectSchedule(system=system, oid=oid)
+            sched.actions = system.actions_on(oid)
+            sched.transactions = system.transactions_on(oid)
+            for action in sched.actions:
+                sched.action_dep.add_node(action)
+            for caller in sched.transactions:
+                sched.txn_dep.add_node(caller)
+            self._bootstrap(sched)
+            self._program_precedence(sched)
+            schedules[oid] = sched
+
+        self._fixpoint(schedules)
+        self._added_dependencies(schedules)
+        return schedules
+
+    def _program_precedence(self, sched: ObjectSchedule) -> None:
+        """Definition 7: the object precedence relation is part of ``<·``.
+
+        The action dependency relation "must include the given precedences";
+        in a conform schedule these edges agree with the execution order, in
+        a non-conform one they surface as extra (possibly contradictory)
+        dependencies.
+        """
+        from repro.core.schedule import program_precedes
+
+        actions = sched.actions
+        for i, first in enumerate(actions):
+            for second in actions[i + 1 :]:
+                if program_precedes(first, second):
+                    sched.action_dep.add_edge(first, second)
+                    sched.record_reason(
+                        "action", first, second, "Definition 7: program precedence"
+                    )
+                elif program_precedes(second, first):
+                    sched.action_dep.add_edge(second, first)
+                    sched.record_reason(
+                        "action", second, first, "Definition 7: program precedence"
+                    )
+
+    def _bootstrap(self, sched: ObjectSchedule) -> None:
+        """Axiom 1: order conflicting pairs with a primitive member by seq."""
+        actions = sched.actions
+        for i, first in enumerate(actions):
+            for second in actions[i + 1 :]:
+                if not (first.is_primitive or second.is_primitive):
+                    continue
+                if self._conflict(first, second):
+                    # ``actions`` is sorted by seq: first executed first.
+                    sched.action_dep.add_edge(first, second)
+                    sched.record_reason(
+                        "action",
+                        first,
+                        second,
+                        f"Axiom 1: executed {first.seq} < {second.seq}",
+                    )
+
+    def _fixpoint(self, schedules: dict[ObjectId, ObjectSchedule]) -> None:
+        """Alternate Definitions 10, 11 and the cross-object closure until
+        nothing new is derivable (the relations are finite and only grow)."""
+        cross_seen: set[tuple[int, int]] = set()
+        changed = True
+        while changed:
+            changed = False
+            # Definition 10: lift conflicting action dependencies to callers.
+            for sched in schedules.values():
+                for src, dst in list(sched.action_dep.edges):
+                    if not self._conflict(src, dst):
+                        continue
+                    caller_src, caller_dst = src.parent, dst.parent
+                    if caller_src is None or caller_dst is None:
+                        continue
+                    if caller_src is caller_dst:
+                        continue
+                    if not sched.txn_dep.has_edge(caller_src, caller_dst):
+                        sched.txn_dep.add_edge(caller_src, caller_dst)
+                        sched.record_reason(
+                            "txn",
+                            caller_src,
+                            caller_dst,
+                            f"Definition 10: conflicting actions "
+                            f"{src.label} <· {dst.label}",
+                        )
+                        changed = True
+            # Definition 11: transaction dependencies whose endpoints are
+            # actions on one object flow into that object's action deps;
+            # cross-object pairs enter the closure work set.
+            for sched in schedules.values():
+                for src, dst in list(sched.txn_dep.edges):
+                    if src.obj != dst.obj:
+                        if self.propagate_cross_object:
+                            if self._push_cross(src, dst, schedules, cross_seen):
+                                changed = True
+                        continue
+                    target = schedules.get(src.obj)
+                    if target is None:
+                        continue
+                    if not target.action_dep.has_edge(src, dst):
+                        target.action_dep.add_edge(src, dst)
+                        target.record_reason(
+                            "action",
+                            src,
+                            dst,
+                            f"Definition 11: inherited from {sched.oid}",
+                        )
+                        changed = True
+
+    def _push_cross(
+        self,
+        src: ActionNode,
+        dst: ActionNode,
+        schedules: dict[ObjectId, ObjectSchedule],
+        seen: set[tuple[int, int]],
+    ) -> bool:
+        """Lift one cross-object dependency toward a common object.
+
+        A pair of actions on different objects cannot be shown to commute
+        (commutativity is per object), so the ordering constraint between
+        them is inherited by their callers: the deeper endpoint is replaced
+        by its caller until both endpoints are actions on one object (then
+        the constraint joins that object's ``<·`` and the usual machinery —
+        including commutativity — takes over) or both are top-level roots
+        (then it is a top-level ordering constraint).
+        """
+        changed = False
+        pair: tuple[ActionNode, ActionNode] | None = (src, dst)
+        while pair is not None:
+            left, right = pair
+            key = (id(left), id(right))
+            if key in seen:
+                return changed
+            seen.add(key)
+            if left.parent is None and right.parent is None:
+                if (left, right) not in self.top_cross_deps:
+                    self.top_cross_deps.add((left, right))
+                    changed = True
+                return changed
+            if left.obj == right.obj:
+                target = schedules.get(left.obj)
+                if target is not None and left in target.action_dep.nodes \
+                        and right in target.action_dep.nodes:
+                    if not target.action_dep.has_edge(left, right):
+                        target.action_dep.add_edge(left, right)
+                        target.record_reason(
+                            "action",
+                            left,
+                            right,
+                            f"cross-object closure (from {src.label} -> "
+                            f"{dst.label})",
+                        )
+                        changed = True
+                    return changed
+            # Lift the deeper side; on equal depth lift both.
+            if left.depth > right.depth and left.parent is not None:
+                pair = (left.parent, right)
+            elif right.depth > left.depth and right.parent is not None:
+                pair = (left, right.parent)
+            else:
+                next_left = left.parent if left.parent is not None else left
+                next_right = right.parent if right.parent is not None else right
+                if next_left is left and next_right is right:
+                    return changed
+                pair = (next_left, next_right)
+            if pair[0] is pair[1]:
+                return changed  # same caller: intra-unit, no constraint
+        return changed
+
+    def _added_dependencies(self, schedules: dict[ObjectId, ObjectSchedule]) -> None:
+        """Definition 15: record cross-object transaction dependencies at
+        both endpoint objects, redundantly."""
+        for sched in schedules.values():
+            for src, dst in sched.txn_dep.edges:
+                if src.obj == dst.obj:
+                    continue
+                for endpoint_obj in (src.obj, dst.obj):
+                    target = schedules.get(endpoint_obj)
+                    if target is not None:
+                        target.added_dep.add_edge(src, dst)
+                        target.record_reason(
+                            "added",
+                            src,
+                            dst,
+                            f"Definition 15: recorded from {sched.oid}",
+                        )
+
+
+def order_by_seq(actions: Iterable[ActionNode]) -> list[ActionNode]:
+    """Utility: sort actions by execution order (seq, then aid)."""
+    return sorted(actions, key=lambda a: (a.seq, a.aid))

@@ -1,0 +1,132 @@
+"""The extension of a transaction system (Definition 5, Example 3/Figure 6).
+
+If a transaction ``t`` calls an action ``a`` directly or indirectly and both
+access the same object ``O``, the call path forms a cycle over ``O`` — the
+paper's running instance is the B-link split, where ``Node6.insert`` ends up
+calling ``Node6.rearrange`` through the leaf level.  Because the model must
+distinguish the *actions* of an object from the *transactions* on it, the
+system is extended:
+
+- a fresh virtual object ``O′`` is added;
+- the deeper action ``a`` is re-targeted to ``O′`` (``ACT_O := ACT_O - {a}``);
+- every remaining action ``b`` on ``O`` is *virtually duplicated*: a virtual
+  action ``b′`` on ``O′`` is added as a call child of ``b``, so that the
+  dependencies recorded at ``O′`` are inherited along these call
+  relationships back to the original object (via Definition 10).
+
+The construction is iterated until no action has a proper call ancestor on
+its own object.  Virtual duplicates inherit the ``seq`` stamp of their
+original, so the Axiom 1 order on the virtual object replays the original
+execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.actions import ActionNode
+from repro.core.identifiers import ObjectId, VIRTUAL_MARKER, original_object_id
+from repro.core.transactions import TransactionSystem
+
+
+@dataclass
+class ExtensionResult:
+    """Outcome of :func:`extend_system` (the system is modified in place)."""
+
+    system: TransactionSystem
+    #: virtual object id -> object id it was split from
+    virtual_objects: dict[ObjectId, ObjectId] = field(default_factory=dict)
+    #: actions re-targeted from an original object to a virtual object
+    moved: list[ActionNode] = field(default_factory=list)
+    #: virtual duplicate actions added as children of originals
+    duplicates: list[ActionNode] = field(default_factory=list)
+
+    @property
+    def was_extended(self) -> bool:
+        return bool(self.virtual_objects)
+
+    def summary(self) -> str:
+        if not self.was_extended:
+            return "no call cycles; system unchanged"
+        lines = []
+        for virtual, source in sorted(self.virtual_objects.items()):
+            moved_here = [m.label for m in self.moved if m.obj == virtual]
+            dup_count = sum(1 for d in self.duplicates if d.obj == virtual)
+            lines.append(
+                f"{virtual}: split from {source}, moved {moved_here}, "
+                f"{dup_count} virtual duplicate(s)"
+            )
+        return "\n".join(lines)
+
+
+def find_offending_action(system: TransactionSystem) -> ActionNode | None:
+    """Find an action with a proper call ancestor on the same object.
+
+    Such an action violates the premise that, seen from one object, callers
+    (transactions) and accessors (actions) are disjoint roles.  Returns the
+    first offender in deterministic (transaction, aid) order, or None.
+    """
+    for txn in system.tops:
+        for action in txn.actions():
+            if action.virtual:
+                continue
+            for ancestor in action.ancestors():
+                if ancestor.obj == action.obj:
+                    return action
+    return None
+
+
+def extend_system(system: TransactionSystem) -> ExtensionResult:
+    """Apply Definition 5 until the system is free of call cycles.
+
+    Mutates ``system`` in place and returns an :class:`ExtensionResult`
+    describing the virtual objects, moved actions and duplicates.  Calling
+    this on an already-extended system is a no-op.
+    """
+    result = ExtensionResult(system=system)
+    generations: dict[ObjectId, int] = {}
+
+    while True:
+        offender = find_offending_action(system)
+        if offender is None:
+            break
+        _break_cycle(system, offender, generations, result)
+    return result
+
+
+def _break_cycle(
+    system: TransactionSystem,
+    offender: ActionNode,
+    generations: dict[ObjectId, int],
+    result: ExtensionResult,
+) -> None:
+    source_object = offender.obj
+    base = original_object_id(source_object)
+    generations[base] = generations.get(base, 0) + 1
+    virtual_object = base + VIRTUAL_MARKER * generations[base]
+    while virtual_object in result.virtual_objects or virtual_object in system.objects:
+        generations[base] += 1
+        virtual_object = base + VIRTUAL_MARKER * generations[base]
+
+    # Snapshot ACT_O before mutating: these are the actions to duplicate.
+    peers = [a for a in system.actions_on(source_object) if a is not offender]
+
+    offender.obj = virtual_object
+    result.virtual_objects[virtual_object] = source_object
+    result.moved.append(offender)
+    system.declare_object(virtual_object)
+
+    for peer in peers:
+        duplicate = ActionNode(
+            aid=peer.aid + (len(peer.children) + 1,),
+            obj=virtual_object,
+            method=peer.method,
+            args=peer.args,
+            parent=peer,
+            top=peer.top,
+            seq=peer.seq,  # replay the original Axiom 1 order on O′
+            virtual=True,
+            original=peer,
+        )
+        peer.children.append(duplicate)
+        result.duplicates.append(duplicate)

@@ -1,0 +1,192 @@
+"""A small directed-graph toolkit used by the dependency analysis.
+
+The paper's serializability conditions are acyclicity conditions on
+dependency relations (Definitions 13 and 16), so the core needs cycle
+detection, cycle witnesses (for diagnostics), topological orders (to exhibit
+equivalent serial schedules) and transitive closures (for the call
+relationship ``->*``).  The implementation is self-contained; ``networkx``
+is only used in the test suite to cross-check these algorithms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Generic, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+class DirectedGraph(Generic[Node]):
+    """A mutable directed graph over hashable nodes.
+
+    Self-loops are permitted (a self-loop is a cycle of length one, which
+    matters for contradiction detection: an action depending on itself is a
+    contradiction in the sense of the paper's Section 1).
+    """
+
+    def __init__(self, edges: Iterable[tuple[Node, Node]] = ()) -> None:
+        self._succ: dict[Node, set[Node]] = {}
+        self._pred: dict[Node, set[Node]] = {}
+        for src, dst in edges:
+            self.add_edge(src, dst)
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Ensure ``node`` is present, with no edges added."""
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_edge(self, src: Node, dst: Node) -> None:
+        """Add the edge ``src -> dst`` (idempotent)."""
+        self.add_node(src)
+        self.add_node(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def add_edges(self, edges: Iterable[tuple[Node, Node]]) -> None:
+        for src, dst in edges:
+            self.add_edge(src, dst)
+
+    def copy(self) -> "DirectedGraph[Node]":
+        clone: DirectedGraph[Node] = DirectedGraph()
+        for node in self._succ:
+            clone.add_node(node)
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                clone.add_edge(src, dst)
+        return clone
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> set[Node]:
+        return set(self._succ)
+
+    @property
+    def edges(self) -> set[tuple[Node, Node]]:
+        return {(src, dst) for src, dsts in self._succ.items() for dst in dsts}
+
+    def successors(self, node: Node) -> set[Node]:
+        return set(self._succ.get(node, ()))
+
+    def predecessors(self, node: Node) -> set[Node]:
+        return set(self._pred.get(node, ()))
+
+    def has_edge(self, src: Node, dst: Node) -> bool:
+        return dst in self._succ.get(src, ())
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    # -- algorithms --------------------------------------------------------
+
+    def find_cycle(self) -> list[Node] | None:
+        """Return one cycle as a node list ``[n0, n1, ..., n0]``, or None.
+
+        Iterative DFS with colouring; deterministic given insertion order
+        (Python sets are not ordered, so neighbours are visited in sorted
+        order when the nodes are sortable, insertion order otherwise).
+        """
+        white, grey, black = 0, 1, 2
+        colour = {node: white for node in self._succ}
+        parent: dict[Node, Node] = {}
+
+        for root in self._iteration_order(self._succ):
+            if colour[root] != white:
+                continue
+            stack: list[tuple[Node, Iterator[Node]]] = [
+                (root, iter(self._iteration_order(self._succ[root])))
+            ]
+            colour[root] = grey
+            while stack:
+                node, neighbours = stack[-1]
+                advanced = False
+                for nxt in neighbours:
+                    if colour[nxt] == grey or nxt == node:
+                        # Found a cycle: unwind parents from node back to nxt.
+                        cycle = [node]
+                        cur = node
+                        while cur != nxt:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        cycle.append(cycle[0])
+                        return cycle
+                    if colour[nxt] == white:
+                        colour[nxt] = grey
+                        parent[nxt] = node
+                        stack.append(
+                            (nxt, iter(self._iteration_order(self._succ[nxt])))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = black
+                    stack.pop()
+        return None
+
+    def is_acyclic(self) -> bool:
+        return self.find_cycle() is None
+
+    def topological_order(self) -> list[Node]:
+        """Return a topological order (Kahn); raises ValueError on a cycle."""
+        indegree = {node: len(self._pred[node]) for node in self._succ}
+        ready = [node for node in self._iteration_order(self._succ) if indegree[node] == 0]
+        order: list[Node] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for nxt in self._iteration_order(self._succ[node]):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self._succ):
+            raise ValueError("graph has a cycle; no topological order exists")
+        return order
+
+    def reachable_from(self, node: Node) -> set[Node]:
+        """All nodes reachable from ``node`` (excluding ``node`` unless on a cycle)."""
+        seen: set[Node] = set()
+        frontier = list(self._succ.get(node, ()))
+        while frontier:
+            cur = frontier.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            frontier.extend(self._succ.get(cur, ()))
+        return seen
+
+    def transitive_closure(self) -> "DirectedGraph[Node]":
+        closure: DirectedGraph[Node] = DirectedGraph()
+        for node in self._succ:
+            closure.add_node(node)
+            for dst in self.reachable_from(node):
+                closure.add_edge(node, dst)
+        return closure
+
+    def union(self, other: "DirectedGraph[Node]") -> "DirectedGraph[Node]":
+        merged = self.copy()
+        for node in other.nodes:
+            merged.add_node(node)
+        for src, dst in other.edges:
+            merged.add_edge(src, dst)
+        return merged
+
+    @staticmethod
+    def _iteration_order(nodes: Iterable[Node]) -> list[Node]:
+        """Sort nodes when possible so that algorithms are deterministic."""
+        items = list(nodes)
+        try:
+            return sorted(items)  # type: ignore[type-var]
+        except TypeError:
+            return items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DirectedGraph(nodes={len(self._succ)}, edges={len(self.edges)})"

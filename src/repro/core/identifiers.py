@@ -1,0 +1,78 @@
+"""Identifiers for objects and actions.
+
+Objects are identified by strings (``"BpTree"``, ``"Page4712"``); the paper's
+*system object* (Definition 4) has the reserved identifier
+:data:`SYSTEM_OBJECT`.  The extension construction (Definition 5) introduces
+*virtual objects*; a virtual object identifier is derived from the original
+one by appending a prime marker, so that ``Node6`` begets ``Node6′``,
+``Node6″`` and so on (one virtual object per broken cycle).
+
+Actions are numbered hierarchically (Definition 2): the root action of the
+i-th top-level transaction is ``(i,)``, its j-th called action ``(i, j)``,
+etc.  :func:`format_action_id` renders such a tuple the way the paper writes
+subscripts, e.g. ``a_112`` becomes ``"1.1.2"``.
+"""
+
+from __future__ import annotations
+
+ObjectId = str
+ActionId = tuple[int, ...]
+
+#: The system object S of Definition 4.  Every top-level transaction is an
+#: action on this object.
+SYSTEM_OBJECT: ObjectId = "$SYSTEM"
+
+#: Marker appended to an object identifier to form a virtual object id.
+VIRTUAL_MARKER = "′"
+
+
+def virtual_object_id(oid: ObjectId, generation: int = 1) -> ObjectId:
+    """Return the identifier of the ``generation``-th virtual copy of ``oid``.
+
+    >>> virtual_object_id("Node6")
+    'Node6′'
+    >>> virtual_object_id("Node6", 2)
+    'Node6′′'
+    """
+    if generation < 1:
+        raise ValueError("generation must be >= 1")
+    return oid + VIRTUAL_MARKER * generation
+
+
+def is_virtual(oid: ObjectId) -> bool:
+    """True iff ``oid`` names a virtual object created by the extension."""
+    return oid.endswith(VIRTUAL_MARKER)
+
+
+def original_object_id(oid: ObjectId) -> ObjectId:
+    """Strip virtual markers, returning the original object identifier."""
+    return oid.rstrip(VIRTUAL_MARKER)
+
+
+def format_action_id(aid: ActionId) -> str:
+    """Render a hierarchical action number, e.g. ``(1, 1, 2) -> '1.1.2'``."""
+    return ".".join(str(part) for part in aid)
+
+
+def parse_action_id(text: str) -> ActionId:
+    """Inverse of :func:`format_action_id`.
+
+    >>> parse_action_id("1.1.2")
+    (1, 1, 2)
+    """
+    if not text:
+        raise ValueError("empty action id")
+    return tuple(int(part) for part in text.split("."))
+
+
+def is_call_ancestor(ancestor: ActionId, descendant: ActionId) -> bool:
+    """True iff ``ancestor`` calls ``descendant`` directly or indirectly.
+
+    This is the transitive (non-reflexive) call relationship ``->*`` of
+    Definition 1 restricted to the numbering: an action's number is a proper
+    prefix of every action it (transitively) calls.
+    """
+    return (
+        len(ancestor) < len(descendant)
+        and descendant[: len(ancestor)] == ancestor
+    )

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing programming errors (``TypeError``/``ValueError`` from
+Python itself) from domain failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """An ill-formed formal-model construct (action, transaction, system)."""
+
+
+class ScheduleError(ReproError):
+    """An ill-formed or inconsistent schedule."""
+
+
+class CommutativityError(ReproError):
+    """A commutativity specification problem (unknown method, bad matrix)."""
+
+
+class DatabaseError(ReproError):
+    """Base class of errors raised by the object database substrate."""
+
+
+class EncapsulationError(DatabaseError):
+    """Object state was accessed outside a method execution.
+
+    The paper's premise is that "objects are only accessible by methods
+    defined in the database system"; the substrate enforces it.
+    """
+
+
+class UnknownObjectError(DatabaseError):
+    """A message was sent to an object identifier that does not exist."""
+
+
+class UnknownMethodError(DatabaseError):
+    """A message named a method the receiving object type does not define."""
+
+
+class PageError(DatabaseError):
+    """A page-level storage failure (overflow, bad slot, missing page)."""
+
+
+class TransactionAborted(ReproError):
+    """Raised inside a transaction program when the scheduler aborts it.
+
+    The executor catches this, rolls the transaction back (undoing direct
+    updates and running compensations for committed subtransactions) and
+    optionally restarts the program.
+    """
+
+    def __init__(self, txn_id: str, reason: str = "aborted"):
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class DeadlockError(TransactionAborted):
+    """A transaction was chosen as a deadlock victim."""
+
+    def __init__(self, txn_id: str, cycle: tuple[str, ...] = ()):
+        super().__init__(txn_id, reason="deadlock victim")
+        self.cycle = cycle
+
+
+class SubtransactionAbort(ReproError):
+    """Raised by application code to abort the *current subtransaction*.
+
+    Caught by :meth:`ObjectDatabase.send_atomic`: the subtransaction's
+    effects are rolled back (undo + compensations, locks released) and the
+    enclosing transaction continues — the recovery granularity that nesting
+    buys.  If it propagates to a plain ``send``, it escalates to a full
+    transaction abort.
+    """
+
+    def __init__(self, reason: str = "subtransaction aborted"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

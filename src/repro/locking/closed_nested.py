@@ -1,0 +1,37 @@
+"""Closed nested transactions (Moss).
+
+Subtransactions acquire page locks in their own right and pass them *up* to
+their parent when they finish (lock inheritance); nothing is released before
+the top-level commit.  As the paper notes, "by the use of conventional
+transactions and closed nested transactions only top-level-transactions are
+isolated from each other" — inter-transaction concurrency is therefore the
+same as flat 2PL; the nesting buys intra-transaction recovery granularity,
+not concurrency.  The protocol is included as the second baseline so the
+benches can demonstrate precisely that.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import ActionNode, Invocation
+from repro.locking.lock_table import LockingScheduler
+from repro.oodb.context import TransactionContext
+
+
+class ClosedNestedLocking(LockingScheduler):
+    """Moss-style closed nesting: page locks with upward inheritance."""
+
+    name = "closed-nested"
+    open_nested = False
+    conservative_page_intent = True
+
+    def _should_lock(self, node: ActionNode, invocation: Invocation) -> bool:
+        return self._is_page(invocation.obj)
+
+    def _owner_for(self, ctx: TransactionContext, node: ActionNode) -> ActionNode:
+        # The lock belongs to the acquiring subtransaction; ``end_action``
+        # (release=False for closed nesting) re-owns it to the parent frame,
+        # realizing Moss's lock inheritance step by step up to the root.
+        return node.parent if node.parent is not None else node
+
+    def _spec_for(self, obj):
+        return self._page_rw

@@ -1,0 +1,63 @@
+"""Waits-for graph deadlock detection.
+
+Blocking schedulers record, for every waiting transaction, the set of lock
+holders it waits for.  A cycle through the requester means deadlock; the
+requester is chosen as the victim (simple, deterministic, and standard for
+simulation studies — the victim restarts and the measurement records it).
+"""
+
+from __future__ import annotations
+
+
+class WaitsForGraph:
+    """``waiter -> holders`` edges with incremental cycle detection."""
+
+    def __init__(self) -> None:
+        self._waits: dict[str, set[str]] = {}
+
+    def set_waits(self, waiter: str, holders: set[str]) -> None:
+        """Replace the waiter's outgoing edges (called on each re-check)."""
+        self._waits[waiter] = set(holders) - {waiter}
+
+    def clear(self, waiter: str) -> None:
+        self._waits.pop(waiter, None)
+
+    def waiting(self, waiter: str) -> set[str]:
+        return set(self._waits.get(waiter, ()))
+
+    def find_cycle_through(self, start: str) -> list[str] | None:
+        """A cycle containing ``start``, as ``[start, ..., start]``, or None.
+
+        Only cycles through ``start`` can be new when ``start``'s edges were
+        the last modification, so this is a complete check when called after
+        every :meth:`set_waits`.
+        """
+        path = [start]
+        seen = {start}
+
+        def dfs(node: str) -> list[str] | None:
+            for nxt in sorted(self._waits.get(node, ())):
+                if nxt == start:
+                    return path + [start]
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                path.append(nxt)
+                found = dfs(nxt)
+                if found is not None:
+                    return found
+                path.pop()
+            return None
+
+        return dfs(start)
+
+    @property
+    def edges(self) -> set[tuple[str, str]]:
+        return {
+            (waiter, holder)
+            for waiter, holders in self._waits.items()
+            for holder in holders
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WaitsForGraph({self._waits!r})"

@@ -1,0 +1,135 @@
+"""The scheduler interface between the database and the protocols.
+
+The database calls the scheduler at four points:
+
+- ``begin(ctx)`` when a transaction starts;
+- ``request(ctx, node, invocation)`` before every action (method sends and
+  primitive page accesses alike).  The scheduler may grant immediately,
+  block the calling transaction (via the simulation environment's wait
+  primitive) until the conflict clears, or raise
+  :class:`~repro.errors.TransactionAborted` (e.g. as a deadlock victim);
+- ``end_action(ctx, node, release)`` when an action's frame completes; with
+  ``release=True`` the protocol may free the locks acquired for the
+  action's subtree (open nesting), with ``release=False`` they are retained
+  for the enclosing transaction;
+- ``commit(ctx)`` / ``abort(ctx)`` when the top-level transaction ends.
+
+Schedulers are *passive* with respect to scheduling: blocking is delegated
+to the environment object bound with ``bind_environment`` (the interleaved
+executor), so the same protocol code runs under any driver.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Protocol
+
+from repro.core.actions import ActionNode, Invocation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oodb.context import TransactionContext
+    from repro.oodb.database import ObjectDatabase
+
+
+class WaitEnvironment(Protocol):
+    """What a scheduler needs from the runtime in order to block."""
+
+    def wait_for(self, ctx: "TransactionContext", reason: str) -> None:
+        """Block ``ctx`` until :meth:`wake_all` (re-check the condition after)."""
+
+    def wake_all(self) -> None:
+        """Wake every blocked transaction so it re-checks its condition."""
+
+
+class _ImmediateEnvironment:
+    """Fallback environment for single-threaded use: blocking would be a
+    self-deadlock, so a wait raises instead."""
+
+    def wait_for(self, ctx: "TransactionContext", reason: str) -> None:
+        from repro.errors import TransactionAborted
+
+        raise TransactionAborted(
+            ctx.txn_id,
+            f"would block ({reason}) but no executor is driving concurrency",
+        )
+
+    def wake_all(self) -> None:  # pragma: no cover - nothing to wake
+        pass
+
+
+class Scheduler:
+    """Base class: a no-op scheduler with the attachment plumbing."""
+
+    #: human-readable protocol name (used in bench tables)
+    name = "none"
+    #: whether subtransaction completion may release locks / discard undo
+    open_nested = False
+    #: page-lock mode policy: True makes every page access of an *update*
+    #: method exclusive (how conventional systems avoid upgrade deadlocks —
+    #: they have no semantic knowledge to do better); False trusts the
+    #: per-method ``write_intent`` declarations
+    conservative_page_intent = False
+
+    def __init__(self) -> None:
+        self.db: "ObjectDatabase | None" = None
+        self.env: WaitEnvironment = _ImmediateEnvironment()
+
+    # -- plumbing -------------------------------------------------------------
+
+    def attach(self, db: "ObjectDatabase") -> None:
+        """Called once by the database that owns this scheduler."""
+        self.db = db
+
+    def bind_environment(self, env: WaitEnvironment) -> None:
+        """Called by the executor that drives concurrent transactions."""
+        self.env = env
+
+    # -- protocol hooks ----------------------------------------------------------
+
+    def begin(self, ctx: "TransactionContext") -> None:
+        """A transaction starts."""
+
+    def request(
+        self, ctx: "TransactionContext", node: ActionNode, invocation: Invocation
+    ) -> None:
+        """An action is about to execute; grant, block or abort."""
+
+    def end_action(
+        self, ctx: "TransactionContext", node: ActionNode, release: bool
+    ) -> None:
+        """The action's frame completed (``release`` per open-nesting rules)."""
+
+    def commit(self, ctx: "TransactionContext") -> None:
+        """The top-level transaction commits; free everything."""
+
+    def abort(self, ctx: "TransactionContext") -> None:
+        """The top-level transaction aborted; free everything."""
+
+    def release_all_for(self, ctx: "TransactionContext", node: ActionNode) -> None:
+        """Release every lock held on behalf of this action node (used when
+        a subtransaction aborts and is erased)."""
+
+    # -- introspection ---------------------------------------------------------
+
+    def describe(self) -> str:
+        return self.name
+
+
+class NoConcurrencyControl(Scheduler):
+    """Tracing-only mode: every request is granted, nothing is locked.
+
+    Used to execute transactions one at a time (or under an externally
+    chosen interleaving) purely to obtain call-tree traces for the
+    Definition 10/11 analysis.
+    """
+
+    name = "none"
+
+
+def invocation_key(invocation: Invocation) -> tuple[str, str, tuple]:
+    """Hashable identity of an invocation (for lock-table bookkeeping)."""
+    args: Any = invocation.args
+    try:
+        hash(args)
+    except TypeError:
+        args = repr(args)
+    return (invocation.obj, invocation.method, args)

@@ -1,0 +1,303 @@
+"""The generic lock table and the shared locking-scheduler skeleton.
+
+Locks here are *semantic* locks: a lock is an invocation (method plus
+parameters, possibly with a state snapshot) held on an object, and two locks
+are compatible iff the invocations commute under the object's commutativity
+specification (Definition 9).  With the classical read/write specification
+this degenerates to ordinary shared/exclusive page locks, so the same table
+serves every protocol.
+
+Lock *ownership* is by action node: a protocol decides which node owns each
+acquired lock (the requesting action's caller for nested protocols, the
+transaction root for flat 2PL), and releases by owner when frames complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.actions import ActionNode, Invocation
+from repro.core.commutativity import CommutativitySpec, ReadWriteCommutativity
+from repro.core.identifiers import ObjectId
+from repro.errors import DeadlockError
+from repro.locking.deadlock import WaitsForGraph
+from repro.locking.interfaces import Scheduler
+from repro.oodb.context import TransactionContext
+
+
+@dataclass
+class Lock:
+    """One granted semantic lock."""
+
+    obj: ObjectId
+    invocation: Invocation
+    ctx: TransactionContext
+    owner: ActionNode
+    #: the action whose execution acquired the lock (for subtree release)
+    requester: ActionNode | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Lock {self.invocation} txn={self.ctx.txn_id}>"
+
+
+class LockTable:
+    """Semantic locks per object, with ownership bookkeeping."""
+
+    def __init__(self) -> None:
+        self._locks: dict[ObjectId, list[Lock]] = {}
+
+    def locks_on(self, obj: ObjectId) -> list[Lock]:
+        return list(self._locks.get(obj, ()))
+
+    def conflicting(
+        self,
+        ctx: TransactionContext,
+        invocation: Invocation,
+        spec: CommutativitySpec,
+    ) -> list[Lock]:
+        """Locks of *other* transactions that do not commute with the request.
+
+        Locks of the requesting transaction are always compatible: actions
+        of one (sequential) transaction are one process (Definition 9).
+        """
+        return [
+            lock
+            for lock in self._locks.get(invocation.obj, ())
+            if lock.ctx is not ctx
+            and not spec.commutes(lock.invocation, invocation)
+        ]
+
+    def add(self, lock: Lock) -> None:
+        entries = self._locks.setdefault(lock.obj, [])
+        for existing in entries:
+            if (
+                existing.ctx is lock.ctx
+                and existing.owner is lock.owner
+                and existing.invocation == lock.invocation
+            ):
+                return  # identical lock already held
+        entries.append(lock)
+
+    def release_owned_by(self, owner: ActionNode) -> set[ObjectId]:
+        """Drop every lock owned by ``owner``; returns the touched objects."""
+        released: set[ObjectId] = set()
+        for obj in list(self._locks):
+            kept = [lock for lock in self._locks[obj] if lock.owner is not owner]
+            if len(kept) != len(self._locks[obj]):
+                released.add(obj)
+            if kept:
+                self._locks[obj] = kept
+            else:
+                del self._locks[obj]
+        return released
+
+    def reown(self, owner: ActionNode, new_owner: ActionNode) -> int:
+        """Transfer ownership (closed nesting's lock inheritance)."""
+        moved = 0
+        for locks in self._locks.values():
+            for lock in locks:
+                if lock.owner is owner:
+                    lock.owner = new_owner
+                    moved += 1
+        return moved
+
+    def release_transaction(self, ctx: TransactionContext) -> set[ObjectId]:
+        released: set[ObjectId] = set()
+        for obj in list(self._locks):
+            kept = [lock for lock in self._locks[obj] if lock.ctx is not ctx]
+            if len(kept) != len(self._locks[obj]):
+                released.add(obj)
+            if kept:
+                self._locks[obj] = kept
+            else:
+                del self._locks[obj]
+        return released
+
+    def held_by(self, ctx: TransactionContext) -> list[Lock]:
+        return [
+            lock
+            for locks in self._locks.values()
+            for lock in locks
+            if lock.ctx is ctx
+        ]
+
+    @property
+    def lock_count(self) -> int:
+        return sum(len(locks) for locks in self._locks.values())
+
+
+class LockingScheduler(Scheduler):
+    """Skeleton shared by all four protocols.
+
+    Subclasses configure three knobs:
+
+    - :meth:`_should_lock` — which objects the protocol locks at all;
+    - :meth:`_owner_for` — which action node owns an acquired lock (and
+      therefore when it is released);
+    - :meth:`_spec_for` — the compatibility function per object.
+    """
+
+    name = "locking"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.table = LockTable()
+        self.waits = WaitsForGraph()
+        self._page_rw = ReadWriteCommutativity()
+        self._active: dict[str, TransactionContext] = {}
+        #: cumulative counters for the bench harness
+        self.stats = {"acquired": 0, "waits": 0, "deadlocks": 0, "wounds": 0}
+
+    # -- protocol knobs --------------------------------------------------------
+
+    def _should_lock(self, node: ActionNode, invocation: Invocation) -> bool:
+        raise NotImplementedError
+
+    def _owner_for(self, ctx: TransactionContext, node: ActionNode) -> ActionNode:
+        raise NotImplementedError
+
+    def _spec_for(self, obj: ObjectId) -> CommutativitySpec:
+        """Default: pages are read/write, everything else asks its type."""
+        if self._is_page(obj):
+            return self._page_rw
+        if self.db is not None and self.db.has_object(obj):
+            return type(self.db.get_object(obj)).commutativity
+        from repro.core.commutativity import ConflictAll
+
+        return ConflictAll()
+
+    def _is_page(self, obj: ObjectId) -> bool:
+        return self.db is not None and obj in self.db.store
+
+    # -- Scheduler interface ------------------------------------------------------
+
+    def begin(self, ctx) -> None:
+        self._active[ctx.txn_id] = ctx
+
+    def request(self, ctx, node, invocation) -> None:
+        compensating = bool(ctx.runtime_data.get("compensating"))
+        if not self._should_lock(node, invocation):
+            return
+        spec = self._spec_for(invocation.obj)
+        override_other_rollbacks = False
+        while True:
+            if not compensating and ctx.runtime_data.get("wounded"):
+                self.waits.clear(ctx.txn_id)
+                self.stats["deadlocks"] += 1
+                raise DeadlockError(ctx.txn_id)
+            conflicts = self.table.conflicting(ctx, invocation, spec)
+            if override_other_rollbacks:
+                conflicts = [
+                    lock
+                    for lock in conflicts
+                    if not lock.ctx.runtime_data.get("compensating")
+                ]
+            if not conflicts:
+                break
+            holders = {lock.ctx.txn_id for lock in conflicts}
+            ctx.stats.lock_waits += 1
+            self.stats["waits"] += 1
+            self.waits.set_waits(ctx.txn_id, holders)
+            cycle = self.waits.find_cycle_through(ctx.txn_id)
+            if cycle is not None:
+                if self._resolve_deadlock(ctx, cycle, compensating):
+                    override_other_rollbacks = True
+                    continue
+            self.env.wait_for(ctx, invocation.obj)
+        self.waits.clear(ctx.txn_id)
+        self.table.add(
+            Lock(
+                obj=invocation.obj,
+                invocation=invocation,
+                ctx=ctx,
+                owner=self._owner_for(ctx, node),
+                requester=node,
+            )
+        )
+        self.stats["acquired"] += 1
+
+    def _resolve_deadlock(
+        self, ctx, cycle: list[str], compensating: bool
+    ) -> bool:
+        """Pick and kill a deadlock victim.
+
+        A normal requester aborts itself (it is in the cycle by
+        construction).  A *compensating* requester must not abort — it is
+        already rolling a transaction back — so it wounds a non-compensating
+        member of the cycle instead; the wounded transaction aborts at its
+        next scheduling point and the compensation proceeds.
+
+        When the entire cycle consists of rollbacks (each compensating
+        transaction waiting on another's short-lived compensation locks),
+        returns True: the requester may override locks held by other
+        rollbacks.  This mirrors multilevel recovery practice — inverse
+        operations at the record level run as system transactions whose
+        mutual page conflicts are resolved below transaction locking — and
+        is counted in ``stats["overrides"]``.
+        """
+        if not compensating:
+            self.waits.clear(ctx.txn_id)
+            self.stats["deadlocks"] += 1
+            raise DeadlockError(ctx.txn_id, tuple(cycle))
+        for member in cycle:
+            victim = self._active.get(member)
+            if (
+                victim is not None
+                and victim is not ctx
+                and not victim.runtime_data.get("compensating")
+            ):
+                victim.runtime_data["wounded"] = f"wounded by {ctx.txn_id}"
+                self.stats["wounds"] += 1
+                self.env.wake_all()
+                return False
+        self.stats["overrides"] = self.stats.get("overrides", 0) + 1
+        return True
+
+    def end_action(self, ctx, node, release) -> None:
+        if self.open_nested and release:
+            released = self.table.release_owned_by(node)
+            if released:
+                self._wake(released)
+        else:
+            # Locks acquired for this subtree stay with the enclosing frame.
+            self.table.reown(node, node.parent if node.parent is not None else node)
+
+    def commit(self, ctx) -> None:
+        self._finish(ctx)
+
+    def abort(self, ctx) -> None:
+        self._finish(ctx)
+
+    def _finish(self, ctx) -> None:
+        self.waits.clear(ctx.txn_id)
+        self._active.pop(ctx.txn_id, None)
+        released = self.table.release_transaction(ctx)
+        if released:
+            self._wake(released)
+
+    def release_all_for(self, ctx, node) -> None:
+        """Drop locks owned *by* this node and the lock it *requested* —
+        the node's subtransaction aborted and is erased."""
+        released = self.table.release_owned_by(node)
+        for obj in list(self.table._locks):
+            kept = [
+                lock
+                for lock in self.table._locks[obj]
+                if lock.requester is not node
+            ]
+            if len(kept) != len(self.table._locks[obj]):
+                released.add(obj)
+                if kept:
+                    self.table._locks[obj] = kept
+                else:
+                    del self.table._locks[obj]
+        if released:
+            self._wake(released)
+
+    def _wake(self, objects: set) -> None:
+        """Wake only the transactions waiting for one of these objects."""
+        wake_keys = getattr(self.env, "wake_keys", None)
+        if wake_keys is not None:
+            wake_keys(objects)
+        else:
+            self.env.wake_all()

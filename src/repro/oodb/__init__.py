@@ -1,0 +1,29 @@
+"""A VODAK-like object database substrate.
+
+The paper's premise: *"In an object-oriented database the objects are
+encapsulated, i.e., objects are only accessible by methods defined in the
+database system."*  This package provides exactly that substrate:
+
+- :mod:`repro.oodb.object_model` — :class:`DatabaseObject` base class with
+  encapsulated, page-backed state and a per-type commutativity
+  specification;
+- :mod:`repro.oodb.method` — the ``@dbmethod`` decorator registering
+  methods, their update/read classification and their compensations (open
+  nested transactions abort by compensation, not by low-level undo);
+- :mod:`repro.oodb.pages` — slotted pages with read/write primitive
+  actions, the Axiom 1 bootstrap level ("in database systems exists a
+  common object type which methods call no other actions: the page");
+- :mod:`repro.oodb.context` / :mod:`repro.oodb.log` — transaction contexts
+  with per-frame undo and compensation logs;
+- :mod:`repro.oodb.database` — :class:`ObjectDatabase`: OID management,
+  message dispatch with automatic call-tree tracing (every run yields a
+  :class:`repro.core.transactions.TransactionSystem` ready for analysis),
+  and the hook points for a concurrency-control scheduler.
+"""
+
+from repro.oodb.database import ObjectDatabase
+from repro.oodb.method import dbmethod
+from repro.oodb.object_model import DatabaseObject
+from repro.oodb.pages import Page, PageStore
+
+__all__ = ["DatabaseObject", "ObjectDatabase", "Page", "PageStore", "dbmethod"]

@@ -1,0 +1,96 @@
+"""Transaction contexts: the runtime state of one top-level transaction.
+
+A context owns the transaction's call-tree root (its trace), a stack of
+execution frames (one per action currently being executed), and bookkeeping
+for statistics.  Contexts are created by
+:meth:`repro.oodb.database.ObjectDatabase.begin` and driven by ``send`` /
+``commit`` / ``abort``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.actions import ActionNode
+from repro.core.transactions import OOTransaction
+from repro.oodb.log import FrameLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oodb.method import MethodSpec
+    from repro.oodb.object_model import DatabaseObject
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Frame:
+    """One action execution in progress."""
+
+    node: ActionNode
+    log: FrameLog = field(default_factory=FrameLog)
+    receiver: "DatabaseObject | None" = None
+    spec: "MethodSpec | None" = None
+
+
+@dataclass
+class TxnStats:
+    """Per-transaction counters filled in by the database and the runtime."""
+
+    actions: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    lock_waits: int = 0
+    wait_ticks: int = 0
+    restarts: int = 0
+    begin_tick: int = 0
+    commit_tick: int = 0
+
+
+class TransactionContext:
+    """Runtime state of one top-level transaction."""
+
+    def __init__(self, txn: OOTransaction):
+        self.txn = txn
+        self.status = TxnStatus.ACTIVE
+        self.frames: list[Frame] = [Frame(node=txn.root)]
+        self.stats = TxnStats()
+        #: free-form slot for schedulers/executors (e.g. thread handle)
+        self.runtime_data: dict[str, Any] = {}
+
+    @property
+    def txn_id(self) -> str:
+        return self.txn.label
+
+    @property
+    def root_frame(self) -> Frame:
+        return self.frames[0]
+
+    @property
+    def current_frame(self) -> Frame:
+        return self.frames[-1]
+
+    @property
+    def is_active(self) -> bool:
+        return self.status == TxnStatus.ACTIVE
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth of the current execution point (root = 0)."""
+        return len(self.frames) - 1
+
+    def push(self, frame: Frame) -> None:
+        self.frames.append(frame)
+
+    def pop(self) -> Frame:
+        if len(self.frames) == 1:
+            raise RuntimeError("cannot pop the root frame")
+        return self.frames.pop()
+
+    def __repr__(self) -> str:
+        return f"<TransactionContext {self.txn_id} {self.status.value} depth={self.depth}>"

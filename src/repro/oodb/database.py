@@ -1,0 +1,537 @@
+"""The object database: OIDs, message dispatch, tracing, recovery.
+
+:class:`ObjectDatabase` ties the substrate together.  Every message send
+
+1. appends an action node to the sending transaction's call tree (so a
+   finished run *is* a :class:`~repro.core.transactions.TransactionSystem`
+   ready for the Definition 10/11 analysis),
+2. asks the concurrency-control scheduler for permission (which may block
+   the transaction or abort it),
+3. executes the method inside a fresh frame with its own undo journal, and
+4. on completion applies the open-nesting commit rule: a subtransaction
+   with a registered compensation releases its low-level locks and leaves
+   only the compensation behind; otherwise its journal is retained by the
+   caller.
+
+Primitive page accesses follow the same path with implicit ``read`` /
+``write`` actions, giving the Axiom 1 bootstrap level for free.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.core.actions import ActionNode, Invocation
+from repro.core.commutativity import CommutativityRegistry, ReadWriteCommutativity
+from repro.core.transactions import TransactionSystem
+from repro.errors import (
+    DatabaseError,
+    EncapsulationError,
+    TransactionAborted,
+    UnknownObjectError,
+)
+from repro.oodb.context import Frame, TransactionContext, TxnStatus
+from repro.oodb.log import (
+    CompensationRecord,
+    FrameLog,
+    PageAllocationRecord,
+    UndoRecord,
+)
+from repro.oodb.object_model import DatabaseObject, ensure_database_object_type
+from repro.oodb.pages import DEFAULT_PAGE_CAPACITY, PageStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.locking.interfaces import Scheduler
+
+
+class ObjectDatabase:
+    """An object-oriented database instance.
+
+    Parameters
+    ----------
+    scheduler:
+        The concurrency-control protocol; defaults to
+        :class:`~repro.locking.interfaces.NoConcurrencyControl` (tracing
+        only).
+    page_capacity:
+        Default slots per page — the "keys per page" experiment knob.
+    """
+
+    def __init__(
+        self,
+        scheduler: "Scheduler | None" = None,
+        page_capacity: int = DEFAULT_PAGE_CAPACITY,
+    ):
+        from repro.locking.interfaces import NoConcurrencyControl
+
+        self.store = PageStore(page_capacity)
+        self.system = TransactionSystem()
+        self.scheduler: "Scheduler" = scheduler or NoConcurrencyControl()
+        self.scheduler.attach(self)
+        #: optional simulation environment; when set, every action request
+        #: is an interleaving checkpoint
+        self.env = None
+        self._objects: dict[str, DatabaseObject] = {}
+        self._oid_counters: dict[str, int] = {}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # object management
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        cls: type[DatabaseObject],
+        *args: Any,
+        oid: str | None = None,
+        page_capacity: int | None = None,
+    ) -> str:
+        """Create an object at bootstrap time (outside any transaction)."""
+        if self._current_ctx() is not None:
+            raise DatabaseError(
+                "create() is for bootstrap; use DatabaseObject.db_create "
+                "inside transactions"
+            )
+        obj = self._instantiate(cls, oid, page_capacity)
+        self._run_setup(obj, args)
+        return obj.oid
+
+    def create_nested(
+        self,
+        cls: type[DatabaseObject],
+        args: tuple,
+        *,
+        oid: str | None = None,
+        page_capacity: int | None = None,
+    ) -> str:
+        """Create an object from inside a running method (traced, undoable)."""
+        ctx = self._require_ctx()
+        obj = self._instantiate(cls, oid, page_capacity)
+        ctx.current_frame.log.record(PageAllocationRecord(obj.page_id))
+        self._dispatch_create(ctx, obj, args)
+        return obj.oid
+
+    def _instantiate(
+        self,
+        cls: type[DatabaseObject],
+        oid: str | None,
+        page_capacity: int | None,
+    ) -> DatabaseObject:
+        ensure_database_object_type(cls)
+        if oid is None:
+            count = self._oid_counters.get(cls.__name__, 0) + 1
+            self._oid_counters[cls.__name__] = count
+            oid = f"{cls.__name__}{count}"
+        if oid in self._objects:
+            raise DatabaseError(f"object id {oid!r} already exists")
+        capacity = page_capacity or cls.page_capacity
+        page = self.store.allocate(capacity=capacity)
+        obj = cls(self, oid, page.page_id)
+        self._objects[oid] = obj
+        return obj
+
+    def _run_setup(self, obj: DatabaseObject, args: tuple) -> None:
+        """Run ``setup`` at bootstrap, inside a creation scope."""
+        stack = self._creation_stack()
+        stack.append(obj)
+        try:
+            obj.setup(*args)
+        finally:
+            stack.pop()
+
+    def _dispatch_create(
+        self, ctx: TransactionContext, obj: DatabaseObject, args: tuple
+    ) -> None:
+        """Run ``setup`` inside a transaction, as a traced ``create`` action."""
+        parent_frame = ctx.current_frame
+        node = parent_frame.node.call(obj.oid, "create", args)
+        self._checkpoint()
+        self.scheduler.request(ctx, node, Invocation(obj.oid, "create", args))
+        node.seq = self.system._next_seq()
+        frame = Frame(node=node, receiver=obj, spec=None)
+        ctx.push(frame)
+        ctx.stats.actions += 1
+        try:
+            obj.setup(*args)
+        except BaseException:
+            ctx.pop()
+            parent_frame.log.merge_child(frame.log)
+            raise
+        ctx.pop()
+        # creation is never released early: undo must deallocate the page
+        parent_frame.log.merge_child(frame.log)
+        self.scheduler.end_action(ctx, node, release=False)
+
+    def get_object(self, oid: str) -> DatabaseObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise UnknownObjectError(f"no object {oid!r}") from None
+
+    def has_object(self, oid: str) -> bool:
+        return oid in self._objects
+
+    @property
+    def object_ids(self) -> list[str]:
+        return list(self._objects)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def begin(self, label: str | None = None) -> TransactionContext:
+        txn = self.system.transaction(label)
+        ctx = TransactionContext(txn)
+        self.scheduler.begin(ctx)
+        return ctx
+
+    def send(self, ctx: TransactionContext, oid: str, method: str, *args: Any) -> Any:
+        """Send a top-level message on behalf of ``ctx``.
+
+        Binds the context to the calling thread for the duration, so nested
+        ``self.call`` sends find it.
+        """
+        previous = self._current_ctx()
+        if previous is not None and previous is not ctx:
+            raise DatabaseError(
+                "another transaction context is already active on this thread"
+            )
+        self._local.ctx = ctx
+        try:
+            return self._dispatch(ctx, oid, method, args)
+        finally:
+            self._local.ctx = previous
+
+    def nested_send(self, oid: str, method: str, args: tuple) -> Any:
+        """A message sent from inside a method (``DatabaseObject.call``)."""
+        return self._dispatch(self._require_ctx(), oid, method, args)
+
+    def send_atomic(
+        self,
+        ctx: TransactionContext,
+        oid: str,
+        method: str,
+        *args: Any,
+        default: Any = None,
+    ) -> Any:
+        """Send a message as an abortable subtransaction.
+
+        If the method (or anything it calls) raises
+        :class:`~repro.errors.SubtransactionAbort`, only this
+        subtransaction's effects are rolled back — its undo entries and
+        compensations run in reverse, its locks are released — and
+        ``default`` is returned; the enclosing transaction stays active.
+        Any other outcome behaves exactly like :meth:`send`.
+        """
+        from repro.errors import SubtransactionAbort
+
+        previous = self._current_ctx()
+        if previous is not None and previous is not ctx:
+            raise DatabaseError(
+                "another transaction context is already active on this thread"
+            )
+        self._local.ctx = ctx
+        parent_frame = ctx.current_frame
+        children_before = len(parent_frame.node.children)
+        journal_before = len(parent_frame.log.entries)
+        try:
+            return self._dispatch(ctx, oid, method, args)
+        except SubtransactionAbort:
+            self._rollback_subtransaction(
+                ctx, parent_frame, children_before, journal_before
+            )
+            return default
+        finally:
+            self._local.ctx = previous
+
+    def _rollback_subtransaction(
+        self,
+        ctx: TransactionContext,
+        parent_frame: Frame,
+        children_before: int,
+        journal_before: int,
+    ) -> None:
+        """Undo one aborted subtransaction and erase it from the trace."""
+        # 1. Reverse the journal entries the subtransaction contributed
+        #    (its frames merged them into the parent while unwinding).
+        entries = parent_frame.log.entries[journal_before:]
+        del parent_frame.log.entries[journal_before:]
+        ctx.runtime_data["compensating"] = True
+        try:
+            for entry in reversed(entries):
+                if isinstance(entry, CompensationRecord):
+                    self._dispatch(ctx, entry.oid, entry.method, entry.args)
+                else:
+                    entry.apply(self.store)
+        finally:
+            ctx.runtime_data.pop("compensating", None)
+        # The rollback's own bookkeeping is not undoable either.
+        del parent_frame.log.entries[journal_before:]
+        # 2. Release the subtree's locks and erase it from the call tree —
+        #    an aborted subtransaction never happened.
+        removed = parent_frame.node.children[children_before:]
+        del parent_frame.node.children[children_before:]
+        removed_aids = {node.aid for node in removed}
+        parent_frame.node.precedence = {
+            (before, after)
+            for before, after in parent_frame.node.precedence
+            if before not in removed_aids and after not in removed_aids
+        }
+        parent_frame.node._closure_cache = None
+        for node in removed:
+            for action in node.iter_subtree():
+                self.scheduler.release_all_for(ctx, action)
+
+    def _dispatch(
+        self, ctx: TransactionContext, oid: str, method: str, args: tuple
+    ) -> Any:
+        if not ctx.is_active:
+            raise TransactionAborted(ctx.txn_id, "context is not active")
+        obj = self.get_object(oid)
+        spec = type(obj).method_spec(method)
+        parent_frame = ctx.current_frame
+        node = parent_frame.node.call(oid, method, args)
+        invocation = Invocation(oid, method, args, state=obj.state_snapshot())
+        self._checkpoint()
+        self.scheduler.request(ctx, node, invocation)
+        # Stamp the execution order only after the lock is granted: the
+        # Axiom 1 order must reflect when the action actually ran, not when
+        # it was first attempted (the request above may have blocked).
+        node.seq = self.system._next_seq()
+        frame = Frame(node=node, receiver=obj, spec=spec)
+        ctx.push(frame)
+        ctx.stats.actions += 1
+        try:
+            result = spec.func(obj, *args)
+        except BaseException:
+            # Unwind: hand the child's journal to the parent so that a
+            # top-level abort can still undo/compensate everything.
+            ctx.pop()
+            parent_frame.log.merge_child(frame.log)
+            raise
+        ctx.pop()
+        self._complete_frame(ctx, parent_frame, frame, args, result)
+        return result
+
+    def _complete_frame(
+        self,
+        ctx: TransactionContext,
+        parent_frame: Frame,
+        frame: Frame,
+        args: tuple,
+        result: Any,
+    ) -> None:
+        """Apply the open-nesting commit rule to a finished action frame."""
+        spec = frame.spec
+        if ctx.runtime_data.get("compensating"):
+            # Actions of a rollback are never themselves undone or
+            # compensated; release their locks as soon as they complete so
+            # concurrent rollbacks do not pile up page locks.
+            parent_frame.log.merge_child(frame.log)
+            self.scheduler.end_action(ctx, frame.node, release=True)
+            return
+        compensation = spec.compensation_call(args, result) if spec else None
+        has_undo = any(
+            not isinstance(entry, CompensationRecord) for entry in frame.log.entries
+        )
+        if self.scheduler.open_nested and compensation is not None:
+            # The subtransaction commits at this level: its low-level
+            # effects become permanent (undo discarded) and the caller
+            # records the semantic compensation instead.
+            method_name, comp_args = compensation
+            parent_frame.log.record(
+                CompensationRecord(frame.node.obj, method_name, comp_args)
+            )
+            # The child journal (undo records and child compensations) is
+            # superseded by this single semantic compensation and dropped.
+            self.scheduler.end_action(ctx, frame.node, release=True)
+        elif self.scheduler.open_nested and not has_undo:
+            # Read-only subtree (possibly carrying child compensations):
+            # locks can go, compensations move up.
+            parent_frame.log.merge_child(frame.log)
+            self.scheduler.end_action(ctx, frame.node, release=True)
+        else:
+            parent_frame.log.merge_child(frame.log)
+            self.scheduler.end_action(ctx, frame.node, release=False)
+
+    def commit(self, ctx: TransactionContext) -> None:
+        if not ctx.is_active:
+            raise DatabaseError(f"{ctx.txn_id} is not active")
+        if ctx.depth != 0:
+            raise DatabaseError("commit inside a method execution")
+        self.scheduler.commit(ctx)
+        ctx.status = TxnStatus.COMMITTED
+        if self.env is not None:
+            ctx.stats.commit_tick = self.env.now
+
+    def abort(self, ctx: TransactionContext, reason: str = "user abort") -> None:
+        """Roll the transaction back: undo and compensate in reverse order."""
+        if ctx.status is not TxnStatus.ACTIVE:
+            return
+        # Collapse any frames left open by an exception into the root log.
+        while ctx.depth > 0:
+            frame = ctx.pop()
+            ctx.root_frame.log.merge_child(frame.log)
+        ctx.runtime_data["compensating"] = True
+        previous = self._current_ctx()
+        self._local.ctx = ctx
+        # Snapshot the journal: compensating sends append fresh entries to
+        # the live list (their own page writes), which must not be undone
+        # and must not disturb the reverse iteration.
+        entries = list(ctx.root_frame.log.entries)
+        ctx.root_frame.log.entries.clear()
+        try:
+            for entry in reversed(entries):
+                if isinstance(entry, CompensationRecord):
+                    self._dispatch(ctx, entry.oid, entry.method, entry.args)
+                else:
+                    entry.apply(self.store)
+            ctx.root_frame.log.entries.clear()
+        finally:
+            self._local.ctx = previous
+            ctx.runtime_data.pop("compensating", None)
+        self.scheduler.abort(ctx)
+        ctx.status = TxnStatus.ABORTED
+
+    # ------------------------------------------------------------------
+    # page access (called by SlotProxy)
+    # ------------------------------------------------------------------
+
+    def page_read(self, obj: DatabaseObject, slot: Any, default: Any = None) -> Any:
+        ctx = self._trace_page_action(obj, "read")
+        if ctx is not None:
+            ctx.stats.page_reads += 1
+        return self.store.get(obj.page_id).read(slot, default)
+
+    def page_has(self, obj: DatabaseObject, slot: Any) -> bool:
+        ctx = self._trace_page_action(obj, "read")
+        if ctx is not None:
+            ctx.stats.page_reads += 1
+        return self.store.get(obj.page_id).has(slot)
+
+    def page_keys(self, obj: DatabaseObject) -> list[Any]:
+        ctx = self._trace_page_action(obj, "read")
+        if ctx is not None:
+            ctx.stats.page_reads += 1
+        return self.store.get(obj.page_id).keys()
+
+    def page_write(self, obj: DatabaseObject, slot: Any, value: Any) -> None:
+        ctx = self._trace_page_action(obj, "write")
+        page = self.store.get(obj.page_id)
+        if ctx is not None:
+            ctx.stats.page_writes += 1
+            ctx.current_frame.log.record(
+                UndoRecord(
+                    page_id=page.page_id,
+                    slot=slot,
+                    had_slot=page.has(slot),
+                    before=page.read(slot),
+                )
+            )
+        page.write(slot, value)
+
+    def page_delete(self, obj: DatabaseObject, slot: Any) -> None:
+        ctx = self._trace_page_action(obj, "write")
+        page = self.store.get(obj.page_id)
+        if ctx is not None:
+            ctx.stats.page_writes += 1
+            ctx.current_frame.log.record(
+                UndoRecord(
+                    page_id=page.page_id,
+                    slot=slot,
+                    had_slot=page.has(slot),
+                    before=page.read(slot),
+                )
+            )
+        page.delete(slot)
+
+    def _trace_page_action(
+        self, obj: DatabaseObject, method: str
+    ) -> TransactionContext | None:
+        """Record (and schedule) the primitive page action; returns the
+        active context, or None at bootstrap.
+
+        The trace records the semantic truth (``read``/``write``), but the
+        *lock* for a read inside an update method is requested in write
+        mode — write-intent locking, the standard cure for read-to-write
+        upgrade deadlocks (an update method typically reads its slots
+        before overwriting them).
+        """
+        ctx = self._current_ctx()
+        if ctx is None:
+            return None
+        frame = ctx.current_frame
+        node = frame.node.call(obj.page_id, method)
+        self._checkpoint()
+        if frame.spec is None:
+            exclusive = True
+        elif self.scheduler.conservative_page_intent:
+            exclusive = frame.spec.update
+        else:
+            exclusive = frame.spec.page_lock_exclusive
+        lock_mode = "write" if exclusive else method
+        self.scheduler.request(ctx, node, Invocation(obj.page_id, lock_mode))
+        node.seq = self.system._next_seq()  # granted: stamp execution order
+        return ctx
+
+    # ------------------------------------------------------------------
+    # encapsulation & context plumbing
+    # ------------------------------------------------------------------
+
+    def check_encapsulation(self, obj: DatabaseObject) -> None:
+        ctx = self._current_ctx()
+        if ctx is not None and ctx.current_frame.receiver is obj:
+            return
+        stack = self._creation_stack()
+        if stack and stack[-1] is obj:
+            return
+        raise EncapsulationError(
+            f"state of {obj.oid} touched outside its own methods — objects "
+            f"are only accessible by methods (send a message instead)"
+        )
+
+    def _creation_stack(self) -> list[DatabaseObject]:
+        stack = getattr(self._local, "creation", None)
+        if stack is None:
+            stack = []
+            self._local.creation = stack
+        return stack
+
+    def _current_ctx(self) -> TransactionContext | None:
+        return getattr(self._local, "ctx", None)
+
+    def _require_ctx(self) -> TransactionContext:
+        ctx = self._current_ctx()
+        if ctx is None:
+            raise DatabaseError("no transaction context is active on this thread")
+        return ctx
+
+    def _checkpoint(self) -> None:
+        """Interleaving hook: let the executor switch transactions here."""
+        if self.env is not None:
+            self.env.checkpoint()
+
+    # ------------------------------------------------------------------
+    # analysis bridge
+    # ------------------------------------------------------------------
+
+    def commutativity_registry(self) -> CommutativityRegistry:
+        """The Definition 9 registry for everything this database executed:
+        each object's type-level specification plus read/write pages."""
+        registry = CommutativityRegistry()
+        registry.register_prefix("Page", ReadWriteCommutativity())
+        for oid, obj in self._objects.items():
+            registry.register(oid, type(obj).commutativity)
+        return registry
+
+    def analyze(self, **kwargs):
+        """Run the oo-serializability analysis on everything executed so far.
+
+        Returns ``(SystemVerdict, {oid: ObjectSchedule})`` — see
+        :func:`repro.core.serializability.analyze_system`.  Note that the
+        analysis extends the system in place (Definition 5).
+        """
+        from repro.core.serializability import analyze_system
+
+        return analyze_system(self.system, self.commutativity_registry(), **kwargs)

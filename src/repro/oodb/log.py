@@ -1,0 +1,102 @@
+"""Undo and compensation logs.
+
+Two recovery mechanisms coexist, exactly as open nested transaction theory
+prescribes:
+
+- **Page-level undo** for work whose subtransaction has *not* yet committed:
+  before-images of slot writes, applied in reverse on abort.
+- **Compensation** for subtransactions that *have* committed and released
+  their low-level locks: the before-images are gone (other transactions may
+  already have built on the pages), so the abort re-sends the registered
+  compensating method calls instead.
+
+Both kinds of record live in one chronological journal per execution frame,
+so that an abort can process them strictly in reverse order of execution —
+interleavings of direct slot writes and committed subtransactions roll back
+correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """Before-image of one slot write (or slot creation/deletion)."""
+
+    page_id: str
+    slot: Any
+    had_slot: bool
+    before: Any
+
+    def apply(self, store) -> None:
+        """Restore the before-image on the page."""
+        page = store.get(self.page_id)
+        if self.had_slot:
+            page.slots[self.slot] = self.before
+        else:
+            page.slots.pop(self.slot, None)
+
+
+@dataclass(frozen=True)
+class PageAllocationRecord:
+    """Undo record for a page allocated inside the transaction."""
+
+    page_id: str
+
+    def apply(self, store) -> None:
+        if self.page_id in store:
+            store.deallocate(self.page_id)
+
+
+@dataclass(frozen=True)
+class CompensationRecord:
+    """A semantic undo: re-send ``method(args)`` to ``oid`` on abort."""
+
+    oid: str
+    method: str
+    args: tuple
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(a) for a in self.args)
+        return f"compensate {self.oid}.{self.method}({rendered})"
+
+
+LogEntry = Union[UndoRecord, PageAllocationRecord, CompensationRecord]
+
+
+class FrameLog:
+    """The chronological journal of one execution frame.
+
+    When the frame commits, its journal is merged into the parent frame
+    (conventional schedulers) or reduced to a single compensation record
+    (open nested schedulers) — see ``ObjectDatabase``.
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[LogEntry] = []
+
+    def record(self, entry: LogEntry) -> None:
+        self.entries.append(entry)
+
+    def merge_child(self, child: "FrameLog") -> None:
+        """Absorb a finished child frame, preserving chronology."""
+        self.entries.extend(child.entries)
+        child.entries = []
+
+    @property
+    def undo_entries(self) -> list[LogEntry]:
+        return [e for e in self.entries if not isinstance(e, CompensationRecord)]
+
+    @property
+    def compensations(self) -> list[CompensationRecord]:
+        return [e for e in self.entries if isinstance(e, CompensationRecord)]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)

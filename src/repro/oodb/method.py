@@ -1,0 +1,92 @@
+"""Database method registration.
+
+A method becomes part of an object type's public, concurrency-controlled
+interface by decoration with :func:`dbmethod`.  The decorator records
+
+- whether the method is an *update* (updates need undo/compensation; pure
+  reads never do), and
+- an optional *compensation*: how to semantically undo the method after its
+  subtransaction has committed at this level — the defining ingredient of
+  open nested transactions (the low-level undo information is discarded
+  when the subtransaction releases its locks, so aborts of the surrounding
+  transaction must compensate instead).
+
+Compensation can be given as the name of another method of the same object
+(called with the same arguments), or as a callable ``(args, result) ->
+(method_name, args) | None`` for value-dependent compensation (e.g. only
+compensate an insert that actually inserted).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+CompensationFn = Callable[[tuple, Any], "tuple[str, tuple] | None"]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Metadata of one database method."""
+
+    name: str
+    func: Callable
+    update: bool
+    compensation: str | CompensationFn | None
+    #: whether the method's *own-page* reads should take write-mode locks.
+    #: None defaults to ``update``.  Set False for update methods that only
+    #: read their own page (their writes go to other objects) — blanket
+    #: write-intent would needlessly serialize them; set True (the default
+    #: for updates) for read-then-overwrite methods, where shared read
+    #: locks would breed upgrade deadlocks.
+    write_intent: bool | None = None
+
+    @property
+    def page_lock_exclusive(self) -> bool:
+        return self.update if self.write_intent is None else self.write_intent
+
+    def compensation_call(self, args: tuple, result: Any) -> tuple[str, tuple] | None:
+        """Resolve the compensating call for an executed invocation.
+
+        Returns ``(method_name, args)`` or None when nothing needs undoing
+        (reads, or value-dependent compensations that decide so).
+        """
+        if self.compensation is None:
+            return None
+        if callable(self.compensation):
+            return self.compensation(args, result)
+        return (self.compensation, args)
+
+
+def dbmethod(
+    func: Callable | None = None,
+    *,
+    update: bool = False,
+    compensation: str | CompensationFn | None = None,
+    write_intent: bool | None = None,
+):
+    """Mark a :class:`~repro.oodb.object_model.DatabaseObject` method as a
+    database method.
+
+    Usable bare (``@dbmethod``) for read-only methods or with options::
+
+        @dbmethod(update=True, compensation="delete")
+        def insert(self, key, value): ...
+
+    A method with a compensation is implicitly an update.
+    """
+
+    def decorate(inner: Callable) -> Callable:
+        inner.__dbmethod__ = MethodSpec(
+            name=inner.__name__,
+            func=inner,
+            update=update or compensation is not None,
+            compensation=compensation,
+            write_intent=write_intent,
+        )
+        return inner
+
+    if func is not None:
+        return decorate(func)
+    return decorate

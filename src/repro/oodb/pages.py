@@ -1,0 +1,115 @@
+"""Pages: the primitive level of the database.
+
+Pages are the paper's bootstrap object type: *"in database systems exists a
+common object type which methods call no other actions: the page."*  Every
+object's state lives in the slots of a page; reading a slot is a primitive
+``read`` action, writing one a primitive ``write`` action, and those actions
+carry classical read/write commutativity.
+
+A page has a bounded *capacity* (number of slots) so that structures built
+on top experience realistic page overflow — the B+ tree's leaf split is
+driven by this limit, which is also the knob behind the paper's "roughly up
+to 500" keys-per-page observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import PageError
+
+#: Default number of slots per page.
+DEFAULT_PAGE_CAPACITY = 64
+
+
+@dataclass
+class Page:
+    """A slotted page: a bounded mapping from slot keys to values."""
+
+    page_id: str
+    capacity: int = DEFAULT_PAGE_CAPACITY
+    slots: dict[Any, Any] = field(default_factory=dict)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.slots) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.slots)
+
+    def read(self, key: Any, default: Any = None) -> Any:
+        return self.slots.get(key, default)
+
+    def has(self, key: Any) -> bool:
+        return key in self.slots
+
+    def write(self, key: Any, value: Any) -> None:
+        """Write one slot; raises :class:`PageError` when a *new* slot would
+        exceed the capacity (overwrites are always allowed)."""
+        if key not in self.slots and self.is_full:
+            raise PageError(
+                f"page {self.page_id} is full "
+                f"({len(self.slots)}/{self.capacity} slots)"
+            )
+        self.slots[key] = value
+
+    def delete(self, key: Any) -> None:
+        if key not in self.slots:
+            raise PageError(f"page {self.page_id} has no slot {key!r}")
+        del self.slots[key]
+
+    def keys(self) -> list[Any]:
+        return list(self.slots)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __repr__(self) -> str:
+        return f"<Page {self.page_id} {len(self.slots)}/{self.capacity}>"
+
+
+class PageStore:
+    """Allocates and resolves pages.
+
+    The store itself performs no concurrency control and no tracing — that
+    is the job of :class:`repro.oodb.database.ObjectDatabase`, which funnels
+    every slot access through its primitive-action bookkeeping.
+    """
+
+    def __init__(self, default_capacity: int = DEFAULT_PAGE_CAPACITY):
+        self.default_capacity = default_capacity
+        self._pages: dict[str, Page] = {}
+        self._next_page_number = 4700  # cosmetics: ids echo the paper's Page4712
+
+    def allocate(self, page_id: str | None = None, capacity: int | None = None) -> Page:
+        if page_id is None:
+            self._next_page_number += 1
+            page_id = f"Page{self._next_page_number}"
+        if page_id in self._pages:
+            raise PageError(f"page id {page_id} already allocated")
+        page = Page(page_id, capacity or self.default_capacity)
+        self._pages[page_id] = page
+        return page
+
+    def get(self, page_id: str) -> Page:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageError(f"unknown page {page_id}") from None
+
+    def deallocate(self, page_id: str) -> None:
+        if page_id not in self._pages:
+            raise PageError(f"unknown page {page_id}")
+        del self._pages[page_id]
+
+    def __contains__(self, page_id: str) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def page_ids(self) -> list[str]:
+        return list(self._pages)

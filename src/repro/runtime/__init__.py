@@ -1,0 +1,24 @@
+"""Deterministic interleaved execution of transaction programs.
+
+Real concurrency is simulated with cooperative worker threads: exactly one
+transaction runs at any instant, and control is handed back to the
+scheduler loop at every *action* (method send or page access) — the same
+granularity at which the paper's schedules interleave.  A seeded RNG picks
+the next runnable transaction, so every run is reproducible; lock waits
+block a worker until the protocol wakes it, and deadlock victims are rolled
+back (undo + compensation) and restarted.
+
+- :mod:`repro.runtime.program` — transaction programs and their API.
+- :mod:`repro.runtime.executor` — the interleaved executor and results.
+"""
+
+from repro.runtime.executor import ExecutionResult, InterleavedExecutor, run_sequential
+from repro.runtime.program import ProgramAPI, TransactionProgram
+
+__all__ = [
+    "ExecutionResult",
+    "InterleavedExecutor",
+    "ProgramAPI",
+    "TransactionProgram",
+    "run_sequential",
+]

@@ -1,0 +1,322 @@
+"""The interleaved executor: deterministic simulated concurrency.
+
+Each transaction program runs in its own worker thread, but a controller
+guarantees that exactly one worker executes at a time; workers hand control
+back at every database action (``ObjectDatabase`` calls
+:meth:`InterleavedExecutor.checkpoint` before each send and page access).
+A seeded RNG picks the next runnable worker, making every interleaving
+reproducible.  Lock waits park the worker until the scheduler's
+``wake_all``; deadlock victims abort (undo + compensation via
+``ObjectDatabase.abort``) and restart as fresh transactions.
+
+The executor doubles as the scheduler's
+:class:`~repro.locking.interfaces.WaitEnvironment` and as the database's
+``env`` (checkpoint source and logical clock).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError, TransactionAborted
+from repro.runtime.program import ProgramAPI, TransactionProgram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oodb.context import TransactionContext
+    from repro.oodb.database import ObjectDatabase
+
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+@dataclass
+class WorkerOutcome:
+    """Result of one program under the executor."""
+
+    program: TransactionProgram
+    committed: bool = False
+    attempts: int = 0
+    final_ctx: "TransactionContext | None" = None
+    aborted_ctxs: list = field(default_factory=list)
+    error: BaseException | None = None
+
+    @property
+    def label(self) -> str:
+        return self.program.label
+
+
+@dataclass
+class ExecutionResult:
+    """Aggregate outcome of one interleaved run."""
+
+    outcomes: list[WorkerOutcome]
+    makespan: int
+    scheduler_stats: dict
+    db: "ObjectDatabase"
+
+    @property
+    def committed(self) -> list[WorkerOutcome]:
+        return [o for o in self.outcomes if o.committed]
+
+    @property
+    def committed_labels(self) -> set[str]:
+        return {
+            o.final_ctx.txn_id for o in self.outcomes if o.committed and o.final_ctx
+        }
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(max(0, o.attempts - 1) for o in self.outcomes)
+
+    @property
+    def all_committed(self) -> bool:
+        return all(o.committed for o in self.outcomes)
+
+
+class _Worker:
+    def __init__(self, executor: "InterleavedExecutor", program: TransactionProgram):
+        self.executor = executor
+        self.program = program
+        self.state = _READY
+        self.outcome = WorkerOutcome(program=program)
+        self.blocked_since = 0
+        self.wait_key: str | None = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"txn-{program.label}", daemon=True
+        )
+
+    # -- thread body ------------------------------------------------------------
+
+    def _run(self) -> None:
+        executor = self.executor
+        executor._wait_until_scheduled(self)
+        db = executor.db
+        try:
+            for attempt in range(self.program.max_restarts + 1):
+                self.outcome.attempts = attempt + 1
+                ctx = db.begin(self.program.attempt_label(attempt))
+                ctx.stats.begin_tick = executor.now
+                ctx.runtime_data["worker"] = self
+                api = ProgramAPI(db, ctx, executor)
+                try:
+                    self.program.body(api)
+                    db.commit(ctx)
+                    self.outcome.committed = True
+                    self.outcome.final_ctx = ctx
+                    return
+                except TransactionAborted:
+                    db.abort(ctx, "scheduler abort")
+                    self.outcome.aborted_ctxs.append(ctx)
+                    ctx.stats.restarts += 1
+                    executor._backoff(self, attempt)
+                except BaseException as exc:
+                    # A bug in a program or the substrate: record it, but
+                    # release the transaction's locks so other workers are
+                    # not stranded, then surface the error after the run.
+                    self.outcome.error = exc
+                    db.abort(ctx, f"worker crashed: {exc!r}")
+                    return
+            self.outcome.final_ctx = None  # gave up after max restarts
+        except BaseException as exc:  # pragma: no cover - defensive
+            self.outcome.error = exc
+        finally:
+            executor._worker_done(self)
+
+
+class InterleavedExecutor:
+    """Runs transaction programs concurrently and deterministically."""
+
+    def __init__(
+        self,
+        db: "ObjectDatabase",
+        seed: int = 0,
+        max_ticks: int = 1_000_000,
+    ):
+        self.db = db
+        self.rng = random.Random(seed)
+        self.max_ticks = max_ticks
+        self.now = 0
+        self._cond = threading.Condition()
+        self._workers: list[_Worker] = []
+        self._current: object = "controller"
+        db.env = self
+        db.scheduler.bind_environment(self)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, programs: list[TransactionProgram]) -> ExecutionResult:
+        """Execute all programs to completion; returns the aggregate result."""
+        if not programs:
+            return ExecutionResult([], 0, dict(self._scheduler_stats()), self.db)
+        self._workers = [_Worker(self, program) for program in programs]
+        for worker in self._workers:
+            worker.thread.start()
+        self._controller_loop()
+        for worker in self._workers:
+            worker.thread.join(timeout=30)
+            if worker.thread.is_alive():  # pragma: no cover - defensive
+                raise SimulationError(f"worker {worker.program.label} did not stop")
+        for worker in self._workers:
+            if worker.outcome.error is not None:
+                raise worker.outcome.error
+        return ExecutionResult(
+            outcomes=[w.outcome for w in self._workers],
+            makespan=self.now,
+            scheduler_stats=dict(self._scheduler_stats()),
+            db=self.db,
+        )
+
+    def _scheduler_stats(self) -> dict:
+        return getattr(self.db.scheduler, "stats", {})
+
+    # ------------------------------------------------------------------
+    # controller
+    # ------------------------------------------------------------------
+
+    def _controller_loop(self) -> None:
+        """Synchronous rounds: one tick of simulated time per round, one
+        execution slice per runnable worker per round.
+
+        Transactions therefore *overlap*: four workers thinking or acting
+        concurrently advance the clock by one, while a blocked worker's
+        round is lost — which is exactly how lock waits turn into latency
+        and reduced throughput.
+        """
+        with self._cond:
+            while True:
+                pending = [w for w in self._workers if w.state != _DONE]
+                if not pending:
+                    return
+                runnable = [w for w in pending if w.state == _READY]
+                if not runnable:
+                    errors = [
+                        w.outcome.error
+                        for w in self._workers
+                        if w.outcome.error is not None
+                    ]
+                    if errors:
+                        raise errors[0]
+                    blocked = {w.program.label: w.state for w in pending}
+                    raise SimulationError(
+                        f"all transactions blocked — scheduler bug? {blocked}"
+                    )
+                self.now += 1
+                if self.now > self.max_ticks:
+                    raise SimulationError("simulation exceeded max_ticks")
+                self.rng.shuffle(runnable)
+                for worker in runnable:
+                    if worker.state != _READY:
+                        continue  # blocked or finished earlier in this round
+                    worker.state = _RUNNING
+                    self._current = worker
+                    self._cond.notify_all()
+                    self._cond.wait_for(lambda: self._current == "controller")
+
+    # ------------------------------------------------------------------
+    # worker-side primitives
+    # ------------------------------------------------------------------
+
+    def _wait_until_scheduled(self, worker: _Worker) -> None:
+        with self._cond:
+            self._cond.wait_for(lambda: self._current is worker)
+
+    def _yield_to_controller(self, worker: _Worker, new_state: str) -> None:
+        with self._cond:
+            worker.state = new_state
+            self._current = "controller"
+            self._cond.notify_all()
+            self._cond.wait_for(lambda: self._current is worker)
+
+    def _current_worker(self) -> _Worker | None:
+        current = self._current
+        return current if isinstance(current, _Worker) else None
+
+    def checkpoint(self) -> None:
+        """Interleaving point: give the controller a chance to switch."""
+        worker = self._current_worker()
+        if worker is None or threading.current_thread() is not worker.thread:
+            return  # bootstrap / non-simulated caller
+        self._yield_to_controller(worker, _READY)
+
+    def _backoff(self, worker: _Worker, attempt: int) -> None:
+        """Exponential backoff with jitter before restarting a victim.
+
+        Simultaneously restarting victims would re-collide indefinitely
+        (livelock); randomized exponential delays break the symmetry.
+        """
+        ceiling = min(2 ** (attempt + 1), 64)
+        delay = 1 + self.rng.randrange(ceiling)
+        for _ in range(delay):
+            self._yield_to_controller(worker, _READY)
+
+    def _worker_done(self, worker: _Worker) -> None:
+        with self._cond:
+            worker.state = _DONE
+            if self._current is worker:
+                self._current = "controller"
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # WaitEnvironment (used by the locking schedulers)
+    # ------------------------------------------------------------------
+
+    def wait_for(self, ctx, reason: str) -> None:
+        """Park the current worker until its wait key is woken.
+
+        ``reason`` doubles as the wait key (the schedulers pass the object
+        id being locked), enabling targeted wakeups.
+        """
+        worker = self._current_worker()
+        if worker is None:  # pragma: no cover - schedulers only run workers
+            raise SimulationError(f"wait_for outside a worker: {reason}")
+        blocked_at = self.now
+        worker.wait_key = reason
+        self._yield_to_controller(worker, _BLOCKED)
+        worker.wait_key = None
+        ctx.stats.wait_ticks += self.now - blocked_at
+
+    def wake_all(self) -> None:
+        """Make every blocked worker runnable again (they re-check locks)."""
+        with self._cond:
+            for worker in self._workers:
+                if worker.state == _BLOCKED:
+                    worker.state = _READY
+
+    def wake_keys(self, keys) -> None:
+        """Wake only the workers whose wait key is in ``keys``."""
+        with self._cond:
+            for worker in self._workers:
+                if worker.state == _BLOCKED and worker.wait_key in keys:
+                    worker.state = _READY
+
+
+def run_sequential(
+    db: "ObjectDatabase", programs: list[TransactionProgram]
+) -> list[WorkerOutcome]:
+    """Run programs one after another on the current thread (no overlap).
+
+    Useful for building traces and golden baselines: a sequential run is a
+    serial schedule by construction.
+    """
+    outcomes = []
+    for program in programs:
+        outcome = WorkerOutcome(program=program, attempts=1)
+        ctx = db.begin(program.label)
+        api = ProgramAPI(db, ctx, None)
+        try:
+            program.body(api)
+            db.commit(ctx)
+            outcome.committed = True
+            outcome.final_ctx = ctx
+        except TransactionAborted:
+            db.abort(ctx)
+            outcome.aborted_ctxs.append(ctx)
+        outcomes.append(outcome)
+    return outcomes

@@ -1,0 +1,35 @@
+"""The paper's worked examples as reusable scenario constructors.
+
+Each module rebuilds one of the paper's hand-drawn figures as an executable
+transaction system; tests assert the paper's stated outcomes and the
+``benchmarks/`` harness prints the corresponding tables.
+
+- :mod:`repro.scenarios.specs` — the commutativity specifications of the
+  encyclopedia application (pages, leaves, B+ tree, items, linked list, Enc).
+- :mod:`repro.scenarios.example1` — Example 1 / Figure 4 (T1-T2 commuting
+  inserts, T3-T4 same-key conflict).
+- :mod:`repro.scenarios.example2` — Example 2 / Figure 5 (a transaction tree
+  with action sets and precedence).
+- :mod:`repro.scenarios.example3` — Example 3 / Figure 6 (the B-link split
+  call cycle and the Definition 5 extension).
+- :mod:`repro.scenarios.example4` — Example 4 / Figures 7-8 (four top-level
+  transactions and the per-object dependency table).
+"""
+
+from repro.scenarios.specs import encyclopedia_registry
+from repro.scenarios.example1 import (
+    scenario_commuting_inserts,
+    scenario_same_key_conflict,
+)
+from repro.scenarios.example2 import figure5_tree
+from repro.scenarios.example3 import blink_split_system
+from repro.scenarios.example4 import example4_system
+
+__all__ = [
+    "blink_split_system",
+    "encyclopedia_registry",
+    "example4_system",
+    "figure5_tree",
+    "scenario_commuting_inserts",
+    "scenario_same_key_conflict",
+]

@@ -1,0 +1,92 @@
+"""Example 1 / Figure 4: dependency inheritance on the B+ tree.
+
+Two scenarios, both starting from the same page-level interleaving
+(*"Assume, Page4712.write by T1 is executed before Page4712.read by T2"*):
+
+- :func:`scenario_commuting_inserts` — T1 inserts DBMS, T2 inserts DBS.
+  The keys are different, so the leaf-level inserts commute; the page-level
+  dependency is remembered only until the leaf subtransactions end and "can
+  be neglected at BpTree and at Enc" — oo-serializability imposes **no**
+  top-level ordering constraint, the conventional criterion imposes one.
+
+- :func:`scenario_same_key_conflict` — T3 inserts DBS, T4 searches DBS.
+  The actions access the same key, conflict at the leaf and at the tree, and
+  the dependency is inherited all the way to the top-level transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.actions import ActionNode
+from repro.core.commutativity import CommutativityRegistry
+from repro.core.transactions import TransactionSystem
+from repro.scenarios.specs import encyclopedia_registry
+
+
+@dataclass
+class Example1Scenario:
+    """A built Example 1 scenario, ready for analysis."""
+
+    system: TransactionSystem
+    registry: CommutativityRegistry
+    #: the two leaf-level subtransactions (the callers at Page4712)
+    leaf_actions: tuple[ActionNode, ActionNode]
+    description: str
+
+
+def _insert_path(txn, key: str) -> tuple[ActionNode, ActionNode, ActionNode]:
+    """T --> BpTree.insert(key) --> Leaf11.insert(key) --> Page4712 read+write."""
+    tree_action = txn.call("BpTree", "insert", (key,))
+    leaf_action = tree_action.call("Leaf11", "insert", (key,))
+    page_read = leaf_action.call("Page4712", "read")
+    page_write = leaf_action.call("Page4712", "write")
+    return leaf_action, page_read, page_write
+
+
+def _search_path(txn, key: str) -> tuple[ActionNode, ActionNode]:
+    """T --> BpTree.search(key) --> Leaf11.search(key) --> Page4712 read."""
+    tree_action = txn.call("BpTree", "search", (key,))
+    leaf_action = tree_action.call("Leaf11", "search", (key,))
+    page_read = leaf_action.call("Page4712", "read")
+    return leaf_action, page_read
+
+
+def scenario_commuting_inserts() -> Example1Scenario:
+    """T1 inserts DBMS, T2 inserts DBS; page ops interleave write-then-read."""
+    system = TransactionSystem()
+    t1 = system.transaction("T1")
+    leaf1, read1, write1 = _insert_path(t1, "DBMS")
+    t2 = system.transaction("T2")
+    leaf2, read2, write2 = _insert_path(t2, "DBS")
+    # Figure 4: T1's page write executes before T2's page read.
+    system.order_primitives([read1, write1, read2, write2])
+    return Example1Scenario(
+        system=system,
+        registry=encyclopedia_registry(),
+        leaf_actions=(leaf1, leaf2),
+        description=(
+            "T1 insert(DBMS), T2 insert(DBS): different keys commute at the "
+            "leaf; the Page4712 dependency stops there"
+        ),
+    )
+
+
+def scenario_same_key_conflict() -> Example1Scenario:
+    """T3 inserts DBS, T4 searches DBS; the same key conflicts at every level."""
+    system = TransactionSystem()
+    t3 = system.transaction("T3")
+    leaf3, read3, write3 = _insert_path(t3, "DBS")
+    t4 = system.transaction("T4")
+    leaf4, read4 = _search_path(t4, "DBS")
+    # Figure 4: T3's page write executes before T4's page read.
+    system.order_primitives([read3, write3, read4])
+    return Example1Scenario(
+        system=system,
+        registry=encyclopedia_registry(),
+        leaf_actions=(leaf3, leaf4),
+        description=(
+            "T3 insert(DBS), T4 search(DBS): the same key conflicts at the "
+            "leaf and the tree; the dependency reaches the top level"
+        ),
+    )

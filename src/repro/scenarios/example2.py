@@ -1,0 +1,67 @@
+"""Example 2 / Figure 5: the tree of an oo-transaction.
+
+The figure shows a transaction ``t1`` whose root action calls two actions
+``a_11`` (on O1) and ``a_12`` (on O2); ``a_11`` calls three further actions
+and ``a_12`` two, with the left-to-right order of arcs giving the precedence
+within each action set.  The leaves are the primitive actions.
+
+We rebuild the tree with the same shape so that tests can assert the
+Definition 2/3 structure: action sets, precedence, primitivity, and the
+conformity requirement of Definition 7 (``a_112`` must run before ``a_121``
+whenever an ancestor precedence demands it — here the branches are ordered
+``a_11`` before ``a_12``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.actions import ActionNode
+from repro.core.transactions import OOTransaction, TransactionSystem
+
+
+@dataclass
+class Figure5Tree:
+    system: TransactionSystem
+    transaction: OOTransaction
+    a11: ActionNode
+    a12: ActionNode
+    a111: ActionNode
+    a112: ActionNode
+    a113: ActionNode
+    a121: ActionNode
+    a122: ActionNode
+
+    @property
+    def leaves(self) -> list[ActionNode]:
+        return [self.a111, self.a112, self.a113, self.a121, self.a122]
+
+
+def figure5_tree(*, parallel_branches: bool = False) -> Figure5Tree:
+    """Build the Figure 5 transaction tree.
+
+    With ``parallel_branches=True`` the two subtrees under the root are left
+    unordered — two *processes* of one transaction in the sense of
+    Definition 9 — which is what Example 2's partial (not total) precedence
+    permits.
+    """
+    system = TransactionSystem()
+    t1 = system.transaction("t1")
+    a11 = t1.call("O1", "a11")
+    a12 = t1.call("O2", "a12", parallel=parallel_branches)
+    a111 = a11.call("P1", "a111")
+    a112 = a11.call("P2", "a112")
+    a113 = a11.call("P3", "a113")
+    a121 = a12.call("P4", "a121")
+    a122 = a12.call("P5", "a122")
+    return Figure5Tree(
+        system=system,
+        transaction=t1,
+        a11=a11,
+        a12=a12,
+        a111=a111,
+        a112=a112,
+        a113=a113,
+        a121=a121,
+        a122=a122,
+    )

@@ -1,0 +1,66 @@
+"""Example 3 / Figure 6: the B-link split call cycle and the extension.
+
+Section 2 (last bullet) describes the non-layered situation: an insert into a
+full leaf splits the leaf and then *rearranges the father node* — which the
+insert reached through that very node::
+
+    Node6.insert() --> Leaf11.insert() --> { Leaf12.insert(), Node6.rearrange() }
+
+``Node6.insert`` transitively calls ``Node6.rearrange`` and both access
+``Node6``: a call cycle.  Definition 5 breaks it by moving the deeper action
+(``rearrange``) to a virtual object ``Node6′`` and virtually duplicating
+every other action on ``Node6`` so that dependencies recorded at ``Node6′``
+are inherited back to ``Node6``.
+
+A second transaction T2 searching through ``Node6`` is included so the
+duplication is observable (Example 3 duplicates the bystander ``b_22``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.actions import ActionNode
+from repro.core.commutativity import CommutativityRegistry
+from repro.core.transactions import TransactionSystem
+from repro.scenarios.specs import encyclopedia_registry
+
+
+@dataclass
+class BlinkSplitScenario:
+    system: TransactionSystem
+    registry: CommutativityRegistry
+    node_insert: ActionNode  # Node6.insert (the "transaction" side of the cycle)
+    rearrange: ActionNode  # Node6.rearrange (the action moved to Node6')
+    bystander: ActionNode  # T2's Node6.search (gets a virtual duplicate)
+
+
+def blink_split_system(split_key: str = "DBS", probe_key: str = "XML") -> BlinkSplitScenario:
+    """Build the Figure 6 system (unextended; callers apply Definition 5)."""
+    system = TransactionSystem()
+
+    t1 = system.transaction("T1")
+    tree_insert = t1.call("BpTree", "insert", (split_key,))
+    node_insert = tree_insert.call("Node6", "insert", (split_key,))
+    leaf_insert = node_insert.call("Leaf11", "insert", (split_key,))
+    leaf_insert.call("Page4712", "read")
+    leaf_insert.call("Page4712", "write")
+    # The leaf is full: split into Leaf12, then rearrange the father.
+    new_leaf = leaf_insert.call("Leaf12", "insert", (split_key,))
+    new_leaf.call("Page4713", "write")
+    rearrange = leaf_insert.call("Node6", "rearrange", (split_key,))
+    rearrange.call("Page4710", "read")
+    rearrange.call("Page4710", "write")
+
+    t2 = system.transaction("T2")
+    tree_search = t2.call("BpTree", "search", (probe_key,))
+    bystander = tree_search.call("Node6", "search", (probe_key,))
+    bystander.call("Page4710", "read")
+
+    return BlinkSplitScenario(
+        system=system,
+        registry=encyclopedia_registry(),
+        node_insert=node_insert,
+        rearrange=rearrange,
+        bystander=bystander,
+    )

@@ -1,0 +1,167 @@
+"""Example 4 / Figures 7-8: four top-level transactions on the encyclopedia.
+
+The paper's final example combines Example 1 with item-level accesses:
+
+- **T1** inserts the item *DBMS*: index insert through ``BpTree``/``Leaf11``
+  down to ``Page4712``, list insert on ``LinkedList``, and the initial write
+  of ``Item8``.
+- **T2** inserts the item *DBS* the same way (creating ``Item9``) **and then
+  changes the previously inserted item DBMS** (``Item8``), reaching it via an
+  index search.
+- **T3** searches for *DBS* through the index.
+- **T4** reads the items sequentially (``readSeq`` through ``LinkedList``).
+
+Figure 8 tabulates, per object, the dependencies the analysis must produce;
+``figure8_rows`` renders our computed equivalent.  The page-level
+interleaving follows Example 1 (T1's write before T2's read, T2's write
+before T3's read) and T4 scans after T1's item write but before T2's change,
+so the sequential read observes a consistent snapshot ordered between them.
+
+Noteworthy (Section 5): at ``Item8`` the three callers are actions on *two
+different* objects (``Enc`` for T1/T2, ``LinkedList`` for T4), so part of the
+dependency information can only be recorded in the **added** action
+dependency relations of Definition 15 — this is the example the paper uses
+to motivate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.actions import ActionNode
+from repro.core.commutativity import CommutativityRegistry
+from repro.core.schedule import ObjectSchedule
+from repro.core.transactions import TransactionSystem
+from repro.scenarios.specs import encyclopedia_registry
+
+
+@dataclass
+class Example4System:
+    system: TransactionSystem
+    registry: CommutativityRegistry
+    #: named actions useful for assertions, keyed by a short handle
+    named: dict[str, ActionNode] = field(default_factory=dict)
+
+
+def example4_system(*, anomalous: bool = False) -> Example4System:
+    """Build the Figures 7-8 transaction system (unextended, unanalyzed).
+
+    With ``anomalous=True`` the interleaving lets T4's sequential read scan
+    the list *after* T2's insert but read ``Item8`` *before* T2's change —
+    the cross-object anomaly discussed in DESIGN.md, which the literal
+    Definition 15/16 reading misses and the cross-object closure rejects.
+    The default interleaving is consistent (T4 scans after T2's change) and
+    oo-serializable, matching the figures.
+    """
+    system = TransactionSystem()
+    named: dict[str, ActionNode] = {}
+
+    # -- T1: insert item DBMS -------------------------------------------------
+    t1 = system.transaction("T1")
+    enc_ins1 = t1.call("Enc", "insertItem", ("DBMS",))
+    named["T1.Enc.insertItem"] = enc_ins1
+    tree_ins1 = enc_ins1.call("BpTree", "insert", ("DBMS",))
+    leaf_ins1 = tree_ins1.call("Leaf11", "insert", ("DBMS",))
+    named["T1.Leaf11.insert"] = leaf_ins1
+    p1r = leaf_ins1.call("Page4712", "read")
+    p1w = leaf_ins1.call("Page4712", "write")
+    list_ins1 = enc_ins1.call("LinkedList", "insert", ("DBMS",))
+    named["T1.LinkedList.insert"] = list_ins1
+    lp1r = list_ins1.call("Page4801", "read")
+    lp1w = list_ins1.call("Page4801", "write")
+    item_w1 = enc_ins1.call("Item8", "write", ("DBMS",))
+    named["T1.Item8.write"] = item_w1
+    ip1w = item_w1.call("Page4901", "write")
+
+    # -- T2: insert item DBS, then change item DBMS ---------------------------
+    t2 = system.transaction("T2")
+    enc_ins2 = t2.call("Enc", "insertItem", ("DBS",))
+    named["T2.Enc.insertItem"] = enc_ins2
+    tree_ins2 = enc_ins2.call("BpTree", "insert", ("DBS",))
+    leaf_ins2 = tree_ins2.call("Leaf11", "insert", ("DBS",))
+    named["T2.Leaf11.insert"] = leaf_ins2
+    p2r = leaf_ins2.call("Page4712", "read")
+    p2w = leaf_ins2.call("Page4712", "write")
+    list_ins2 = enc_ins2.call("LinkedList", "insert", ("DBS",))
+    lp2r = list_ins2.call("Page4801", "read")
+    lp2w = list_ins2.call("Page4801", "write")
+    item_w2 = enc_ins2.call("Item9", "write", ("DBS",))
+    ip2w = item_w2.call("Page4902", "write")
+
+    enc_chg2 = t2.call("Enc", "changeItem", ("DBMS",))
+    named["T2.Enc.changeItem"] = enc_chg2
+    tree_srch2 = enc_chg2.call("BpTree", "search", ("DBMS",))
+    leaf_srch2 = tree_srch2.call("Leaf11", "search", ("DBMS",))
+    named["T2.Leaf11.search"] = leaf_srch2
+    p2r2 = leaf_srch2.call("Page4712", "read")
+    item_c2 = enc_chg2.call("Item8", "change", ("DBMS",))
+    named["T2.Item8.change"] = item_c2
+    ip1r2 = item_c2.call("Page4901", "read")
+    ip1w2 = item_c2.call("Page4901", "write")
+
+    # -- T3: search DBS --------------------------------------------------------
+    t3 = system.transaction("T3")
+    enc_srch3 = t3.call("Enc", "search", ("DBS",))
+    tree_srch3 = enc_srch3.call("BpTree", "search", ("DBS",))
+    leaf_srch3 = tree_srch3.call("Leaf11", "search", ("DBS",))
+    named["T3.Leaf11.search"] = leaf_srch3
+    p3r = leaf_srch3.call("Page4712", "read")
+
+    # -- T4: read the items sequentially ---------------------------------------
+    t4 = system.transaction("T4")
+    enc_seq4 = t4.call("Enc", "readSeq")
+    named["T4.Enc.readSeq"] = enc_seq4
+    list_seq4 = enc_seq4.call("LinkedList", "readSeq")
+    named["T4.LinkedList.readSeq"] = list_seq4
+    lp4r = list_seq4.call("Page4801", "read")
+    item_r4 = list_seq4.call("Item8", "read")
+    named["T4.Item8.read"] = item_r4
+    ip4r = item_r4.call("Page4901", "read")
+
+    # -- the interleaving -------------------------------------------------------
+    # Index page: T1 write < T2 read (Example 1), T2 write < T3 read.
+    # List page: T1 < T2 < T4.  Item8's page: T1 write < T2 change < T4 read
+    # in the consistent variant; the anomalous variant lets T4 read Item8
+    # *before* T2's change while scanning the list *after* T2's insert.
+    prefix = [
+        p1r, p1w,  # T1 on Page4712
+        lp1r, lp1w,  # T1 on Page4801
+        ip1w,  # T1 writes Item8's page
+        p2r, p2w,  # T2 insert on Page4712
+        lp2r, lp2w,  # T2 on Page4801
+        ip2w,  # T2 writes Item9's page
+        p3r,  # T3 reads Page4712
+    ]
+    if anomalous:
+        suffix = [lp4r, ip4r, p2r2, ip1r2, ip1w2]
+    else:
+        suffix = [p2r2, ip1r2, ip1w2, lp4r, ip4r]
+    system.order_primitives(prefix + suffix)
+
+    return Example4System(system=system, registry=encyclopedia_registry(), named=named)
+
+
+def figure8_rows(schedules: dict[str, ObjectSchedule]) -> list[tuple[str, str]]:
+    """Render the Figure 8 table: object -> its schedule dependencies.
+
+    Each row lists the transaction dependencies recorded at the object
+    (Figure 8's "schedule dependencies" column) followed by the added
+    dependencies of Definition 15, marked ``[added]``.
+    """
+    rows: list[tuple[str, str]] = []
+    for oid in sorted(schedules):
+        sched = schedules[oid]
+        entries = [
+            f"{src.label} -> {dst.label}"
+            for src, dst in sorted(
+                sched.txn_dep.edges, key=lambda e: (e[0].aid, e[1].aid)
+            )
+        ]
+        entries.extend(
+            f"{src.label} -> {dst.label} [added]"
+            for src, dst in sorted(
+                sched.added_dep.edges, key=lambda e: (e[0].aid, e[1].aid)
+            )
+        )
+        rows.append((oid, "; ".join(entries) if entries else "(none)"))
+    return rows

@@ -1,0 +1,87 @@
+"""Small, fully enumerable transaction sets for the schedule-space census.
+
+Where does oo-serializability admit *more* schedules?  Not by relaxing
+per-object atomicity — two leaf inserts racing on one page stay forbidden —
+but by dropping the requirement of one *global* page-level order: when the
+callers commute, different objects may serialize the transactions in
+different orders.  The minimal witness needs two transactions crossing two
+pages:
+
+- ``two_leaf_commuting``: T1 inserts key *a* into leaf L1 then key *c* into
+  leaf L2; T2 inserts *d* into L2 then *b* into L1.  All keys differ, so
+  every leaf-level pair commutes: any schedule whose page accesses are
+  atomic per insert is oo-serializable, even when P1 orders T1 before T2
+  and P2 orders T2 before T1 — which the conventional criterion rejects.
+
+- ``two_leaf_same_key``: the same shape, but T2 touches the *same* keys as
+  T1 — leaf-level conflicts make the two criteria coincide.
+"""
+
+from __future__ import annotations
+
+from repro.core.commutativity import CommutativityRegistry
+from repro.core.transactions import TransactionSystem
+from repro.scenarios.specs import encyclopedia_registry
+
+
+def _two_leaf_system(
+    keys_t1: tuple[str, str], keys_t2: tuple[str, str]
+) -> tuple[TransactionSystem, CommutativityRegistry]:
+    system = TransactionSystem()
+    t1 = system.transaction("T1")
+    first = t1.call("BpTree", "insert", (keys_t1[0],))
+    leaf_a = first.call("Leaf11", "insert", (keys_t1[0],))
+    leaf_a.call("Page4712", "write")
+    second = t1.call("BpTree", "insert", (keys_t1[1],))
+    leaf_c = second.call("Leaf12", "insert", (keys_t1[1],))
+    leaf_c.call("Page4713", "write")
+
+    t2 = system.transaction("T2")
+    third = t2.call("BpTree", "insert", (keys_t2[1],))
+    leaf_d = third.call("Leaf12", "insert", (keys_t2[1],))
+    leaf_d.call("Page4713", "write")
+    fourth = t2.call("BpTree", "insert", (keys_t2[0],))
+    leaf_b = fourth.call("Leaf11", "insert", (keys_t2[0],))
+    leaf_b.call("Page4712", "write")
+    return system, encyclopedia_registry()
+
+
+def two_leaf_commuting() -> tuple[TransactionSystem, CommutativityRegistry]:
+    """Distinct keys everywhere: the oo-only class is non-empty."""
+    return _two_leaf_system(("a", "c"), ("b", "d"))
+
+
+def two_leaf_same_key() -> tuple[TransactionSystem, CommutativityRegistry]:
+    """T2 reuses T1's keys: semantic conflicts everywhere."""
+    return _two_leaf_system(("a", "c"), ("a", "c"))
+
+
+def three_txn_ring() -> tuple[TransactionSystem, CommutativityRegistry]:
+    """Three transactions crossing three leaves in a ring (T1: L1,L2;
+    T2: L2,L3; T3: L3,L1), all keys distinct — the schedule space is 90
+    interleavings and the conventional criterion rejects every ring-ordered
+    one."""
+    system = TransactionSystem()
+    ring = (("Leaf11", "Page4712"), ("Leaf12", "Page4713"), ("Leaf13", "Page4714"))
+    for index in range(3):
+        txn = system.transaction(f"T{index + 1}")
+        for step in range(2):
+            leaf, page = ring[(index + step) % 3]
+            key = f"k{index}{step}"
+            tree = txn.call("BpTree", "insert", (key,))
+            leaf_action = tree.call(leaf, "insert", (key,))
+            leaf_action.call(page, "write")
+    return system, encyclopedia_registry()
+
+
+def single_leaf_commuting() -> tuple[TransactionSystem, CommutativityRegistry]:
+    """Example 1's shape (one page): the criteria coincide — atomicity of
+    the leaf subtransactions is *not* relaxed by oo-serializability."""
+    system = TransactionSystem()
+    for label, key in (("T1", "DBMS"), ("T2", "DBS")):
+        txn = system.transaction(label)
+        tree = txn.call("BpTree", "insert", (key,))
+        leaf = tree.call("Leaf11", "insert", (key,))
+        leaf.call("Page4712", "read")
+        leaf.call("Page4712", "write")
+    return system, encyclopedia_registry()

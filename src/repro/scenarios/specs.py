@@ -1,0 +1,105 @@
+"""Commutativity specifications of the encyclopedia application (Figure 2).
+
+The encyclopedia ``Enc`` consists of a ``LinkedList`` of items indexed by a
+``BpTree``; keys live on pages (Figure 2).  The specifications below encode
+the semantics the paper uses in Examples 1 and 4:
+
+- **Pages** have classical read/write semantics — only reads commute.
+- **Leaves, nodes and the B+ tree** have key-based semantics: operations on
+  *different* keys commute, operations touching the *same* key conflict
+  unless both are searches.  "Every node ... contains many keys (roughly up
+  to 500).  Operations on these keys will often conflict at the page level
+  but commute at the node level."
+- **Items** are read/changed as a whole: read/read commutes, anything
+  involving a change conflicts.
+- **LinkedList**: inserting two items commutes (the encyclopedia is a keyed
+  collection; physical list order is not observable through the API), but an
+  insert does not commute with a sequential read of all items (the phantom).
+- **Enc** inherits the key-based semantics for keyed operations and treats
+  ``readSeq`` as conflicting with every update.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Invocation
+from repro.core.commutativity import (
+    CommutativityRegistry,
+    MatrixCommutativity,
+    ReadWriteCommutativity,
+)
+
+
+def _different_first_arg(a: Invocation, b: Invocation) -> bool:
+    """Operations addressing different keys commute."""
+    return bool(a.args) and bool(b.args) and a.args[0] != b.args[0]
+
+
+def key_based_spec() -> MatrixCommutativity:
+    """The semantics of keyed containers (B+ tree, nodes, leaves, Enc).
+
+    ``insert``/``delete``/``change`` on different keys commute; ``search`` on
+    a key commutes with updates of other keys; two searches always commute.
+    """
+    updates = ("insert", "delete", "change")
+    matrix: dict[tuple[str, str], object] = {("search", "search"): True}
+    for update in updates:
+        matrix[(update, "search")] = _different_first_arg
+        for other in updates:
+            matrix[(update, other)] = _different_first_arg
+    return MatrixCommutativity(matrix)  # type: ignore[arg-type]
+
+
+def enc_spec() -> MatrixCommutativity:
+    """The encyclopedia object: keyed operations plus the sequential read."""
+    matrix: dict[tuple[str, str], object] = {
+        ("search", "search"): True,
+        ("readSeq", "readSeq"): True,
+        ("readSeq", "search"): True,
+    }
+    for update in ("insertItem", "deleteItem", "changeItem"):
+        matrix[(update, "search")] = _different_first_arg
+        matrix[(update, "readSeq")] = False  # phantom: update vs full scan
+        for other in ("insertItem", "deleteItem", "changeItem"):
+            matrix[(update, other)] = _different_first_arg
+    return MatrixCommutativity(matrix)  # type: ignore[arg-type]
+
+
+def linked_list_spec() -> MatrixCommutativity:
+    """The item list: inserts commute with each other, not with readSeq."""
+    return MatrixCommutativity(
+        {
+            ("insert", "insert"): True,
+            ("insert", "readSeq"): False,
+            ("insert", "remove"): _different_first_arg,  # type: ignore[dict-item]
+            ("readSeq", "readSeq"): True,
+            ("readSeq", "remove"): False,
+            ("remove", "remove"): _different_first_arg,  # type: ignore[dict-item]
+        }
+    )
+
+
+def item_spec() -> MatrixCommutativity:
+    """Encyclopedia items: whole-object read/change semantics."""
+    return MatrixCommutativity(
+        {
+            ("read", "read"): True,
+            ("change", "read"): False,
+            ("change", "change"): False,
+            ("read", "write"): False,
+            ("change", "write"): False,
+            ("write", "write"): False,
+        }
+    )
+
+
+def encyclopedia_registry() -> CommutativityRegistry:
+    """The full registry for the encyclopedia application of Figure 2."""
+    registry = CommutativityRegistry()
+    registry.register_prefix("Page", ReadWriteCommutativity())
+    registry.register_prefix("Leaf", key_based_spec())
+    registry.register_prefix("Node", key_based_spec())
+    registry.register("BpTree", key_based_spec())
+    registry.register_prefix("Item", item_spec())
+    registry.register("LinkedList", linked_list_spec())
+    registry.register("Enc", enc_spec())
+    return registry

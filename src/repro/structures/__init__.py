@@ -1,0 +1,47 @@
+"""The paper's example application objects (Figure 2 and Section 2).
+
+Everything is built from :class:`~repro.oodb.object_model.DatabaseObject`
+types with explicit commutativity specifications:
+
+- :mod:`repro.structures.item` — encyclopedia items (whole-object
+  read/change semantics);
+- :mod:`repro.structures.linked_list` — the item list with sequential read;
+- :mod:`repro.structures.bptree` — a B+ tree over pages with key-based
+  commutativity and an optional B-link split mode that reproduces the
+  paper's ``Node.insert -> ... -> Node.rearrange`` call cycle (Example 3);
+- :mod:`repro.structures.encyclopedia` — ``Enc`` wiring index and list
+  (Figure 2), plus :func:`build_encyclopedia`;
+- :mod:`repro.structures.account` — escrow accounts (the financial example
+  of Figure 1);
+- :mod:`repro.structures.document` — sectioned documents (the cooperative
+  editing motivation of Section 1);
+- :mod:`repro.structures.adts` — Weihl-style abstract data types (counter,
+  queue, directory, key set) cited in Section 2.
+"""
+
+from repro.structures.account import Account
+from repro.structures.adts import Counter, Directory, FIFOQueue, KeySet
+from repro.structures.bptree import BPlusTree, TreeLeaf, TreeNode, build_bptree
+from repro.structures.document import Document, Section, build_document
+from repro.structures.encyclopedia import Encyclopedia, build_encyclopedia
+from repro.structures.item import Item
+from repro.structures.linked_list import LinkedList
+
+__all__ = [
+    "Account",
+    "BPlusTree",
+    "Counter",
+    "Directory",
+    "Document",
+    "Encyclopedia",
+    "FIFOQueue",
+    "Item",
+    "KeySet",
+    "LinkedList",
+    "Section",
+    "TreeLeaf",
+    "TreeNode",
+    "build_bptree",
+    "build_document",
+    "build_encyclopedia",
+]

@@ -1,0 +1,68 @@
+"""Escrow accounts — the financial-market example of Figure 1.
+
+``deposit`` and ``withdraw`` commute under the escrow method (the paper's
+refs [9, 14, 17]): the commutativity definition includes parameter values
+and the object's state snapshot, so two withdrawals commute exactly when
+both orders stay within the balance bounds.  ``balance`` observes the value
+and conflicts with updates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.core.commutativity import CommutativitySpec, EscrowCommutativity
+from repro.errors import DatabaseError
+from repro.oodb.method import dbmethod
+from repro.oodb.object_model import DatabaseObject
+
+
+class Account(DatabaseObject):
+    """A bank account with escrow commutativity.
+
+    ``low=0`` forbids overdrafts at the *commutativity* level; the methods
+    themselves also enforce it so that serial semantics match.
+    """
+
+    commutativity: ClassVar[CommutativitySpec] = EscrowCommutativity(
+        increment="deposit", decrement="withdraw", read="balance", low=0.0
+    )
+
+    def setup(self, initial: float = 0.0, owner: str = "") -> None:
+        if initial < 0:
+            raise DatabaseError("initial balance must be non-negative")
+        self.data["balance"] = float(initial)
+        self.data["owner"] = owner
+
+    def state_snapshot(self) -> Any:
+        """The current balance, fed into the escrow commutativity test.
+
+        Read directly from the page (no trace/lock): this is scheduler
+        metadata, not an application access.
+        """
+        return self._db.store.get(self.page_id).read("balance")
+
+    @dbmethod(update=True, compensation="withdraw")
+    def deposit(self, amount: float) -> float:
+        if amount < 0:
+            raise DatabaseError("deposit amount must be non-negative")
+        balance = self.data["balance"] + amount
+        self.data["balance"] = balance
+        return balance
+
+    @dbmethod(update=True, compensation="deposit")
+    def withdraw(self, amount: float) -> float:
+        if amount < 0:
+            raise DatabaseError("withdrawal amount must be non-negative")
+        balance = self.data["balance"]
+        if balance < amount:
+            raise DatabaseError(
+                f"insufficient funds on {self.oid}: {balance} < {amount}"
+            )
+        balance -= amount
+        self.data["balance"] = balance
+        return balance
+
+    @dbmethod
+    def balance(self) -> float:
+        return self.data["balance"]

@@ -1,0 +1,244 @@
+"""Weihl-style abstract data types (Section 2's refs [18, 22]).
+
+Weihl, and Spector & Schwarz, "explained how to get commuting operations on
+complex abstract data types (e.g., queues or directories)".  These four
+types are the classical examples, each with its published commutativity:
+
+- :class:`Counter` — increments commute with increments, decrements with
+  decrements; reads conflict with updates (escrow without bounds).
+- :class:`FIFOQueue` — two enqueues commute *as observed through dequeue
+  order only up to element identity*; we use the standard weak
+  specification: enq/enq commute, deq/deq conflict, enq/deq commute while
+  the queue is non-empty (state-dependent).
+- :class:`Directory` — insert/delete/lookup commute on different keys.
+- :class:`KeySet` — add/remove/contains commute on different elements;
+  ``add`` of an element already present commutes with anything on that
+  element only through the state-independent key rule (kept simple here).
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.core.actions import Invocation
+from repro.core.commutativity import (
+    CommutativitySpec,
+    EscrowCommutativity,
+    MatrixCommutativity,
+    PredicateCommutativity,
+)
+from repro.errors import DatabaseError
+from repro.oodb.method import dbmethod
+from repro.oodb.object_model import DatabaseObject
+
+
+class Counter(DatabaseObject):
+    """An unbounded counter with escrow-style commutativity."""
+
+    commutativity: ClassVar[CommutativitySpec] = EscrowCommutativity(
+        increment="increment", decrement="decrement", read="value",
+        low=None, high=None,
+    )
+
+    def setup(self, initial: int = 0) -> None:
+        self.data["value"] = initial
+
+    @dbmethod(update=True, compensation="decrement")
+    def increment(self, amount: int = 1) -> int:
+        value = self.data["value"] + amount
+        self.data["value"] = value
+        return value
+
+    @dbmethod(update=True, compensation="increment")
+    def decrement(self, amount: int = 1) -> int:
+        value = self.data["value"] - amount
+        self.data["value"] = value
+        return value
+
+    @dbmethod
+    def value(self) -> int:
+        return self.data["value"]
+
+
+def _queue_commutativity(first: Invocation, second: Invocation) -> bool:
+    methods = {first.method, second.method}
+    if methods == {"enqueue"}:
+        return True
+    if methods == {"dequeue"}:
+        return False
+    if methods == {"enqueue", "dequeue"}:
+        # state-dependent: commute while the queue is non-empty (the
+        # dequeue's result cannot depend on the concurrent enqueue)
+        state = first.state if first.state is not None else second.state
+        return state is not None and state > 0
+    if methods == {"size"} or methods == {"size", "enqueue"}:
+        return methods == {"size"}
+    return False
+
+
+class FIFOQueue(DatabaseObject):
+    """A FIFO queue with the weak enq/enq-commuting specification."""
+
+    commutativity: ClassVar[CommutativitySpec] = PredicateCommutativity(
+        _queue_commutativity, description="Weihl queue"
+    )
+
+    def setup(self) -> None:
+        self.data["__head"] = 0
+        self.data["__tail"] = 0
+
+    def state_snapshot(self) -> Any:
+        page = self._db.store.get(self.page_id)
+        return page.read("__tail", 0) - page.read("__head", 0)
+
+    @dbmethod(update=True, compensation=lambda args, result: ("unenqueue", ()))
+    def enqueue(self, value: Any) -> int:
+        tail = self.data["__tail"]
+        self.data[("q", tail)] = value
+        self.data["__tail"] = tail + 1
+        return tail
+
+    @dbmethod(update=True)
+    def unenqueue(self) -> Any:
+        """Compensation for ``enqueue``: drop the newest element."""
+        tail = self.data["__tail"]
+        if tail == self.data["__head"]:
+            return None
+        tail -= 1
+        value = self.data.get(("q", tail))
+        del self.data[("q", tail)]
+        self.data["__tail"] = tail
+        return value
+
+    @dbmethod(update=True)
+    def dequeue(self) -> Any:
+        """Remove and return the oldest element (no compensation: a dequeue
+        cannot be semantically undone once observed, so its undo stays
+        page-level and its locks are held to commit)."""
+        head = self.data["__head"]
+        if head == self.data["__tail"]:
+            raise DatabaseError(f"queue {self.oid} is empty")
+        value = self.data[("q", head)]
+        del self.data[("q", head)]
+        self.data["__head"] = head + 1
+        return value
+
+    @dbmethod
+    def size(self) -> int:
+        return self.data["__tail"] - self.data["__head"]
+
+
+def _keyed_matrix() -> MatrixCommutativity:
+    def different_key(a: Invocation, b: Invocation) -> bool:
+        return bool(a.args) and bool(b.args) and a.args[0] != b.args[0]
+
+    return MatrixCommutativity(
+        {
+            ("insert", "insert"): different_key,
+            ("insert", "lookup"): different_key,
+            ("delete", "insert"): different_key,
+            ("delete", "lookup"): different_key,
+            ("delete", "delete"): different_key,
+            ("lookup", "lookup"): True,
+        }
+    )
+
+
+class Directory(DatabaseObject):
+    """A keyed directory (Spector & Schwarz's standard example)."""
+
+    commutativity: ClassVar[CommutativitySpec] = _keyed_matrix()
+
+    def setup(self) -> None:
+        pass
+
+    @dbmethod(
+        update=True,
+        compensation=lambda args, result: (
+            ("insert", (args[0], result)) if result is not None else ("delete", (args[0],))
+        ),
+    )
+    def insert(self, key: Any, value: Any) -> Any:
+        """Bind key -> value; returns the previous binding (or None)."""
+        old = self.data.get(("d", key))
+        self.data[("d", key)] = value
+        return old
+
+    @dbmethod(
+        update=True,
+        compensation=lambda args, result: (
+            ("insert", (args[0], result)) if result is not None else None
+        ),
+    )
+    def delete(self, key: Any) -> Any:
+        old = self.data.get(("d", key))
+        if old is not None:
+            del self.data[("d", key)]
+        return old
+
+    @dbmethod
+    def lookup(self, key: Any) -> Any:
+        return self.data.get(("d", key))
+
+
+def _set_matrix() -> MatrixCommutativity:
+    def different_element(a: Invocation, b: Invocation) -> bool:
+        return bool(a.args) and bool(b.args) and a.args[0] != b.args[0]
+
+    return MatrixCommutativity(
+        {
+            ("add", "add"): different_element,
+            ("add", "contains"): different_element,
+            ("add", "remove"): different_element,
+            ("contains", "contains"): True,
+            ("contains", "remove"): different_element,
+            ("remove", "remove"): different_element,
+            ("members", "contains"): True,
+            ("members", "members"): True,
+            ("add", "members"): False,
+            ("members", "remove"): False,
+        }
+    )
+
+
+class KeySet(DatabaseObject):
+    """A set of elements with per-element commutativity."""
+
+    commutativity: ClassVar[CommutativitySpec] = _set_matrix()
+
+    def setup(self, elements: tuple = ()) -> None:
+        for element in elements:
+            self.data[("e", element)] = True
+
+    @dbmethod(
+        update=True,
+        compensation=lambda args, result: (
+            ("remove", (args[0],)) if result else None
+        ),
+    )
+    def add(self, element: Any) -> bool:
+        """Add; returns True iff the element was new."""
+        if ("e", element) in self.data:
+            return False
+        self.data[("e", element)] = True
+        return True
+
+    @dbmethod(
+        update=True,
+        compensation=lambda args, result: (
+            ("add", (args[0],)) if result else None
+        ),
+    )
+    def remove(self, element: Any) -> bool:
+        if ("e", element) not in self.data:
+            return False
+        del self.data[("e", element)]
+        return True
+
+    @dbmethod
+    def contains(self, element: Any) -> bool:
+        return ("e", element) in self.data
+
+    @dbmethod
+    def members(self) -> list:
+        return sorted(k[1] for k in self.data.keys() if isinstance(k, tuple))

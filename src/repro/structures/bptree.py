@@ -1,0 +1,465 @@
+"""A B+ tree over pages with key-based commutativity (Examples 1 and 3).
+
+Structure (Figure 2): a ``BPlusTree`` object delegates to a tree of
+``TreeNode`` objects over ``TreeLeaf`` objects; every node/leaf owns one
+page, whose slot capacity (the *order*) is the "keys per page" knob behind
+the paper's observation that operations "often conflict at the page level
+but commute at the node level".
+
+Two split-propagation modes:
+
+- **recursive** (default): a child's ``insert`` returns split information
+  and the calling node applies it — a strictly layered call structure;
+- **B-link** (``blink=True``): after splitting, the child itself sends
+  ``rearrange`` to its *father* (Section 2: "the rearrangement of the
+  father(s) may be implemented as a single subtransaction, called from the
+  insert subtransaction").  Since the father also lies on the insert's call
+  path, this produces the call cycle of Example 3 that the Definition 5
+  extension must break.
+
+Deletion removes keys without rebalancing (underflown pages persist) — a
+simplification documented in DESIGN.md; it does not affect any experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.core.actions import Invocation
+from repro.core.commutativity import CommutativitySpec, MatrixCommutativity
+from repro.errors import DatabaseError
+from repro.oodb.database import ObjectDatabase
+from repro.oodb.method import dbmethod
+from repro.oodb.object_model import DatabaseObject
+
+#: slots reserved on every node/leaf page for metadata (__next, __parent, ...)
+_META_SLOTS = 8
+
+
+def page_capacity_for(order: int) -> int:
+    """Page slots for a node/leaf of the given order: the keys, one
+    transient overflow slot (the key is written before the split runs), and
+    the metadata slots."""
+    return order + 1 + _META_SLOTS
+
+
+def _different_key(a: Invocation, b: Invocation) -> bool:
+    return bool(a.args) and bool(b.args) and a.args[0] != b.args[0]
+
+
+def keyed_node_commutativity() -> MatrixCommutativity:
+    """Key-based semantics for tree, node and leaf objects.
+
+    Operations on different keys commute; same-key pairs conflict unless
+    both are searches.  Structural operations (``rearrange``, splits) and
+    whole-object scans are conservative: they conflict with updates.
+    """
+    matrix: dict[tuple[str, str], Any] = {
+        ("search", "search"): True,
+        ("find_leaf", "find_leaf"): True,
+        ("find_leaf", "search"): True,
+        ("scan", "scan"): True,
+        ("scan", "search"): True,
+        ("range", "search"): True,
+        ("range", "range"): True,
+    }
+    for update in ("insert", "delete"):
+        matrix[(update, "search")] = _different_key
+        matrix[(update, "find_leaf")] = _different_key
+        matrix[("insert", "delete")] = _different_key
+        matrix[(update, update)] = _different_key
+        matrix[(update, "scan")] = False
+        # a range scan conflicts with an update iff the key falls inside
+        matrix[(update, "range")] = (
+            lambda a, b: not (b.args[0] <= a.args[0] <= b.args[1])
+        )
+    # the structural no-op (compensation target) commutes with everything
+    for other in (
+        "insert", "delete", "search", "find_leaf", "scan", "range",
+        "rearrange", "set_parent", "structural_noop", "create", "key_count",
+        "height", "set_blink",
+    ):
+        matrix[("structural_noop", other)] = True
+    return MatrixCommutativity(matrix)
+
+
+def _insert_compensation(args: tuple, result: Any) -> tuple[str, tuple] | None:
+    """Compensate an insert: delete a fresh key, restore a replaced value."""
+    key = args[0]
+    if isinstance(result, dict) and result.get("replaced") is not None:
+        return ("insert", (key, result["replaced"]))
+    return ("delete", (key,))
+
+
+def _delete_compensation(args: tuple, result: Any) -> tuple[str, tuple] | None:
+    """Compensate a delete by re-inserting the removed value (if any)."""
+    if result is None:
+        return None
+    return ("insert", (args[0], result))
+
+
+class TreeLeaf(DatabaseObject):
+    """A leaf: sorted keys with values, one page, chained via ``__next``."""
+
+    commutativity: ClassVar[CommutativitySpec] = keyed_node_commutativity()
+
+    def setup(
+        self,
+        order: int,
+        items: tuple = (),
+        next_oid: str | None = None,
+        parent: str | None = None,
+        blink: bool = False,
+        high=None,
+    ) -> None:
+        self.data["__order"] = order
+        self.data["__next"] = next_oid
+        self.data["__parent"] = parent
+        self.data["__blink"] = blink
+        self.data["__high"] = high
+        for key, value in items:
+            self.data[("k", key)] = value
+
+    # -- helpers (run inside method frames) ---------------------------------
+
+    def _keys(self) -> list:
+        return sorted(k[1] for k in self.data.keys() if isinstance(k, tuple))
+
+    def _order(self) -> int:
+        return self.data["__order"]
+
+    # -- methods ----------------------------------------------------------------
+
+    def _covers(self, key) -> bool:
+        """B-link check: does this leaf's key range still cover ``key``?
+
+        After a split, keys at or above the separator (``__high``) live in
+        the right sibling; consistency is preserved by following the link —
+        even while the father does not yet (or, after a partial rollback,
+        no longer) knows about the new leaf.
+        """
+        high = self.data.get("__high")
+        return high is None or key < high
+
+    @dbmethod(update=True, compensation=_insert_compensation)
+    def insert(self, key, value, parent_oid: str | None = None) -> dict:
+        """Insert or overwrite; splits when the leaf is full.
+
+        Returns ``{"replaced": old_or_None, "split": (sep, oid) | None}``;
+        in B-link mode the split is handled here (the leaf rearranges its
+        father) and reported as ``None`` to the caller.
+        """
+        if not self._covers(key):
+            return self.call(self.data["__next"], "insert", key, value)
+        slot = ("k", key)
+        replaced = self.data.get(slot)
+        self.data[slot] = value
+        split = None
+        keys = self._keys()
+        if replaced is None and len(keys) > self._order():
+            split = self._split(keys)
+        if split is not None and self._blink_mode():
+            # B-link mode: the new leaf is already reachable via __next;
+            # the father is told only after this subtransaction commits
+            # (and its page locks are released) — Lehman-Yao early release.
+            return {"replaced": replaced, "split": None, "pending_rearrange": split}
+        return {"replaced": replaced, "split": split}
+
+    def _split(self, keys: list) -> tuple | None:
+        """Move the upper half into a fresh leaf; B-link via ``__next``."""
+        mid = len(keys) // 2
+        moved = keys[mid:]
+        items = tuple((key, self.data[("k", key)]) for key in moved)
+        parent = self.data["__parent"]
+        new_oid = self.db_create(
+            TreeLeaf,
+            self._order(),
+            items,
+            self.data["__next"],
+            parent,
+            self._blink_mode(),
+            self.data.get("__high"),  # the new leaf inherits the old bound
+            page_capacity=page_capacity_for(self._order()),
+        )
+        for key in moved:
+            del self.data[("k", key)]
+        # Set the B-link first: the new leaf is reachable from the old one
+        # before the father knows about it (Section 2's consistency trick).
+        separator = moved[0]
+        self.data["__next"] = new_oid
+        self.data["__high"] = separator
+        return (separator, new_oid)
+
+    def _blink_mode(self) -> bool:
+        return bool(self.data.get("__blink", False))
+
+    @dbmethod(update=True)
+    def set_blink(self, enabled: bool) -> None:
+        self.data["__blink"] = enabled
+
+    @dbmethod(update=True, compensation=lambda args, result: ("structural_noop", ()))
+    def set_parent(self, parent_oid: str) -> None:
+        """Parent-pointer maintenance: purely structural, compensated by a
+        no-op (the pointer stays; routing never depends on a stale one
+        because rearrangement follows the B-links)."""
+        self.data["__parent"] = parent_oid
+
+    @dbmethod
+    def structural_noop(self) -> None:
+        """Compensation target for structural operations: splits and
+        pointer updates are semantically invisible and survive aborts."""
+
+    @dbmethod
+    def search(self, key) -> Any:
+        if not self._covers(key):
+            return self.call(self.data["__next"], "search", key)
+        return self.data.get(("k", key))
+
+    @dbmethod(update=True, compensation=_delete_compensation)
+    def delete(self, key) -> Any:
+        if not self._covers(key):
+            return self.call(self.data["__next"], "delete", key)
+        slot = ("k", key)
+        old = self.data.get(slot)
+        if old is not None:
+            del self.data[slot]
+        return old
+
+    @dbmethod
+    def scan(self) -> tuple[list, str | None]:
+        """All (key, value) pairs in order, plus the next leaf's oid."""
+        items = [(key, self.data[("k", key)]) for key in self._keys()]
+        return items, self.data["__next"]
+
+    @dbmethod
+    def find_leaf(self, key) -> str:
+        if not self._covers(key):
+            return self.call(self.data["__next"], "find_leaf", key)
+        return self.oid
+
+    @dbmethod
+    def key_count(self) -> int:
+        return len(self._keys())
+
+
+class TreeNode(DatabaseObject):
+    """An internal node: separator keys routing to children."""
+
+    commutativity: ClassVar[CommutativitySpec] = keyed_node_commutativity()
+
+    def setup(
+        self,
+        order: int,
+        first_child: str,
+        separators: tuple = (),
+        parent: str | None = None,
+        blink: bool = False,
+    ) -> None:
+        self.data["__order"] = order
+        self.data["__first"] = first_child
+        self.data["__parent"] = parent
+        self.data["__blink"] = blink
+        for sep, child in separators:
+            self.data[("s", sep)] = child
+
+    # -- helpers -------------------------------------------------------------
+
+    def _separators(self) -> list:
+        return sorted(k[1] for k in self.data.keys() if isinstance(k, tuple))
+
+    def _child_for(self, key) -> str:
+        chosen = self.data["__first"]
+        for sep in self._separators():
+            if key >= sep:
+                chosen = self.data[("s", sep)]
+            else:
+                break
+        return chosen
+
+    def _order(self) -> int:
+        return self.data["__order"]
+
+    # -- methods ------------------------------------------------------------------
+
+    @dbmethod(update=True, compensation=_insert_compensation, write_intent=False)
+    def insert(self, key, value, parent_oid: str | None = None) -> dict:
+        child = self._child_for(key)
+        result = self.call(child, "insert", key, value, self.oid)
+        split = result.get("split") if isinstance(result, dict) else None
+        own_split = None
+        if split is not None:  # recursive mode: apply the child's split here
+            sep, new_child = split
+            own_split = self._add_separator(sep, new_child)
+        if isinstance(result, dict) and result.get("pending_rearrange"):
+            # B-link mode: the leaf committed its split (and released its
+            # page locks — the paper's "after the split is completed the
+            # lock is released"); the father now rearranges itself.  This
+            # self-send is the Definition 5 call cycle of Example 3.
+            separator, new_leaf = result["pending_rearrange"]
+            self.call(self.oid, "rearrange", separator, new_leaf)
+        return {"replaced": result.get("replaced"), "split": own_split}
+
+    @dbmethod(update=True, compensation=lambda args, result: ("structural_noop", ()))
+    def rearrange(self, separator, new_child: str) -> None:
+        """B-link mode: a child announces its split (Example 3's action).
+
+        Structural: compensated by a no-op.  An aborted insert only removes
+        its *key* (the logical compensation); the split itself is
+        semantically invisible and survives — as in real systems, where
+        page splits are independent system transactions.
+        """
+        own_split = self._add_separator(separator, new_child)
+        if own_split is not None:
+            parent = self.data["__parent"]
+            if parent is not None:
+                self.call(parent, "rearrange", own_split[0], own_split[1])
+
+    @dbmethod
+    def structural_noop(self) -> None:
+        """Compensation target for structural operations."""
+
+    def _add_separator(self, separator, new_child: str) -> tuple | None:
+        self.data[("s", separator)] = new_child
+        seps = self._separators()
+        if len(seps) <= self._order():
+            return None
+        # Split: promote the middle separator, move the upper ones.
+        mid = len(seps) // 2
+        promote = seps[mid]
+        moved = seps[mid + 1 :]
+        new_first = self.data[("s", promote)]
+        moved_pairs = tuple((sep, self.data[("s", sep)]) for sep in moved)
+        new_oid = self.db_create(
+            TreeNode,
+            self._order(),
+            new_first,
+            moved_pairs,
+            self.data["__parent"],
+            self.data["__blink"],
+            page_capacity=page_capacity_for(self._order()),
+        )
+        for sep in [promote, *moved]:
+            del self.data[("s", sep)]
+        for child in [new_first, *(child for _, child in moved_pairs)]:
+            self.call(child, "set_parent", new_oid)
+        return (promote, new_oid)
+
+    @dbmethod(update=True, compensation=lambda args, result: ("structural_noop", ()))
+    def set_parent(self, parent_oid: str) -> None:
+        self.data["__parent"] = parent_oid
+
+    @dbmethod
+    def search(self, key) -> Any:
+        return self.call(self._child_for(key), "search", key)
+
+    @dbmethod(update=True, compensation=_delete_compensation, write_intent=False)
+    def delete(self, key) -> Any:
+        return self.call(self._child_for(key), "delete", key)
+
+    @dbmethod
+    def find_leaf(self, key) -> str:
+        return self.call(self._child_for(key), "find_leaf", key)
+
+    @dbmethod
+    def key_count(self) -> int:
+        return len(self._separators())
+
+
+class BPlusTree(DatabaseObject):
+    """The index object (``BpTree`` in the figures)."""
+
+    commutativity: ClassVar[CommutativitySpec] = keyed_node_commutativity()
+
+    def setup(self, order: int, root_oid: str, blink: bool = False) -> None:
+        if order < 2:
+            raise DatabaseError("B+ tree order must be at least 2")
+        self.data["__order"] = order
+        self.data["__root"] = root_oid
+        self.data["__height"] = 1
+        self.data["__blink"] = blink
+        self.data["__first_leaf"] = root_oid
+
+    @dbmethod(update=True, compensation=_insert_compensation, write_intent=False)
+    def insert(self, key, value) -> dict:
+        root = self.data["__root"]
+        result = self.call(root, "insert", key, value, self.oid)
+        split = result.get("split") if isinstance(result, dict) else None
+        if split is not None:
+            self._grow(root, split)
+        if isinstance(result, dict) and result.get("pending_rearrange"):
+            # B-link mode with a leaf root: grow via the rearrange action
+            separator, new_leaf = result["pending_rearrange"]
+            self.call(self.oid, "rearrange", separator, new_leaf)
+        return {"replaced": result.get("replaced"), "split": None}
+
+    @dbmethod(update=True, compensation=lambda args, result: ("structural_noop", ()))
+    def rearrange(self, separator, new_child: str) -> None:
+        """B-link mode: the root split propagates up to the tree object."""
+        self._grow(self.data["__root"], (separator, new_child))
+
+    @dbmethod
+    def structural_noop(self) -> None:
+        """Compensation target for structural operations."""
+
+    def _grow(self, old_root: str, split: tuple) -> None:
+        separator, new_child = split
+        new_root = self.db_create(
+            TreeNode,
+            self.data["__order"],
+            old_root,
+            ((separator, new_child),),
+            self.oid,
+            self.data["__blink"],
+            page_capacity=page_capacity_for(self.data["__order"]),
+        )
+        self.call(old_root, "set_parent", new_root)
+        self.call(new_child, "set_parent", new_root)
+        self.data["__root"] = new_root
+        self.data["__height"] = self.data["__height"] + 1
+
+    @dbmethod
+    def search(self, key) -> Any:
+        return self.call(self.data["__root"], "search", key)
+
+    @dbmethod(update=True, compensation=_delete_compensation, write_intent=False)
+    def delete(self, key) -> Any:
+        return self.call(self.data["__root"], "delete", key)
+
+    @dbmethod
+    def range(self, low, high) -> list:
+        """All (key, value) pairs with ``low <= key <= high``."""
+        leaf = self.call(self.data["__root"], "find_leaf", low)
+        found = []
+        while leaf is not None:
+            items, nxt = self.call(leaf, "scan")
+            for key, value in items:
+                if key > high:
+                    return found
+                if key >= low:
+                    found.append((key, value))
+            leaf = nxt
+        return found
+
+    @dbmethod
+    def height(self) -> int:
+        return self.data["__height"]
+
+
+def build_bptree(
+    db: ObjectDatabase,
+    order: int = 4,
+    *,
+    blink: bool = False,
+    oid: str = "BpTree",
+) -> str:
+    """Bootstrap an empty B+ tree (tree object plus its first leaf)."""
+    leaf = db.create(
+        TreeLeaf,
+        order,
+        (),
+        None,
+        oid,
+        blink,
+        page_capacity=page_capacity_for(order),
+    )
+    return db.create(BPlusTree, order, leaf, blink, oid=oid)

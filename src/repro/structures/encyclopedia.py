@@ -1,0 +1,129 @@
+"""The encyclopedia ``Enc`` (Figure 2): a linked list of items indexed by a
+B+ tree.
+
+``insertItem`` performs the three sub-operations of the paper's T1: create
+the item (its initial ``write``), insert the key into the index, and append
+the item to the list.  ``changeItem`` reaches the item *via the index*
+(T2's path in Example 4), ``readSeq`` via the list (T4's path) — the two
+different access paths of unequal length that Section 2 points out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.core.actions import Invocation
+from repro.core.commutativity import CommutativitySpec, MatrixCommutativity
+from repro.errors import DatabaseError
+from repro.oodb.database import ObjectDatabase
+from repro.oodb.method import dbmethod
+from repro.oodb.object_model import DatabaseObject
+from repro.structures.bptree import build_bptree
+from repro.structures.item import Item
+from repro.structures.linked_list import LinkedList
+
+
+def _different_key(a: Invocation, b: Invocation) -> bool:
+    return bool(a.args) and bool(b.args) and a.args[0] != b.args[0]
+
+
+def encyclopedia_commutativity() -> MatrixCommutativity:
+    matrix: dict[tuple[str, str], Any] = {
+        ("search", "search"): True,
+        ("readSeq", "readSeq"): True,
+        ("readSeq", "search"): True,
+    }
+    for update in ("insertItem", "deleteItem", "changeItem"):
+        matrix[(update, "search")] = _different_key
+        matrix[(update, "readSeq")] = False  # the phantom
+        for other in ("insertItem", "deleteItem", "changeItem"):
+            matrix[self_pair(update, other)] = _different_key
+    return MatrixCommutativity(matrix)
+
+
+def self_pair(a: str, b: str) -> tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+class Encyclopedia(DatabaseObject):
+    """``Enc``: the application object of Figures 2, 7 and 8."""
+
+    commutativity: ClassVar[CommutativitySpec] = encyclopedia_commutativity()
+
+    def setup(self, index_oid: str, list_oid: str) -> None:
+        self.data["__index"] = index_oid
+        self.data["__list"] = list_oid
+
+    @dbmethod(
+        update=True,
+        compensation=lambda args, result: ("deleteItem", (args[0],)),
+        write_intent=False,  # reads only the __index/__list slots
+    )
+    def insertItem(self, key: str, content: Any) -> str:
+        """Insert a new item; returns its oid.  Duplicate keys are an error
+        (the index is unique on keys)."""
+        index = self.data["__index"]
+        if self.call(index, "search", key) is not None:
+            raise DatabaseError(f"item {key!r} already exists")
+        item = self.db_create(Item, key)
+        self.call(index, "insert", key, item)
+        self.call(self.data["__list"], "insert", item)
+        self.call(item, "write", content)
+        return item
+
+    @dbmethod(update=True, write_intent=False)
+    def deleteItem(self, key: str) -> bool:
+        """Remove an item by key; returns whether it existed.
+
+        Used both programmatically and as the compensation of
+        ``insertItem`` (no own compensation: a delete's undo stays
+        page-level when not itself compensating)."""
+        index = self.data["__index"]
+        item = self.call(index, "search", key)
+        if item is None:
+            return False
+        self.call(index, "delete", key)
+        self.call(self.data["__list"], "remove", item)
+        return True
+
+    @dbmethod(
+        update=True,
+        compensation=lambda args, result: ("changeItem", (args[0], result)),
+        write_intent=False,
+    )
+    def changeItem(self, key: str, content: Any) -> Any:
+        """Change an item's content via the index; returns the old content."""
+        item = self.call(self.data["__index"], "search", key)
+        if item is None:
+            raise DatabaseError(f"no item {key!r}")
+        return self.call(item, "change", content)
+
+    @dbmethod
+    def search(self, key: str) -> Any:
+        """The content of the item with this key, or None."""
+        item = self.call(self.data["__index"], "search", key)
+        if item is None:
+            return None
+        return self.call(item, "read")
+
+    @dbmethod
+    def readSeq(self) -> list[tuple[str, Any]]:
+        """All items in list order (T4 of Example 4)."""
+        return self.call(self.data["__list"], "readSeq")
+
+    @dbmethod
+    def length(self) -> int:
+        return self.call(self.data["__list"], "length")
+
+
+def build_encyclopedia(
+    db: ObjectDatabase,
+    *,
+    order: int = 4,
+    blink: bool = False,
+    oid: str = "Enc",
+) -> str:
+    """Bootstrap an empty encyclopedia (Figure 2's object graph)."""
+    index = build_bptree(db, order, blink=blink, oid=f"{oid}BpTree")
+    items = db.create(LinkedList, oid=f"{oid}LinkedList")
+    return db.create(Encyclopedia, index, items, oid=oid)

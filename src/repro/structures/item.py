@@ -1,0 +1,97 @@
+"""Encyclopedia items.
+
+An item is a small document identified by its key; it is read and changed
+as a whole, so only concurrent reads commute.  Items also carry the ``next``
+link of the encyclopedia's item list — updated via messages, because the
+list may not reach into an item's state (encapsulation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.core.commutativity import CommutativitySpec, MatrixCommutativity
+from repro.oodb.method import dbmethod
+from repro.oodb.object_model import DatabaseObject
+
+
+def item_commutativity() -> MatrixCommutativity:
+    """Whole-object semantics: read/read commutes, updates conflict.
+
+    Link maintenance (``set_next``/``next``) is kept compatible with content
+    access: the link and the content are independent parts of the state.
+    """
+    return MatrixCommutativity(
+        {
+            ("read", "read"): True,
+            ("change", "read"): False,
+            ("change", "change"): False,
+            ("read", "write"): False,
+            ("change", "write"): False,
+            ("write", "write"): False,
+            ("next", "next"): True,
+            ("next", "read"): True,
+            ("next", "change"): True,
+            ("next", "write"): True,
+            ("next", "set_next"): False,
+            ("set_next", "set_next"): False,
+            ("read", "set_next"): True,
+            ("change", "set_next"): True,
+            ("set_next", "write"): True,
+        }
+    )
+
+
+class Item(DatabaseObject):
+    """One encyclopedia item (``Item8`` in Figures 7-8)."""
+
+    commutativity: ClassVar[CommutativitySpec] = item_commutativity()
+
+    def setup(self, key: str = "", content: Any = None) -> None:
+        self.data["key"] = key
+        self.data["content"] = content
+        self.data["__next"] = None
+
+    @dbmethod
+    def read(self) -> Any:
+        """The item's content."""
+        return self.data["content"]
+
+    @dbmethod
+    def key(self) -> str:
+        return self.data["key"]
+
+    @dbmethod(
+        update=True,
+        compensation=lambda args, result: ("change", (result,)),
+    )
+    def change(self, content: Any) -> Any:
+        """Replace the content; returns the old content (the compensation
+        restores it)."""
+        old = self.data["content"]
+        self.data["content"] = content
+        return old
+
+    @dbmethod(
+        update=True,
+        compensation=lambda args, result: ("write", (result,)),
+    )
+    def write(self, content: Any) -> Any:
+        """Initial write of the content (T1's ``Item8.write`` in Example 4)."""
+        old = self.data.get("content")
+        self.data["content"] = content
+        return old
+
+    @dbmethod
+    def next(self) -> str | None:
+        """The next item in the encyclopedia's list, or None."""
+        return self.data["__next"]
+
+    @dbmethod(
+        update=True,
+        compensation=lambda args, result: ("set_next", (result,)),
+    )
+    def set_next(self, oid: str | None) -> str | None:
+        old = self.data["__next"]
+        self.data["__next"] = oid
+        return old

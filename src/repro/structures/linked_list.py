@@ -1,0 +1,109 @@
+"""The encyclopedia's item list (Figure 2).
+
+``LinkedList`` chains :class:`~repro.structures.item.Item` objects through
+their ``next`` links; the list object itself only stores head, tail and
+length.  Every link traversal and link update is a message to the item —
+encapsulation keeps item state behind item methods, which is what routes
+T4's sequential read through ``LinkedList.readSeq -> Item8.read`` in
+Example 4.
+
+Semantics: the encyclopedia is a keyed collection, so the physical append
+order is not observable through the API — two ``insert`` operations
+commute.  A sequential read observes membership, so it conflicts with
+inserts and removes (the phantom problem of Section 1's terminology).
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.core.commutativity import CommutativitySpec, MatrixCommutativity
+from repro.oodb.method import dbmethod
+from repro.oodb.object_model import DatabaseObject
+
+
+def linked_list_commutativity() -> MatrixCommutativity:
+    def different_first_arg(a, b):
+        return bool(a.args) and bool(b.args) and a.args[0] != b.args[0]
+
+    return MatrixCommutativity(
+        {
+            ("insert", "insert"): True,
+            ("insert", "readSeq"): False,
+            ("insert", "remove"): different_first_arg,
+            ("readSeq", "readSeq"): True,
+            ("readSeq", "remove"): False,
+            ("remove", "remove"): different_first_arg,
+            ("length", "length"): True,
+            ("insert", "length"): False,
+            ("length", "remove"): False,
+            ("length", "readSeq"): True,
+        }
+    )
+
+
+class LinkedList(DatabaseObject):
+    """A linked list of items, addressed by item oid."""
+
+    commutativity: ClassVar[CommutativitySpec] = linked_list_commutativity()
+
+    def setup(self) -> None:
+        self.data["__head"] = None
+        self.data["__tail"] = None
+        self.data["__len"] = 0
+
+    @dbmethod(
+        update=True,
+        compensation=lambda args, result: ("remove", (args[0],)),
+    )
+    def insert(self, item_oid: str) -> None:
+        """Append an item to the list."""
+        tail = self.data["__tail"]
+        if tail is None:
+            self.data["__head"] = item_oid
+        else:
+            self.call(tail, "set_next", item_oid)
+        self.data["__tail"] = item_oid
+        self.data["__len"] = self.data["__len"] + 1
+
+    @dbmethod(update=True)
+    def remove(self, item_oid: str) -> bool:
+        """Unlink an item; returns whether it was present.
+
+        No compensation is registered: a remove used *as* a compensation
+        never needs compensating itself, and a programmatic remove keeps its
+        page-level undo (the scheduler then holds its locks to commit).
+        """
+        previous = None
+        current = self.data["__head"]
+        while current is not None:
+            nxt = self.call(current, "next")
+            if current == item_oid:
+                if previous is None:
+                    self.data["__head"] = nxt
+                else:
+                    self.call(previous, "set_next", nxt)
+                if self.data["__tail"] == item_oid:
+                    self.data["__tail"] = previous
+                self.call(current, "set_next", None)
+                self.data["__len"] = self.data["__len"] - 1
+                return True
+            previous = current
+            current = nxt
+        return False
+
+    @dbmethod
+    def readSeq(self) -> list[tuple[str, Any]]:
+        """Read all items sequentially; returns ``[(key, content), ...]``."""
+        result = []
+        current = self.data["__head"]
+        while current is not None:
+            key = self.call(current, "key")
+            content = self.call(current, "read")
+            result.append((key, content))
+            current = self.call(current, "next")
+        return result
+
+    @dbmethod
+    def length(self) -> int:
+        return self.data["__len"]

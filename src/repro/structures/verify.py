@@ -1,0 +1,177 @@
+"""Structural integrity checkers.
+
+Deep consistency checks used by the property tests and the concurrency
+examples: after any mix of committed/aborted transactions under any
+protocol, the structures must satisfy their invariants.  All checks read
+page state *directly* through the store (they are meta-level inspectors,
+not application accesses — no tracing, no locks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.oodb.database import ObjectDatabase
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one structural check."""
+
+    ok: bool = True
+    problems: list[str] = field(default_factory=list)
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.problems.append(message)
+
+    def merge(self, other: "VerificationReport") -> None:
+        if not other.ok:
+            self.ok = False
+            self.problems.extend(other.problems)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        return "OK" if self.ok else "; ".join(self.problems)
+
+
+def _slots(db: ObjectDatabase, oid: str) -> dict:
+    return db.store.get(db.get_object(oid).page_id).slots
+
+
+def verify_bptree(db: ObjectDatabase, tree_oid: str) -> VerificationReport:
+    """Check the B+ tree invariants.
+
+    - every leaf's keys are within its routing interval;
+    - the leaf chain (B-links) is strictly ascending and loop-free;
+    - every key stored in any leaf is found by a root descent that follows
+      the B-links (no lost keys);
+    - node separators are sorted and route into existing children.
+    """
+    report = VerificationReport()
+    tree_slots = _slots(db, tree_oid)
+    root = tree_slots.get("__root")
+    if root is None:
+        report.fail(f"{tree_oid}: no root")
+        return report
+
+    from repro.structures.bptree import TreeLeaf
+
+    # Collect all leaves by walking the tree.
+    leaves: list[str] = []
+
+    def walk(oid: str) -> None:
+        if isinstance(db.get_object(oid), TreeLeaf):
+            leaves.append(oid)
+            return
+        slots = _slots(db, oid)
+        separators = sorted(k[1] for k in slots if isinstance(k, tuple))
+        children = [slots["__first"]] + [slots[("s", sep)] for sep in separators]
+        previous = None
+        for sep in separators:
+            if previous is not None and sep <= previous:
+                report.fail(f"{oid}: separators not strictly sorted")
+            previous = sep
+        for child in children:
+            if not db.has_object(child):
+                report.fail(f"{oid}: dangling child {child}")
+                continue
+            walk(child)
+
+    walk(root)
+
+    # Leaf chain: start from the leftmost leaf of the walk order and follow
+    # __next; keys must be globally ascending and the chain loop-free.
+    chain: list[str] = []
+    seen: set[str] = set()
+    current = leaves[0] if leaves else None
+    while current is not None:
+        if current in seen:
+            report.fail(f"leaf chain loops at {current}")
+            break
+        seen.add(current)
+        chain.append(current)
+        current = _slots(db, current).get("__next")
+
+    previous_key = None
+    all_keys: dict = {}
+    for leaf in chain:
+        slots = _slots(db, leaf)
+        keys = sorted(k[1] for k in slots if isinstance(k, tuple))
+        high = slots.get("__high")
+        for key in keys:
+            if previous_key is not None and key <= previous_key:
+                report.fail(f"{leaf}: key {key!r} out of global order")
+            previous_key = key
+            all_keys[key] = slots[("k", key)]
+            if high is not None and key >= high:
+                report.fail(f"{leaf}: key {key!r} >= high bound {high!r}")
+
+    # Every stored key must be found through the public API.
+    ctx = db.begin()
+    try:
+        for key, value in all_keys.items():
+            found = db.send(ctx, tree_oid, "search", key)
+            if found != value:
+                report.fail(
+                    f"{tree_oid}: search({key!r}) = {found!r}, stored {value!r}"
+                )
+    finally:
+        db.commit(ctx)
+    return report
+
+
+def verify_linked_list(db: ObjectDatabase, list_oid: str) -> VerificationReport:
+    """Check the item list: length matches traversal, tail is the last
+    node, the chain is loop-free."""
+    report = VerificationReport()
+    slots = _slots(db, list_oid)
+    head, tail, length = slots.get("__head"), slots.get("__tail"), slots.get("__len")
+    seen: set[str] = set()
+    count = 0
+    current = head
+    last = None
+    while current is not None:
+        if current in seen:
+            report.fail(f"{list_oid}: chain loops at {current}")
+            return report
+        seen.add(current)
+        count += 1
+        last = current
+        current = _slots(db, current).get("__next")
+    if count != length:
+        report.fail(f"{list_oid}: __len={length} but traversal found {count}")
+    if last != tail:
+        report.fail(f"{list_oid}: __tail={tail} but last node is {last}")
+    return report
+
+
+def verify_encyclopedia(db: ObjectDatabase, enc_oid: str) -> VerificationReport:
+    """Check Figure 2's cross-structure invariant: the index and the list
+    agree on the item population."""
+    report = VerificationReport()
+    slots = _slots(db, enc_oid)
+    index, items = slots["__index"], slots["__list"]
+    report.merge(verify_bptree(db, index))
+    report.merge(verify_linked_list(db, items))
+
+    ctx = db.begin()
+    try:
+        listed = db.send(ctx, enc_oid, "readSeq")
+        for key, _content in listed:
+            item = db.send(ctx, index, "search", key)
+            if item is None:
+                report.fail(f"{enc_oid}: listed item {key!r} missing from index")
+        low = min((k for k, _ in listed), default=None)
+        high = max((k for k, _ in listed), default=None)
+        if low is not None:
+            indexed = db.send(ctx, index, "range", low, high)
+            listed_keys = {k for k, _ in listed}
+            for key, _oid in indexed:
+                if key not in listed_keys:
+                    report.fail(f"{enc_oid}: indexed key {key!r} not in list")
+    finally:
+        db.commit(ctx)
+    return report

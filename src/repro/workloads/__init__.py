@@ -1,0 +1,42 @@
+"""Workload generators for the bench harness.
+
+Each workload module exposes a spec dataclass and a ``build(db, spec)``
+function that bootstraps the database and returns the transaction programs
+to run; all randomness is seeded, so a (spec, seed) pair is a reproducible
+experiment.
+
+- :mod:`repro.workloads.keys` — key-space samplers (uniform, Zipf, hot-set);
+- :mod:`repro.workloads.encyclopedia_wl` — the paper's encyclopedia: keyed
+  inserts/searches/changes plus sequential reads over a B+-tree-indexed
+  item list (Examples 1 and 4 scaled up);
+- :mod:`repro.workloads.banking_wl` — short account transfers (Figure 1's
+  "conventional transactions" column) with escrow semantics;
+- :mod:`repro.workloads.editing_wl` — long cooperative-editing sessions
+  (Section 1's motivation) against sectioned documents.
+"""
+
+from repro.workloads.keys import HotSetSampler, UniformSampler, ZipfSampler
+from repro.workloads.encyclopedia_wl import (
+    EncyclopediaWorkload,
+    build_encyclopedia_workload,
+    encyclopedia_layers,
+)
+from repro.workloads.banking_wl import BankingWorkload, build_banking_workload
+from repro.workloads.editing_wl import EditingWorkload, build_editing_workload
+from repro.workloads.index_wl import IndexWorkload, build_index_workload, index_layers
+
+__all__ = [
+    "BankingWorkload",
+    "EditingWorkload",
+    "EncyclopediaWorkload",
+    "HotSetSampler",
+    "IndexWorkload",
+    "UniformSampler",
+    "ZipfSampler",
+    "build_index_workload",
+    "index_layers",
+    "build_banking_workload",
+    "build_editing_workload",
+    "build_encyclopedia_workload",
+    "encyclopedia_layers",
+]

@@ -1,0 +1,80 @@
+"""The banking workload: Figure 1's "conventional transactions" column.
+
+Short transactions against accounts — transfers, deposits and balance
+queries.  With escrow commutativity, transfers against the same accounts
+commute as long as balances stay clear of the bounds; with plain read/write
+semantics every transfer serializes on its accounts.  Ablation bench A3
+flips between the two.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import DatabaseError, TransactionAborted
+from repro.oodb.database import ObjectDatabase
+from repro.runtime.program import TransactionProgram
+from repro.structures.account import Account
+
+
+def banking_layers() -> dict[str, int]:
+    return {"Account": 1, "Page": 0}
+
+
+@dataclass
+class BankingWorkload:
+    """Parameters of one banking experiment."""
+
+    n_accounts: int = 8
+    initial_balance: float = 1000.0
+    n_transactions: int = 12
+    transfers_per_transaction: int = 2
+    #: fraction of operations that are balance queries instead of transfers
+    p_balance_query: float = 0.2
+    max_amount: float = 50.0
+    think_ticks: int = 1
+    seed: int = 0
+
+
+def build_banking_workload(
+    db: ObjectDatabase, spec: BankingWorkload
+) -> tuple[list[str], list[TransactionProgram]]:
+    """Bootstrap accounts and generate transfer programs.
+
+    Returns ``(account_oids, programs)``.
+    """
+    accounts = [
+        db.create(Account, spec.initial_balance, f"owner{i}")
+        for i in range(spec.n_accounts)
+    ]
+    rng = random.Random(spec.seed)
+    programs: list[TransactionProgram] = []
+    for t in range(spec.n_transactions):
+        ops: list[tuple] = []
+        for _ in range(spec.transfers_per_transaction):
+            if rng.random() < spec.p_balance_query:
+                ops.append(("balance", rng.choice(accounts)))
+            else:
+                src, dst = rng.sample(accounts, 2)
+                amount = round(rng.uniform(1.0, spec.max_amount), 2)
+                ops.append(("transfer", src, dst, amount))
+
+        def body(api, ops=tuple(ops)):
+            for operation in ops:
+                if operation[0] == "balance":
+                    api.send(operation[1], "balance")
+                else:
+                    _, src, dst, amount = operation
+                    try:
+                        api.send(src, "withdraw", amount)
+                    except TransactionAborted:
+                        raise
+                    except DatabaseError:
+                        continue  # insufficient funds: skip this transfer
+                    api.send(dst, "deposit", amount)
+                if spec.think_ticks:
+                    api.work(spec.think_ticks)
+
+        programs.append(TransactionProgram(f"B{t}", body, kind="banking"))
+    return accounts, programs

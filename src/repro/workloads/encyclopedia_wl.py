@@ -1,0 +1,143 @@
+"""The encyclopedia workload: the paper's running application, scaled up.
+
+Transactions mix keyed operations (insert/search/change) with occasional
+sequential reads, against an encyclopedia whose index page size (*keys per
+page*, the B+ tree order) is the central experiment knob: with hundreds of
+keys per page, independent keyed operations collide on pages while
+commuting semantically — the source of the paper's conflict-rate claim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import DatabaseError, TransactionAborted
+from repro.oodb.database import ObjectDatabase
+from repro.runtime.program import TransactionProgram
+from repro.structures.encyclopedia import build_encyclopedia
+from repro.workloads.keys import ZipfSampler, key_name
+
+
+def encyclopedia_layers(enc_oid: str = "Enc") -> dict[str, int]:
+    """The layer assignment the multilevel baseline uses for this workload."""
+    return {
+        enc_oid + "BpTree": 2,
+        enc_oid + "LinkedList": 2,
+        enc_oid: 3,
+        "TreeNode": 1,
+        "TreeLeaf": 1,
+        "Item": 1,
+        "Page": 0,
+    }
+
+
+@dataclass
+class EncyclopediaWorkload:
+    """Parameters of one encyclopedia experiment."""
+
+    n_transactions: int = 8
+    ops_per_transaction: int = 3
+    #: operation mix (weights, normalized internally)
+    p_insert: float = 0.25
+    p_search: float = 0.45
+    p_change: float = 0.25
+    p_readseq: float = 0.05
+    #: number of pre-loaded items
+    preload: int = 40
+    #: key universe size for generated keys
+    key_space: int = 200
+    #: Zipf skew over the key universe (0 = uniform)
+    zipf_theta: float = 0.6
+    #: B+ tree order == keys per index page
+    keys_per_page: int = 16
+    #: local computation between operations, in simulated ticks
+    think_ticks: int = 1
+    seed: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def mix(self) -> list[tuple[str, float]]:
+        weights = [
+            ("insert", self.p_insert),
+            ("search", self.p_search),
+            ("change", self.p_change),
+            ("readseq", self.p_readseq),
+        ]
+        total = sum(w for _, w in weights)
+        if total <= 0:
+            raise ValueError("operation mix must have positive total weight")
+        return [(op, w / total) for op, w in weights]
+
+
+def build_encyclopedia_workload(
+    db: ObjectDatabase, spec: EncyclopediaWorkload
+) -> tuple[str, list[TransactionProgram]]:
+    """Bootstrap the database and generate the transaction programs.
+
+    Returns ``(enc_oid, programs)``.  The preloaded keys are the first
+    ``spec.preload`` of the key universe; generated operations draw keys
+    from a Zipf sampler, so changes/searches mostly hit existing items.
+    """
+    enc = build_encyclopedia(db, order=spec.keys_per_page)
+    preload_ctx = db.begin("preload")
+    for index in range(spec.preload):
+        db.send(preload_ctx, enc, "insertItem", key_name(index), f"v{index}")
+    db.commit(preload_ctx)
+
+    rng = random.Random(spec.seed)
+    sampler = ZipfSampler(spec.key_space, theta=spec.zipf_theta, seed=spec.seed + 1)
+    mix = spec.mix()
+    fresh_key_counter = [spec.key_space]
+
+    def pick_op() -> str:
+        point = rng.random()
+        acc = 0.0
+        for op, weight in mix:
+            acc += weight
+            if point <= acc:
+                return op
+        return mix[-1][0]
+
+    def existing_key() -> str:
+        return key_name(rng.randrange(spec.preload)) if spec.preload else sampler.sample()
+
+    programs: list[TransactionProgram] = []
+    for t in range(spec.n_transactions):
+        ops: list[tuple] = []
+        for _ in range(spec.ops_per_transaction):
+            op = pick_op()
+            if op == "insert":
+                fresh_key_counter[0] += 1
+                ops.append(("insert", key_name(fresh_key_counter[0]), f"t{t}"))
+            elif op == "search":
+                ops.append(("search", sampler.sample()))
+            elif op == "change":
+                ops.append(("change", existing_key(), f"t{t}"))
+            else:
+                ops.append(("readseq",))
+
+        def body(api, ops=tuple(ops)):
+            for operation in ops:
+                kind = operation[0]
+                try:
+                    if kind == "insert":
+                        api.send(enc, "insertItem", operation[1], operation[2])
+                    elif kind == "search":
+                        api.send(enc, "search", operation[1])
+                    elif kind == "change":
+                        api.send(enc, "changeItem", operation[1], operation[2])
+                    else:
+                        api.send(enc, "readSeq")
+                except TransactionAborted:
+                    raise
+                except DatabaseError:
+                    # semantically expected (e.g. changing a missing key):
+                    # the operation is a no-op for this transaction
+                    pass
+                if spec.think_ticks:
+                    api.work(spec.think_ticks)
+
+        programs.append(
+            TransactionProgram(f"E{t}", body, kind="encyclopedia")
+        )
+    return enc, programs

@@ -1,0 +1,89 @@
+"""Key-space samplers.
+
+All samplers draw from a fixed universe ``k000000..k<n-1>`` with seeded
+randomness.  Zipf sampling uses the standard bounded-Zipf construction
+(probability of rank ``i`` proportional to ``1 / i**theta``) computed with
+an explicit cumulative table — no numpy dependency in the hot path.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+
+def key_name(index: int) -> str:
+    return f"k{index:06d}"
+
+
+class UniformSampler:
+    """Uniform over the key universe."""
+
+    def __init__(self, n_keys: int, seed: int = 0):
+        if n_keys < 1:
+            raise ValueError("n_keys must be positive")
+        self.n_keys = n_keys
+        self._rng = random.Random(seed)
+
+    def sample(self) -> str:
+        return key_name(self._rng.randrange(self.n_keys))
+
+
+class ZipfSampler:
+    """Bounded Zipf: rank ``i`` (1-based) has weight ``i**-theta``.
+
+    ``theta=0`` degenerates to uniform; typical skew values are 0.5-1.2.
+    Rank-to-key assignment is a seeded shuffle so that hot keys are spread
+    over the key space (and therefore over B+ tree leaves).
+    """
+
+    def __init__(self, n_keys: int, theta: float = 0.99, seed: int = 0):
+        if n_keys < 1:
+            raise ValueError("n_keys must be positive")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.n_keys = n_keys
+        self.theta = theta
+        self._rng = random.Random(seed)
+        cumulative = []
+        total = 0.0
+        for rank in range(1, n_keys + 1):
+            total += rank ** -theta
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+        self._rank_to_index = list(range(n_keys))
+        self._rng.shuffle(self._rank_to_index)
+
+    def sample(self) -> str:
+        point = self._rng.random() * self._total
+        rank = bisect.bisect_left(self._cumulative, point)
+        rank = min(rank, self.n_keys - 1)
+        return key_name(self._rank_to_index[rank])
+
+
+class HotSetSampler:
+    """A fraction of accesses hits a small hot set (the 80/20 pattern)."""
+
+    def __init__(
+        self,
+        n_keys: int,
+        hot_fraction: float = 0.2,
+        hot_probability: float = 0.8,
+        seed: int = 0,
+    ):
+        if not 0 < hot_fraction <= 1:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0 <= hot_probability <= 1:
+            raise ValueError("hot_probability must be in [0, 1]")
+        self.n_keys = n_keys
+        self.hot_size = max(1, int(n_keys * hot_fraction))
+        self.hot_probability = hot_probability
+        self._rng = random.Random(seed)
+
+    def sample(self) -> str:
+        if self._rng.random() < self.hot_probability:
+            return key_name(self._rng.randrange(self.hot_size))
+        if self.hot_size == self.n_keys:
+            return key_name(self._rng.randrange(self.n_keys))
+        return key_name(self._rng.randrange(self.hot_size, self.n_keys))

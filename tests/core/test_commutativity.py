@@ -1,0 +1,191 @@
+"""Unit tests for commutativity specifications (Definition 9)."""
+
+import pytest
+
+from repro.core.actions import Invocation
+from repro.core.commutativity import (
+    CommutativityRegistry,
+    ConflictAll,
+    EscrowCommutativity,
+    MatrixCommutativity,
+    PredicateCommutativity,
+    ReadWriteCommutativity,
+)
+from repro.core.identifiers import virtual_object_id
+from repro.core.transactions import TransactionSystem
+from repro.errors import CommutativityError
+
+
+def inv(method, *args, obj="O", state=None):
+    return Invocation(obj, method, args, state=state)
+
+
+class TestConflictAll:
+    def test_everything_conflicts(self):
+        spec = ConflictAll()
+        assert not spec.commutes(inv("read"), inv("read"))
+        assert spec.conflicts(inv("a"), inv("b"))
+
+
+class TestReadWrite:
+    def test_read_read_commutes(self):
+        spec = ReadWriteCommutativity()
+        assert spec.commutes(inv("read"), inv("read"))
+
+    def test_read_write_conflicts(self):
+        spec = ReadWriteCommutativity()
+        assert spec.conflicts(inv("read"), inv("write"))
+        assert spec.conflicts(inv("write"), inv("write"))
+
+    def test_unknown_method_is_a_write(self):
+        spec = ReadWriteCommutativity()
+        assert spec.conflicts(inv("read"), inv("compact"))
+
+    def test_custom_read_set(self):
+        spec = ReadWriteCommutativity(read_methods=("read", "peek"))
+        assert spec.commutes(inv("peek"), inv("read"))
+
+
+class TestMatrix:
+    @pytest.fixture
+    def spec(self):
+        return MatrixCommutativity(
+            {
+                ("insert", "insert"): lambda a, b: a.args[0] != b.args[0],
+                ("insert", "search"): lambda a, b: a.args[0] != b.args[0],
+                ("search", "search"): True,
+            }
+        )
+
+    def test_boolean_entry(self, spec):
+        assert spec.commutes(inv("search", "x"), inv("search", "y"))
+
+    def test_predicate_entry_differs_by_key(self, spec):
+        assert spec.commutes(inv("insert", "DBMS"), inv("insert", "DBS"))
+        assert spec.conflicts(inv("insert", "DBS"), inv("insert", "DBS"))
+
+    def test_entry_is_symmetric(self, spec):
+        assert spec.conflicts(inv("search", "DBS"), inv("insert", "DBS"))
+        assert spec.conflicts(inv("insert", "DBS"), inv("search", "DBS"))
+        assert spec.commutes(inv("search", "A"), inv("insert", "B"))
+
+    def test_missing_entry_falls_back_to_default(self, spec):
+        assert spec.conflicts(inv("insert", "k"), inv("compact"))
+        permissive = MatrixCommutativity({}, default=True)
+        assert permissive.commutes(inv("a"), inv("b"))
+
+    def test_conflicting_duplicate_entries_rejected(self):
+        with pytest.raises(CommutativityError):
+            MatrixCommutativity(
+                {("a", "b"): True, ("b", "a"): False}
+            )
+
+
+class TestPredicate:
+    def test_predicate_applied_symmetrically(self):
+        spec = PredicateCommutativity(
+            lambda a, b: a.method == "read" and b.method == "append"
+        )
+        # predicate true in one direction suffices
+        assert spec.commutes(inv("append"), inv("read"))
+        assert spec.commutes(inv("read"), inv("append"))
+        assert spec.conflicts(inv("append"), inv("append"))
+
+
+class TestEscrow:
+    @pytest.fixture
+    def spec(self):
+        return EscrowCommutativity(low=0.0, high=None)
+
+    def test_deposits_commute(self, spec):
+        assert spec.commutes(inv("deposit", 10), inv("deposit", 20))
+
+    def test_reads_commute_with_reads_only(self, spec):
+        assert spec.commutes(inv("balance"), inv("balance"))
+        assert spec.conflicts(inv("balance"), inv("deposit", 5))
+
+    def test_withdrawals_conflict_without_state(self, spec):
+        assert spec.conflicts(inv("withdraw", 10), inv("withdraw", 20))
+
+    def test_withdrawals_commute_with_sufficient_balance(self, spec):
+        a = inv("withdraw", 10, state=100.0)
+        b = inv("withdraw", 20, state=100.0)
+        assert spec.commutes(a, b)
+
+    def test_withdrawals_conflict_near_the_bound(self, spec):
+        a = inv("withdraw", 60, state=100.0)
+        b = inv("withdraw", 50, state=100.0)
+        assert spec.conflicts(a, b)
+
+    def test_mixed_ops_check_both_orders(self, spec):
+        # balance 10: withdraw 15 then deposit 20 dips below zero in one order
+        dep = inv("deposit", 20, state=10.0)
+        wdr = inv("withdraw", 15, state=10.0)
+        assert spec.conflicts(dep, wdr)
+        # balance 100: both orders stay in bounds
+        dep2 = inv("deposit", 20, state=100.0)
+        wdr2 = inv("withdraw", 15, state=100.0)
+        assert spec.commutes(dep2, wdr2)
+
+    def test_upper_bound_restricts_deposits(self):
+        capped = EscrowCommutativity(low=0.0, high=100.0)
+        a = inv("deposit", 60, state=50.0)
+        b = inv("deposit", 50, state=50.0)
+        assert capped.conflicts(a, b)
+        assert capped.commutes(inv("deposit", 10, state=0.0), inv("deposit", 20, state=0.0))
+
+    def test_unknown_method_conflicts(self, spec):
+        assert spec.conflicts(inv("audit"), inv("deposit", 1))
+
+
+class TestRegistry:
+    def test_lookup_order_exact_then_prefix_then_default(self):
+        registry = CommutativityRegistry(default=ConflictAll())
+        rw = ReadWriteCommutativity()
+        matrix = MatrixCommutativity({("search", "search"): True})
+        registry.register_prefix("Page", rw)
+        registry.register("PageDirectory", matrix)
+        assert registry.for_object("Page4712") is rw
+        assert registry.for_object("PageDirectory") is matrix
+        assert isinstance(registry.for_object("Unknown"), ConflictAll)
+
+    def test_longest_prefix_wins(self):
+        registry = CommutativityRegistry()
+        generic = ReadWriteCommutativity()
+        specific = MatrixCommutativity({})
+        registry.register_prefix("Leaf", generic)
+        registry.register_prefix("Leaf1", specific)
+        assert registry.for_object("Leaf11") is specific
+        assert registry.for_object("Leaf2") is generic
+
+    def test_virtual_objects_inherit_spec(self):
+        registry = CommutativityRegistry()
+        rw = ReadWriteCommutativity()
+        registry.register("Node6", rw)
+        assert registry.for_object(virtual_object_id("Node6")) is rw
+
+    def test_in_conflict_applies_same_process_rule(self):
+        system = TransactionSystem()
+        txn = system.transaction("T1")
+        first = txn.call("Page1", "write")
+        second = txn.call("Page1", "write")
+        registry = CommutativityRegistry()
+        registry.register_prefix("Page", ReadWriteCommutativity())
+        # same process: sequential actions of one transaction never conflict
+        assert not registry.in_conflict(first, second)
+
+    def test_in_conflict_between_transactions(self):
+        system = TransactionSystem()
+        a = system.transaction("T1").call("Page1", "write")
+        b = system.transaction("T2").call("Page1", "read")
+        registry = CommutativityRegistry()
+        registry.register_prefix("Page", ReadWriteCommutativity())
+        assert registry.in_conflict(a, b)
+
+    def test_in_conflict_rejects_different_objects(self):
+        system = TransactionSystem()
+        a = system.transaction("T1").call("Page1", "write")
+        b = system.transaction("T2").call("Page2", "read")
+        registry = CommutativityRegistry()
+        with pytest.raises(CommutativityError):
+            registry.in_conflict(a, b)

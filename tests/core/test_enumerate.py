@@ -1,0 +1,75 @@
+"""Tests of the exhaustive schedule-space enumeration."""
+
+import pytest
+
+from repro.core.enumerate import (
+    classify_schedules,
+    count_interleavings,
+    interleavings,
+)
+from repro.scenarios.schedule_space import (
+    single_leaf_commuting,
+    three_txn_ring,
+    two_leaf_commuting,
+    two_leaf_same_key,
+)
+
+
+class TestInterleavings:
+    def test_counts_match_multinomial(self):
+        for counts in ([2, 2], [1, 1, 1], [3, 1], [2, 2, 2]):
+            generated = list(interleavings(counts))
+            assert len(generated) == count_interleavings(counts)
+            assert len(set(generated)) == len(generated)  # all distinct
+
+    def test_each_interleaving_respects_stream_lengths(self):
+        for order in interleavings([2, 1]):
+            assert order.count(0) == 2 and order.count(1) == 1
+
+    def test_single_stream(self):
+        assert list(interleavings([3])) == [(0, 0, 0)]
+
+    def test_empty(self):
+        assert list(interleavings([])) == [()]
+
+
+class TestClassification:
+    def test_single_leaf_criteria_coincide(self):
+        space = classify_schedules(single_leaf_commuting)
+        assert space.total == 6
+        assert space.oo_only == 0
+        assert space.conventional_only == 0
+        assert space.conventional_ok == space.oo_ok == 2
+
+    def test_two_leaf_commuting_full_admission(self):
+        space = classify_schedules(two_leaf_commuting)
+        assert space.total == 6
+        assert space.oo_ok == 6  # every per-object-atomic schedule admitted
+        assert space.conventional_ok == 2
+        assert space.oo_only == 4
+        assert space.gain == pytest.approx(2.0)
+
+    def test_same_keys_close_the_gap(self):
+        space = classify_schedules(two_leaf_same_key)
+        assert space.oo_only == 0
+        assert space.conventional_ok == space.oo_ok
+
+    def test_ring_census(self):
+        space = classify_schedules(three_txn_ring)
+        assert space.total == 90
+        assert space.conventional_only == 0
+        assert space.oo_ok == 90
+        assert space.conventional_ok < space.oo_ok
+
+    def test_limit_caps_enumeration(self):
+        space = classify_schedules(three_txn_ring, limit=10)
+        assert space.total == 10
+
+    def test_examples_recorded(self):
+        space = classify_schedules(two_leaf_commuting)
+        assert "both" in space.examples
+        assert "oo_only" in space.examples
+
+    def test_row_and_headers_align(self):
+        space = classify_schedules(single_leaf_commuting)
+        assert len(space.row()) == len(space.headers())

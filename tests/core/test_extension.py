@@ -1,0 +1,113 @@
+"""Unit tests for the Definition 5 extension (Example 3 / Figure 6)."""
+
+import pytest
+
+from repro.core.extension import extend_system, find_offending_action
+from repro.core.identifiers import is_virtual, original_object_id
+from repro.core.transactions import TransactionSystem
+from repro.scenarios import blink_split_system
+
+
+def test_no_cycle_means_no_change():
+    system = TransactionSystem()
+    t1 = system.transaction("T1")
+    t1.call("A", "x").call("B", "y")
+    result = extend_system(system)
+    assert not result.was_extended
+    assert result.summary() == "no call cycles; system unchanged"
+
+
+def test_find_offending_action_detects_ancestor_on_same_object():
+    scenario = blink_split_system()
+    offender = find_offending_action(scenario.system)
+    assert offender is scenario.rearrange
+
+
+def test_blink_split_moves_rearrange_to_virtual_node():
+    scenario = blink_split_system()
+    result = extend_system(scenario.system)
+    assert result.was_extended
+    assert scenario.rearrange.obj == "Node6′"
+    assert is_virtual(scenario.rearrange.obj)
+    assert original_object_id(scenario.rearrange.obj) == "Node6"
+    assert result.virtual_objects == {"Node6′": "Node6"}
+
+
+def test_blink_split_duplicates_bystanders():
+    scenario = blink_split_system()
+    result = extend_system(scenario.system)
+    # Node6.insert (T1) and Node6.search (T2) each get a virtual duplicate.
+    originals = {dup.original for dup in result.duplicates}
+    assert originals == {scenario.node_insert, scenario.bystander}
+    for dup in result.duplicates:
+        assert dup.virtual
+        assert dup.obj == "Node6′"
+        assert dup.parent is dup.original
+        assert dup.seq == dup.original.seq  # Axiom 1 order replayed
+        assert dup in dup.original.children
+
+
+def test_extension_is_idempotent():
+    scenario = blink_split_system()
+    extend_system(scenario.system)
+    second = extend_system(scenario.system)
+    assert not second.was_extended
+
+
+def test_extended_system_has_no_offenders():
+    scenario = blink_split_system()
+    extend_system(scenario.system)
+    assert find_offending_action(scenario.system) is None
+
+
+def test_virtual_object_joins_obj_set():
+    scenario = blink_split_system()
+    extend_system(scenario.system)
+    assert "Node6′" in scenario.system.objects
+
+
+def test_chain_of_cycles_gets_fresh_virtual_objects():
+    # t -> m -> a, all three on O: two offenders, two virtual objects.
+    system = TransactionSystem()
+    t1 = system.transaction("T1")
+    t = t1.call("O", "t")
+    m = t.call("O", "m")
+    a = m.call("O", "a")
+    result = extend_system(system)
+    assert find_offending_action(system) is None
+    virtuals = {node.obj for node in (m, a)}
+    assert all(is_virtual(v) for v in virtuals)
+    assert len(virtuals) == 2  # distinct generations
+    assert t.obj == "O"  # the shallowest action stays
+    assert len(result.virtual_objects) == 2
+
+
+def test_two_transactions_cycling_on_one_object():
+    system = TransactionSystem()
+    t1 = system.transaction("T1")
+    x = t1.call("O", "x")
+    deep1 = x.call("P", "p").call("O", "deep1")
+    t2 = system.transaction("T2")
+    y = t2.call("O", "y")
+    deep2 = y.call("Q", "q").call("O", "deep2")
+    result = extend_system(system)
+    assert find_offending_action(system) is None
+    assert deep1.obj != "O" and deep2.obj != "O"
+    # each break duplicated the then-current bystanders on O
+    assert result.duplicates
+
+
+def test_duplicate_makes_original_non_primitive_but_replays_order():
+    system = TransactionSystem()
+    t1 = system.transaction("T1")
+    outer = t1.call("O", "outer")
+    deep = outer.call("P", "p").call("O", "deep")
+    t2 = system.transaction("T2")
+    bystander = t2.call("O", "bystander")
+    assert bystander.is_primitive
+    result = extend_system(system)
+    assert not bystander.is_primitive  # it now calls its duplicate
+    dup = bystander.children[0]
+    assert dup.virtual and dup.is_primitive
+    assert dup.seq == bystander.seq
+    assert result.moved == [deep]

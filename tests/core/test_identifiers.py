@@ -1,0 +1,59 @@
+"""Unit tests for object and action identifiers."""
+
+import pytest
+
+from repro.core.identifiers import (
+    SYSTEM_OBJECT,
+    format_action_id,
+    is_call_ancestor,
+    is_virtual,
+    original_object_id,
+    parse_action_id,
+    virtual_object_id,
+)
+
+
+def test_virtual_object_id_first_generation():
+    assert virtual_object_id("Node6") == "Node6′"
+
+
+def test_virtual_object_id_later_generation():
+    assert virtual_object_id("Node6", 3) == "Node6′′′"
+
+
+def test_virtual_object_id_rejects_bad_generation():
+    with pytest.raises(ValueError):
+        virtual_object_id("Node6", 0)
+
+
+def test_is_virtual():
+    assert not is_virtual("Node6")
+    assert is_virtual(virtual_object_id("Node6"))
+
+
+def test_original_object_id_strips_all_markers():
+    assert original_object_id(virtual_object_id("Leaf11", 2)) == "Leaf11"
+    assert original_object_id("Leaf11") == "Leaf11"
+
+
+def test_format_and_parse_roundtrip():
+    aid = (1, 1, 2)
+    assert format_action_id(aid) == "1.1.2"
+    assert parse_action_id("1.1.2") == aid
+
+
+def test_parse_action_id_rejects_empty():
+    with pytest.raises(ValueError):
+        parse_action_id("")
+
+
+def test_is_call_ancestor_proper_prefix():
+    assert is_call_ancestor((1,), (1, 2))
+    assert is_call_ancestor((1, 2), (1, 2, 7))
+    assert not is_call_ancestor((1, 2), (1, 2))  # not reflexive
+    assert not is_call_ancestor((1, 2), (1, 3, 1))
+    assert not is_call_ancestor((2,), (1, 2))
+
+
+def test_system_object_is_reserved_looking():
+    assert SYSTEM_OBJECT.startswith("$")

@@ -1,0 +1,68 @@
+"""Tests for dependency provenance (why each edge exists)."""
+
+from repro.core import analyze_system
+from repro.scenarios import example4_system, scenario_commuting_inserts
+
+
+def test_axiom1_reason_recorded():
+    scenario = scenario_commuting_inserts()
+    _, schedules = analyze_system(scenario.system, scenario.registry)
+    page = schedules["Page4712"]
+    (edge,) = [
+        (s, d) for s, d in page.action_dep.edges if s.top != d.top
+    ][:1] or [None]
+    src, dst = edge
+    assert "Axiom 1" in page.explain("action", src, dst)
+
+
+def test_inheritance_reason_recorded():
+    scenario = scenario_commuting_inserts()
+    _, schedules = analyze_system(scenario.system, scenario.registry)
+    leaf = schedules["Leaf11"]
+    leaf1, leaf2 = scenario.leaf_actions
+    assert "Definition 11: inherited from Page4712" == leaf.explain(
+        "action", leaf1, leaf2
+    )
+
+
+def test_lift_reason_recorded():
+    scenario = example4_system()
+    _, schedules = analyze_system(scenario.system, scenario.registry)
+    item8 = schedules["Item8"]
+    assert item8.txn_dep.edges
+    src, dst = next(iter(item8.txn_dep.edges))
+    assert item8.explain("txn", src, dst).startswith("Definition 10")
+
+
+def test_added_reason_recorded():
+    scenario = example4_system()
+    _, schedules = analyze_system(scenario.system, scenario.registry)
+    enc = schedules["Enc"]
+    assert enc.added_dep.edges
+    src, dst = next(iter(enc.added_dep.edges))
+    assert enc.explain("added", src, dst).startswith("Definition 15")
+
+
+def test_program_precedence_reason():
+    scenario = example4_system()
+    _, schedules = analyze_system(scenario.system, scenario.registry)
+    enc = schedules["Enc"]
+    insert = scenario.named["T2.Enc.insertItem"]
+    change = scenario.named["T2.Enc.changeItem"]
+    assert enc.action_dep.has_edge(insert, change)
+    assert "Definition 7" in enc.explain("action", insert, change)
+
+
+def test_verbose_describe_includes_reasons():
+    scenario = example4_system()
+    _, schedules = analyze_system(scenario.system, scenario.registry)
+    text = schedules["Item8"].describe(verbose=True)
+    assert "Definition 10" in text
+
+
+def test_unknown_edge_explained_gracefully():
+    scenario = scenario_commuting_inserts()
+    _, schedules = analyze_system(scenario.system, scenario.registry)
+    leaf = schedules["Leaf11"]
+    leaf1, leaf2 = scenario.leaf_actions
+    assert leaf.explain("txn", leaf1, leaf2) == "(unknown)"

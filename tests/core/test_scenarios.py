@@ -1,0 +1,114 @@
+"""Tests of the scenario constructors (the paper's examples as code)."""
+
+from repro.core import analyze_system
+from repro.core.extension import find_offending_action
+from repro.scenarios import (
+    blink_split_system,
+    encyclopedia_registry,
+    example4_system,
+    figure5_tree,
+    scenario_commuting_inserts,
+    scenario_same_key_conflict,
+)
+from repro.scenarios.schedule_space import (
+    single_leaf_commuting,
+    three_txn_ring,
+    two_leaf_commuting,
+    two_leaf_same_key,
+)
+from repro.scenarios.specs import (
+    enc_spec,
+    item_spec,
+    key_based_spec,
+    linked_list_spec,
+)
+from repro.core.actions import Invocation
+
+
+class TestSpecs:
+    def test_key_based_spec(self):
+        spec = key_based_spec()
+        assert spec.commutes(
+            Invocation("L", "insert", ("a",)), Invocation("L", "insert", ("b",))
+        )
+        assert spec.conflicts(
+            Invocation("L", "insert", ("a",)), Invocation("L", "search", ("a",))
+        )
+        assert spec.commutes(
+            Invocation("L", "search", ("a",)), Invocation("L", "search", ("a",))
+        )
+
+    def test_enc_spec_phantom(self):
+        spec = enc_spec()
+        assert spec.conflicts(
+            Invocation("Enc", "insertItem", ("a", 1)), Invocation("Enc", "readSeq")
+        )
+        assert spec.commutes(
+            Invocation("Enc", "readSeq"), Invocation("Enc", "readSeq")
+        )
+
+    def test_item_spec(self):
+        spec = item_spec()
+        assert spec.commutes(Invocation("I", "read"), Invocation("I", "read"))
+        assert spec.conflicts(Invocation("I", "read"), Invocation("I", "change", (1,)))
+
+    def test_linked_list_spec(self):
+        spec = linked_list_spec()
+        assert spec.commutes(
+            Invocation("L", "insert", ("i1",)), Invocation("L", "insert", ("i2",))
+        )
+        assert spec.conflicts(
+            Invocation("L", "insert", ("i1",)), Invocation("L", "readSeq")
+        )
+
+    def test_registry_lookup(self):
+        registry = encyclopedia_registry()
+        assert registry.for_object("Page4712").commutes(
+            Invocation("Page4712", "read"), Invocation("Page4712", "read")
+        )
+        assert registry.for_object("Leaf11") is not registry.default
+
+
+class TestScenarioShapes:
+    def test_example1_scenarios_have_two_tops(self):
+        for build in (scenario_commuting_inserts, scenario_same_key_conflict):
+            scenario = build()
+            assert len(scenario.system.tops) == 2
+            assert scenario.description
+
+    def test_example4_has_four_tops_and_named_actions(self):
+        scenario = example4_system()
+        assert [t.label for t in scenario.system.tops] == ["T1", "T2", "T3", "T4"]
+        assert "T2.Item8.change" in scenario.named
+        assert scenario.named["T4.LinkedList.readSeq"].obj == "LinkedList"
+
+    def test_blink_split_offends_definition5(self):
+        scenario = blink_split_system()
+        assert find_offending_action(scenario.system) is scenario.rearrange
+
+    def test_figure5_precedence_shape(self):
+        tree = figure5_tree()
+        assert tree.a11.precedes_sibling(tree.a12)
+        assert len(list(tree.transaction.actions())) == 8  # root + 2 + 5
+
+    def test_schedule_space_builders_are_deterministic(self):
+        for build in (
+            single_leaf_commuting,
+            two_leaf_commuting,
+            two_leaf_same_key,
+            three_txn_ring,
+        ):
+            s1, _ = build()
+            s2, _ = build()
+            a1 = [(a.top, a.aid, a.obj, a.method) for a in s1.all_actions()]
+            a2 = [(a.top, a.aid, a.obj, a.method) for a in s2.all_actions()]
+            assert a1 == a2
+
+    def test_all_scenarios_analyzable(self):
+        for build in (
+            scenario_commuting_inserts,
+            scenario_same_key_conflict,
+        ):
+            scenario = build()
+            verdict, _ = analyze_system(scenario.system, scenario.registry)
+            assert verdict.oo_serializable

@@ -1,0 +1,135 @@
+"""Unit tests for object schedules: conformity and seriality (Defs 6-8)."""
+
+from repro.core import analyze_system
+from repro.core.schedule import ObjectSchedule, program_precedes
+from repro.core.transactions import TransactionSystem
+from repro.scenarios import (
+    encyclopedia_registry,
+    figure5_tree,
+    scenario_commuting_inserts,
+)
+
+
+class TestProgramPrecedes:
+    def test_sibling_order(self):
+        tree = figure5_tree()
+        assert program_precedes(tree.a111, tree.a112)
+        assert not program_precedes(tree.a112, tree.a111)
+
+    def test_inherited_from_ancestor_action_set(self):
+        tree = figure5_tree()
+        # a11 precedes a12, therefore a113 precedes a121 (Definition 7's
+        # "actions must follow the precedence given for their calling
+        # transactions as well").
+        assert program_precedes(tree.a113, tree.a121)
+
+    def test_caller_precedes_callee(self):
+        tree = figure5_tree()
+        assert program_precedes(tree.a11, tree.a111)
+        assert not program_precedes(tree.a111, tree.a11)
+
+    def test_parallel_branches_unordered(self):
+        tree = figure5_tree(parallel_branches=True)
+        assert not program_precedes(tree.a113, tree.a121)
+        assert not program_precedes(tree.a121, tree.a113)
+
+    def test_across_transactions_no_precedence(self):
+        system = TransactionSystem()
+        x = system.transaction("T1").call("O", "x")
+        y = system.transaction("T2").call("O", "y")
+        assert not program_precedes(x, y)
+
+
+def _single_object_schedule(actions, system):
+    sched = ObjectSchedule(system=system, oid=actions[0].obj)
+    sched.actions = sorted(actions, key=lambda a: a.seq)
+    return sched
+
+
+class TestConform:
+    def test_execution_in_program_order_is_conform(self):
+        tree = figure5_tree()
+        # all leaves on one object for the check
+        system = TransactionSystem()
+        txn = system.transaction("T1")
+        first = txn.call("P", "one")
+        second = txn.call("P", "two")
+        sched = _single_object_schedule([first, second], system)
+        assert sched.is_conform()
+
+    def test_execution_against_program_order_is_not_conform(self):
+        system = TransactionSystem()
+        txn = system.transaction("T1")
+        first = txn.call("P", "one")
+        second = txn.call("P", "two")
+        system.order_primitives([second, first])  # run them backwards
+        sched = _single_object_schedule([first, second], system)
+        assert not sched.is_conform()
+
+    def test_parallel_actions_any_order_is_conform(self):
+        system = TransactionSystem()
+        txn = system.transaction("T1")
+        first = txn.call("P", "one")
+        second = txn.call("P", "two", parallel=True)
+        system.order_primitives([second, first])
+        sched = _single_object_schedule([first, second], system)
+        assert sched.is_conform()
+
+
+class TestSerial:
+    def _schedule(self, order):
+        system = TransactionSystem()
+        t1 = system.transaction("T1")
+        t2 = system.transaction("T2")
+        a1 = t1.call("P", "a1")
+        a2 = t1.call("P", "a2")
+        b1 = t2.call("P", "b1")
+        b2 = t2.call("P", "b2")
+        by_name = {"a1": a1, "a2": a2, "b1": b1, "b2": b2}
+        system.order_primitives([by_name[name] for name in order])
+        return _single_object_schedule([a1, a2, b1, b2], system)
+
+    def test_serial_execution(self):
+        assert self._schedule(["a1", "a2", "b1", "b2"]).is_serial()
+        assert self._schedule(["b1", "b2", "a1", "a2"]).is_serial()
+
+    def test_interleaved_execution_not_serial(self):
+        assert not self._schedule(["a1", "b1", "a2", "b2"]).is_serial()
+
+    def test_single_transaction_is_serial(self):
+        system = TransactionSystem()
+        t1 = system.transaction("T1")
+        actions = [t1.call("P", "x"), t1.call("P", "y")]
+        assert _single_object_schedule(actions, system).is_serial()
+
+
+class TestViews:
+    def test_describe_lists_dependencies(self):
+        scenario = scenario_commuting_inserts()
+        _, schedules = analyze_system(scenario.system, scenario.registry)
+        text = schedules["Page4712"].describe()
+        assert "Page4712" in text
+        assert "txn-dep" in text
+
+    def test_txn_dep_pairs_are_labels(self):
+        scenario = scenario_commuting_inserts()
+        _, schedules = analyze_system(scenario.system, scenario.registry)
+        pairs = schedules["Page4712"].txn_dep_pairs()
+        assert any("Leaf11.insert" in src for src, _ in pairs)
+
+    def test_top_level_projection_drops_intra_transaction_edges(self):
+        system = TransactionSystem()
+        t1 = system.transaction("T1")
+        a = t1.call("P", "write")
+        b = t1.call("P", "write")
+        registry = encyclopedia_registry()
+        _, schedules = analyze_system(system, registry)
+        projection = schedules["P"].top_level_projection()
+        assert projection.edges == set()
+
+    def test_combined_dependencies_unions_added(self):
+        scenario = scenario_commuting_inserts()
+        _, schedules = analyze_system(scenario.system, scenario.registry)
+        sched = schedules["Leaf11"]
+        combined = sched.combined_dependencies()
+        assert sched.action_dep.edges <= combined.edges

@@ -1,0 +1,100 @@
+"""Property-based tests of the commutativity specifications (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import Invocation
+from repro.core.commutativity import (
+    EscrowCommutativity,
+    MatrixCommutativity,
+    ReadWriteCommutativity,
+)
+
+METHODS = ("alpha", "beta", "gamma")
+
+
+@st.composite
+def random_matrices(draw):
+    matrix = {}
+    for i, first in enumerate(METHODS):
+        for second in METHODS[i:]:
+            kind = draw(st.sampled_from(["true", "false", "keyed", "absent"]))
+            if kind == "absent":
+                continue
+            if kind == "keyed":
+                matrix[(first, second)] = lambda a, b: a.args[:1] != b.args[:1]
+            else:
+                matrix[(first, second)] = kind == "true"
+    return MatrixCommutativity(matrix, default=draw(st.booleans()))
+
+
+@st.composite
+def invocations(draw):
+    return Invocation(
+        "O",
+        draw(st.sampled_from(METHODS)),
+        (draw(st.integers(0, 3)),),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(spec=random_matrices(), a=invocations(), b=invocations())
+def test_matrix_commutativity_is_symmetric(spec, a, b):
+    assert spec.commutes(a, b) == spec.commutes(b, a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=invocations(), b=invocations())
+def test_read_write_symmetry(a, b):
+    spec = ReadWriteCommutativity(read_methods=("alpha",))
+    assert spec.commutes(a, b) == spec.commutes(b, a)
+
+
+@st.composite
+def escrow_invocations(draw):
+    method = draw(st.sampled_from(["deposit", "withdraw", "balance"]))
+    amount = draw(st.floats(min_value=0, max_value=100, allow_nan=False))
+    state = draw(st.one_of(st.none(), st.floats(0, 500, allow_nan=False)))
+    args = () if method == "balance" else (amount,)
+    return Invocation("A", method, args, state=state)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=escrow_invocations(), b=escrow_invocations())
+def test_escrow_symmetry(a, b):
+    spec = EscrowCommutativity(low=0.0, high=None)
+    assert spec.commutes(a, b) == spec.commutes(b, a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=escrow_invocations(), b=escrow_invocations())
+def test_escrow_soundness_both_orders_safe(a, b):
+    """If escrow says two updates commute and a state is known, applying
+    them in either order keeps the balance within bounds."""
+    spec = EscrowCommutativity(low=0.0, high=None)
+    if a.method == "balance" or b.method == "balance":
+        return
+    state = a.state if a.state is not None else b.state
+    if state is None or not spec.commutes(a, b):
+        return
+    deltas = [
+        (inv.args[0] if inv.method == "deposit" else -inv.args[0])
+        for inv in (a, b)
+    ]
+    for order in (deltas, deltas[::-1]):
+        running = float(state)
+        for delta in order:
+            running += delta
+            assert running >= -1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    reads=st.frozensets(st.sampled_from(METHODS)),
+    a=invocations(),
+    b=invocations(),
+)
+def test_read_write_commutes_iff_both_read(reads, a, b):
+    spec = ReadWriteCommutativity(read_methods=reads)
+    expected = a.method in reads and b.method in reads
+    assert spec.commutes(a, b) == expected

@@ -1,0 +1,125 @@
+"""Unit tests for the lock table and the waits-for graph."""
+
+from repro.core.actions import Invocation
+from repro.core.commutativity import ReadWriteCommutativity
+from repro.core.transactions import TransactionSystem
+from repro.locking.deadlock import WaitsForGraph
+from repro.locking.lock_table import Lock, LockTable
+from repro.oodb.context import TransactionContext
+
+
+def make_ctx(label):
+    system = TransactionSystem()
+    return TransactionContext(system.transaction(label))
+
+
+def make_lock(ctx, obj="P", method="write", owner=None):
+    return Lock(
+        obj=obj,
+        invocation=Invocation(obj, method),
+        ctx=ctx,
+        owner=owner or ctx.txn.root,
+    )
+
+
+RW = ReadWriteCommutativity()
+
+
+class TestLockTable:
+    def test_add_and_conflicts(self):
+        table = LockTable()
+        holder = make_ctx("T1")
+        requester = make_ctx("T2")
+        table.add(make_lock(holder, method="write"))
+        conflicts = table.conflicting(requester, Invocation("P", "read"), RW)
+        assert len(conflicts) == 1
+
+    def test_reads_are_compatible(self):
+        table = LockTable()
+        holder = make_ctx("T1")
+        requester = make_ctx("T2")
+        table.add(make_lock(holder, method="read"))
+        assert not table.conflicting(requester, Invocation("P", "read"), RW)
+
+    def test_own_locks_never_conflict(self):
+        table = LockTable()
+        ctx = make_ctx("T1")
+        table.add(make_lock(ctx, method="write"))
+        assert not table.conflicting(ctx, Invocation("P", "write"), RW)
+
+    def test_duplicate_lock_not_added(self):
+        table = LockTable()
+        ctx = make_ctx("T1")
+        table.add(make_lock(ctx))
+        table.add(make_lock(ctx))
+        assert table.lock_count == 1
+
+    def test_release_owned_by(self):
+        table = LockTable()
+        ctx = make_ctx("T1")
+        child = ctx.txn.root.call("O", "m")
+        table.add(make_lock(ctx, obj="P1", owner=child))
+        table.add(make_lock(ctx, obj="P2"))
+        assert table.release_owned_by(child) == {"P1"}
+        assert table.lock_count == 1
+        assert table.locks_on("P1") == []
+
+    def test_reown(self):
+        table = LockTable()
+        ctx = make_ctx("T1")
+        child = ctx.txn.root.call("O", "m")
+        table.add(make_lock(ctx, owner=child))
+        assert table.reown(child, ctx.txn.root) == 1
+        assert table.release_owned_by(child) == set()
+        assert table.release_owned_by(ctx.txn.root) == {"P"}
+
+    def test_release_transaction(self):
+        table = LockTable()
+        t1, t2 = make_ctx("T1"), make_ctx("T2")
+        table.add(make_lock(t1, obj="P1"))
+        table.add(make_lock(t1, obj="P2"))
+        table.add(make_lock(t2, obj="P1", method="read"))
+        assert table.release_transaction(t1) == {"P1", "P2"}
+        assert table.lock_count == 1
+        assert table.held_by(t2)
+        assert not table.held_by(t1)
+
+
+class TestWaitsForGraph:
+    def test_no_cycle(self):
+        graph = WaitsForGraph()
+        graph.set_waits("A", {"B"})
+        assert graph.find_cycle_through("A") is None
+
+    def test_direct_cycle(self):
+        graph = WaitsForGraph()
+        graph.set_waits("A", {"B"})
+        graph.set_waits("B", {"A"})
+        cycle = graph.find_cycle_through("B")
+        assert cycle is not None
+        assert cycle[0] == cycle[-1] == "B"
+
+    def test_long_cycle(self):
+        graph = WaitsForGraph()
+        graph.set_waits("A", {"B"})
+        graph.set_waits("B", {"C"})
+        graph.set_waits("C", {"A"})
+        assert graph.find_cycle_through("C") is not None
+
+    def test_self_edges_dropped(self):
+        graph = WaitsForGraph()
+        graph.set_waits("A", {"A", "B"})
+        assert graph.waiting("A") == {"B"}
+
+    def test_set_waits_replaces(self):
+        graph = WaitsForGraph()
+        graph.set_waits("A", {"B"})
+        graph.set_waits("A", {"C"})
+        assert graph.waiting("A") == {"C"}
+
+    def test_clear(self):
+        graph = WaitsForGraph()
+        graph.set_waits("A", {"B"})
+        graph.clear("A")
+        assert graph.waiting("A") == set()
+        assert graph.edges == set()

@@ -1,0 +1,204 @@
+"""Behavioural tests of the four protocols under controlled interleavings.
+
+These tests drive two transactions by hand (no executor): the scheduler's
+single-threaded fallback environment turns any would-block into an abort,
+which lets us assert exactly *when* each protocol blocks.
+"""
+
+import pytest
+
+from repro.core.commutativity import MatrixCommutativity
+from repro.errors import TransactionAborted
+from repro.locking import (
+    ClosedNestedLocking,
+    MultiLevelLocking,
+    OpenNestedLocking,
+    PageLocking2PL,
+)
+from repro.oodb import DatabaseObject, ObjectDatabase, dbmethod
+
+
+class Keyed(DatabaseObject):
+    """A keyed container: operations on different keys commute."""
+
+    commutativity = MatrixCommutativity(
+        {
+            ("get", "get"): True,
+            ("get", "put"): lambda a, b: a.args[0] != b.args[0],
+            ("put", "put"): lambda a, b: a.args[0] != b.args[0],
+            ("erase", "get"): lambda a, b: a.args[0] != b.args[0],
+            ("erase", "put"): lambda a, b: a.args[0] != b.args[0],
+            ("erase", "erase"): lambda a, b: a.args[0] != b.args[0],
+        }
+    )
+
+    def setup(self):
+        pass
+
+    @dbmethod
+    def get(self, key):
+        return self.data.get(key)
+
+    @dbmethod(
+        update=True,
+        compensation=lambda args, result: (
+            ("put", (args[0], result)) if result is not None else ("erase", (args[0],))
+        ),
+    )
+    def put(self, key, value):
+        old = self.data.get(key)
+        self.data[key] = value
+        return old
+
+    @dbmethod(update=True)
+    def erase(self, key):
+        if key in self.data:
+            del self.data[key]
+
+
+def fresh(scheduler):
+    db = ObjectDatabase(scheduler=scheduler, page_capacity=32)
+    oid = db.create(Keyed, oid="K")
+    return db, oid
+
+
+class TestPage2PL:
+    def test_conflicting_page_access_blocks(self):
+        db, oid = fresh(PageLocking2PL())
+        t1 = db.begin("T1")
+        db.send(t1, oid, "put", "a", 1)
+        t2 = db.begin("T2")
+        # different keys, but the same page: conventional 2PL blocks
+        with pytest.raises(TransactionAborted):
+            db.send(t2, oid, "put", "b", 2)
+
+    def test_locks_released_at_commit(self):
+        db, oid = fresh(PageLocking2PL())
+        t1 = db.begin("T1")
+        db.send(t1, oid, "put", "a", 1)
+        db.commit(t1)
+        t2 = db.begin("T2")
+        db.send(t2, oid, "put", "b", 2)  # proceeds now
+        db.commit(t2)
+
+    def test_reads_share(self):
+        db, oid = fresh(PageLocking2PL())
+        t1 = db.begin("T1")
+        db.send(t1, oid, "get", "a")
+        t2 = db.begin("T2")
+        db.send(t2, oid, "get", "a")  # shared read locks coexist
+        db.commit(t1)
+        db.commit(t2)
+
+    def test_abort_releases_locks(self):
+        db, oid = fresh(PageLocking2PL())
+        t1 = db.begin("T1")
+        db.send(t1, oid, "put", "a", 1)
+        db.abort(t1)
+        t2 = db.begin("T2")
+        db.send(t2, oid, "put", "b", 2)
+        db.commit(t2)
+
+
+class TestClosedNested:
+    def test_same_inter_transaction_behaviour_as_2pl(self):
+        db, oid = fresh(ClosedNestedLocking())
+        t1 = db.begin("T1")
+        db.send(t1, oid, "put", "a", 1)
+        t2 = db.begin("T2")
+        with pytest.raises(TransactionAborted):
+            db.send(t2, oid, "put", "b", 2)
+
+
+class TestOpenNested:
+    def test_commuting_methods_interleave_despite_page_conflict(self):
+        db, oid = fresh(OpenNestedLocking())
+        t1 = db.begin("T1")
+        db.send(t1, oid, "put", "a", 1)
+        t2 = db.begin("T2")
+        db.send(t2, oid, "put", "b", 2)  # page locks already released
+        db.commit(t1)
+        db.commit(t2)
+
+    def test_conflicting_methods_block_until_commit(self):
+        db, oid = fresh(OpenNestedLocking())
+        t1 = db.begin("T1")
+        db.send(t1, oid, "put", "a", 1)
+        t2 = db.begin("T2")
+        with pytest.raises(TransactionAborted):
+            db.send(t2, oid, "put", "a", 2)  # same key: semantic conflict
+
+    def test_semantic_lock_released_at_commit(self):
+        db, oid = fresh(OpenNestedLocking())
+        t1 = db.begin("T1")
+        db.send(t1, oid, "put", "a", 1)
+        db.commit(t1)
+        t2 = db.begin("T2")
+        db.send(t2, oid, "put", "a", 2)
+        db.commit(t2)
+
+    def test_read_semantic_lock_allows_other_keys(self):
+        db, oid = fresh(OpenNestedLocking())
+        t1 = db.begin("T1")
+        db.send(t1, oid, "get", "a")
+        t2 = db.begin("T2")
+        db.send(t2, oid, "put", "b", 2)
+        with pytest.raises(TransactionAborted):
+            db.send(t2, oid, "put", "a", 9)  # conflicts with T1's get("a")
+
+    def test_abort_after_interleaving_compensates(self):
+        db, oid = fresh(OpenNestedLocking())
+        t1 = db.begin("T1")
+        db.send(t1, oid, "put", "a", 1)
+        t2 = db.begin("T2")
+        db.send(t2, oid, "put", "b", 2)
+        db.abort(t1)  # compensating erase("a") despite T2's page writes
+        db.commit(t2)
+        t3 = db.begin("T3")
+        assert db.send(t3, oid, "get", "a") is None
+        assert db.send(t3, oid, "get", "b") == 2
+        db.commit(t3)
+
+
+class TestMultiLevel:
+    def _scheduler(self):
+        return MultiLevelLocking({"K": 1, "Page": 0})
+
+    def test_layered_access_behaves_like_open_nested(self):
+        db, oid = fresh(self._scheduler())
+        t1 = db.begin("T1")
+        db.send(t1, oid, "put", "a", 1)
+        t2 = db.begin("T2")
+        db.send(t2, oid, "put", "b", 2)  # page locks released at method end
+        with pytest.raises(TransactionAborted):
+            db.send(t2, oid, "put", "a", 9)  # semantic conflict at level 1
+        db.commit(t1)
+
+    def test_unassigned_objects_are_conservative(self):
+        scheduler = MultiLevelLocking({"Page": 0})  # K has no layer
+        db, oid = fresh(scheduler)
+        t1 = db.begin("T1")
+        db.send(t1, oid, "put", "a", 1)
+        t2 = db.begin("T2")
+        # Semantic K-lock would commute, but K is unassigned, so its page
+        # locks were acquired with root ownership: held until T1 commits.
+        with pytest.raises(TransactionAborted):
+            db.send(t2, oid, "put", "b", 2)
+
+    def test_level_of_uses_longest_prefix(self):
+        scheduler = MultiLevelLocking({"Enc": 3, "EncBpTree": 2})
+        assert scheduler.level_of("EncBpTree") == 2
+        assert scheduler.level_of("Enc") == 3
+        assert scheduler.level_of("Elsewhere") is None
+        assert scheduler.level_of("EncBpTree′") == 2  # virtual objects map back
+
+
+class TestSchedulerStats:
+    def test_stats_count_acquisitions(self):
+        scheduler = OpenNestedLocking()
+        db, oid = fresh(scheduler)
+        t1 = db.begin("T1")
+        db.send(t1, oid, "put", "a", 1)
+        db.commit(t1)
+        assert scheduler.stats["acquired"] > 0
+        assert scheduler.stats["waits"] == 0

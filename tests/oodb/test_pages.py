@@ -1,0 +1,94 @@
+"""Unit tests for pages and the page store."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.oodb.pages import DEFAULT_PAGE_CAPACITY, Page, PageStore
+
+
+class TestPage:
+    def test_read_write_roundtrip(self):
+        page = Page("P1", capacity=4)
+        page.write("a", 1)
+        assert page.read("a") == 1
+        assert page.read("missing") is None
+        assert page.read("missing", 42) == 42
+
+    def test_has_and_keys(self):
+        page = Page("P1", capacity=4)
+        page.write("a", 1)
+        page.write("b", 2)
+        assert page.has("a") and not page.has("c")
+        assert sorted(page.keys()) == ["a", "b"]
+        assert len(page) == 2
+
+    def test_capacity_enforced_for_new_slots(self):
+        page = Page("P1", capacity=2)
+        page.write("a", 1)
+        page.write("b", 2)
+        assert page.is_full
+        with pytest.raises(PageError):
+            page.write("c", 3)
+
+    def test_overwrite_allowed_when_full(self):
+        page = Page("P1", capacity=1)
+        page.write("a", 1)
+        page.write("a", 2)  # must not raise
+        assert page.read("a") == 2
+
+    def test_delete(self):
+        page = Page("P1", capacity=2)
+        page.write("a", 1)
+        page.delete("a")
+        assert not page.has("a")
+        with pytest.raises(PageError):
+            page.delete("a")
+
+    def test_free_slots(self):
+        page = Page("P1", capacity=3)
+        page.write("a", 1)
+        assert page.free_slots == 2
+
+
+class TestPageStore:
+    def test_allocate_auto_ids(self):
+        store = PageStore()
+        first = store.allocate()
+        second = store.allocate()
+        assert first.page_id != second.page_id
+        assert first.page_id.startswith("Page")
+        assert first.capacity == DEFAULT_PAGE_CAPACITY
+
+    def test_allocate_explicit_id_and_capacity(self):
+        store = PageStore(default_capacity=8)
+        page = store.allocate("MyPage", capacity=2)
+        assert store.get("MyPage") is page
+        assert page.capacity == 2
+        assert store.allocate().capacity == 8
+
+    def test_duplicate_id_rejected(self):
+        store = PageStore()
+        store.allocate("P")
+        with pytest.raises(PageError):
+            store.allocate("P")
+
+    def test_get_unknown_page(self):
+        store = PageStore()
+        with pytest.raises(PageError):
+            store.get("nope")
+
+    def test_deallocate(self):
+        store = PageStore()
+        store.allocate("P")
+        assert "P" in store
+        store.deallocate("P")
+        assert "P" not in store
+        with pytest.raises(PageError):
+            store.deallocate("P")
+
+    def test_len_and_page_ids(self):
+        store = PageStore()
+        store.allocate("A")
+        store.allocate("B")
+        assert len(store) == 2
+        assert set(store.page_ids) == {"A", "B"}

@@ -1,0 +1,145 @@
+"""Coverage of SlotProxy mapping behaviour and database edge cases."""
+
+import pytest
+
+from repro.core.commutativity import MatrixCommutativity
+from repro.errors import SimulationError
+from repro.oodb import DatabaseObject, ObjectDatabase, dbmethod
+
+
+class Bag(DatabaseObject):
+    commutativity = MatrixCommutativity({}, default=True)
+
+    def setup(self):
+        pass
+
+    @dbmethod(update=True)
+    def fill(self, pairs):
+        for key, value in pairs:
+            self.data[key] = value
+
+    @dbmethod
+    def snapshot(self):
+        proxy = self.data
+        return {
+            "keys": sorted(proxy.keys()),
+            "items": sorted(proxy.items()),
+            "len": len(proxy),
+            "iter": sorted(iter(proxy)),
+            "has_a": "a" in proxy,
+            "has_z": "z" in proxy,
+        }
+
+    @dbmethod(update=True)
+    def drop(self, key):
+        del self.data[key]
+
+    @dbmethod
+    def strict_get(self, key):
+        return self.data[key]
+
+
+@pytest.fixture
+def db():
+    return ObjectDatabase(page_capacity=16)
+
+
+class TestSlotProxy:
+    def test_mapping_protocol(self, db):
+        bag = db.create(Bag)
+        ctx = db.begin()
+        db.send(ctx, bag, "fill", (("a", 1), ("b", 2)))
+        snapshot = db.send(ctx, bag, "snapshot")
+        db.commit(ctx)
+        assert snapshot == {
+            "keys": ["a", "b"],
+            "items": [("a", 1), ("b", 2)],
+            "len": 2,
+            "iter": ["a", "b"],
+            "has_a": True,
+            "has_z": False,
+        }
+
+    def test_getitem_raises_keyerror(self, db):
+        bag = db.create(Bag)
+        ctx = db.begin()
+        with pytest.raises(KeyError):
+            db.send(ctx, bag, "strict_get", "missing")
+        db.abort(ctx)
+
+    def test_delete_slot(self, db):
+        bag = db.create(Bag)
+        ctx = db.begin()
+        db.send(ctx, bag, "fill", (("a", 1),))
+        db.send(ctx, bag, "drop", "a")
+        assert db.send(ctx, bag, "snapshot")["len"] == 0
+        db.commit(ctx)
+
+    def test_page_stats_counted(self, db):
+        bag = db.create(Bag)
+        ctx = db.begin()
+        db.send(ctx, bag, "fill", (("a", 1),))
+        db.send(ctx, bag, "snapshot")
+        assert ctx.stats.page_writes >= 1
+        assert ctx.stats.page_reads >= 1
+        db.commit(ctx)
+
+
+class TestExecutorEdges:
+    def test_max_ticks_guard(self):
+        from repro.runtime import InterleavedExecutor, TransactionProgram
+
+        db = ObjectDatabase()
+        bag = db.create(Bag)
+
+        def endless(api):
+            for _ in range(10_000):
+                api.work(1)
+
+        executor = InterleavedExecutor(db, seed=0, max_ticks=50)
+        with pytest.raises(SimulationError):
+            executor.run([TransactionProgram("T1", endless)])
+
+    def test_run_sequential_abort_path(self):
+        from repro.errors import TransactionAborted
+        from repro.runtime import TransactionProgram, run_sequential
+
+        db = ObjectDatabase()
+        bag = db.create(Bag)
+
+        def doomed(api):
+            api.send(bag, "fill", (("a", 1),))
+            raise TransactionAborted(api.txn_id, "nope")
+
+        outcomes = run_sequential(db, [TransactionProgram("T1", doomed)])
+        assert not outcomes[0].committed
+        ctx = db.begin()
+        assert db.send(ctx, bag, "snapshot")["len"] == 0
+        db.commit(ctx)
+
+
+class TestSchedulerEdges:
+    def test_describe(self):
+        from repro.locking import OpenNestedLocking
+
+        assert OpenNestedLocking().describe() == "open-nested-oo"
+
+    def test_spec_for_unknown_object_is_conservative(self):
+        from repro.core.commutativity import ConflictAll
+        from repro.locking import OpenNestedLocking
+
+        scheduler = OpenNestedLocking()
+        db = ObjectDatabase(scheduler=scheduler)
+        assert isinstance(scheduler._spec_for("Ghost"), ConflictAll)
+
+    def test_serial_witness(self):
+        from repro.core import analyze_system
+        from repro.scenarios import scenario_same_key_conflict
+
+        scenario = scenario_same_key_conflict()
+        _, schedules = analyze_system(scenario.system, scenario.registry)
+        witness = schedules["BpTree"].serial_witness()
+        assert witness is not None
+        t3_pos = next(i for i, w in enumerate(witness) if "T3" in w)
+        t4_pos = next(i for i, w in enumerate(witness) if "T4" in w)
+        assert t3_pos < t4_pos

@@ -1,0 +1,148 @@
+"""Tests for programmatic subtransaction abort (send_atomic)."""
+
+import pytest
+
+from repro.core.commutativity import MatrixCommutativity
+from repro.errors import SubtransactionAbort
+from repro.locking import OpenNestedLocking
+from repro.oodb import DatabaseObject, ObjectDatabase, dbmethod
+from repro.structures import build_encyclopedia
+
+
+class Ledger(DatabaseObject):
+    commutativity = MatrixCommutativity(
+        {
+            ("read", "read"): True,
+            ("append", "append"): True,
+            ("append", "read"): False,
+        }
+    )
+
+    def setup(self):
+        self.data["__n"] = 0
+
+    @dbmethod(update=True, compensation=lambda args, result: ("unappend", ()))
+    def append(self, value):
+        n = self.data["__n"]
+        self.data[("e", n)] = value
+        self.data["__n"] = n + 1
+        return n
+
+    @dbmethod(update=True)
+    def unappend(self):
+        n = self.data["__n"] - 1
+        if n >= 0:
+            del self.data[("e", n)]
+            self.data["__n"] = n
+
+    @dbmethod
+    def read(self):
+        return [self.data[("e", i)] for i in range(self.data["__n"])]
+
+    @dbmethod(update=True)
+    def append_then_fail(self, value):
+        self.call(self.oid, "append", value)
+        raise SubtransactionAbort("changed my mind")
+
+
+@pytest.fixture
+def db():
+    return ObjectDatabase(scheduler=OpenNestedLocking(), page_capacity=32)
+
+
+class TestSendAtomic:
+    def test_success_behaves_like_send(self, db):
+        ledger = db.create(Ledger)
+        ctx = db.begin()
+        assert db.send_atomic(ctx, ledger, "append", "a") == 0
+        db.commit(ctx)
+        check = db.begin()
+        assert db.send(check, ledger, "read") == ["a"]
+        db.commit(check)
+
+    def test_sub_abort_rolls_back_only_the_subtransaction(self, db):
+        ledger = db.create(Ledger)
+        ctx = db.begin()
+        db.send(ctx, ledger, "append", "keep")
+        outcome = db.send_atomic(
+            ctx, ledger, "append_then_fail", "drop", default="aborted"
+        )
+        assert outcome == "aborted"
+        db.send(ctx, ledger, "append", "more")
+        db.commit(ctx)
+        check = db.begin()
+        assert db.send(check, ledger, "read") == ["keep", "more"]
+        db.commit(check)
+
+    def test_sub_abort_erases_trace(self, db):
+        ledger = db.create(Ledger)
+        ctx = db.begin()
+        db.send_atomic(ctx, ledger, "append_then_fail", "ghost")
+        db.send(ctx, ledger, "append", "real")
+        db.commit(ctx)
+        methods = [a.method for a in ctx.txn.actions()]
+        assert "append_then_fail" not in methods
+        assert methods.count("append") == 1
+
+    def test_sub_abort_releases_locks(self, db):
+        ledger = db.create(Ledger)
+        t1 = db.begin("T1")
+        db.send_atomic(t1, ledger, "append_then_fail", "x")
+        # the aborted subtransaction's semantic/page locks are gone: a
+        # conflicting reader in another transaction proceeds immediately
+        t2 = db.begin("T2")
+        assert db.send(t2, ledger, "read") == []
+        db.commit(t2)
+        db.commit(t1)
+
+    def test_escalation_via_plain_send(self, db):
+        ledger = db.create(Ledger)
+        ctx = db.begin()
+        with pytest.raises(SubtransactionAbort):
+            db.send(ctx, ledger, "append_then_fail", "x")
+        db.abort(ctx)
+        check = db.begin()
+        assert db.send(check, ledger, "read") == []
+        db.commit(check)
+
+    def test_outer_abort_after_sub_abort_is_clean(self, db):
+        ledger = db.create(Ledger)
+        ctx = db.begin()
+        db.send(ctx, ledger, "append", "a")
+        db.send_atomic(ctx, ledger, "append_then_fail", "b")
+        db.abort(ctx)
+        check = db.begin()
+        assert db.send(check, ledger, "read") == []
+        db.commit(check)
+
+    def test_sub_abort_inside_encyclopedia(self, db):
+        enc = build_encyclopedia(db, order=4)
+        ctx = db.begin()
+        db.send(ctx, enc, "insertItem", "keep", 1)
+        # abort an insert as a subtransaction by sending through the
+        # atomic wrapper and raising from a hook: simulate via duplicate
+        # key, which raises DatabaseError (not SubtransactionAbort) —
+        # plain application errors pass through unchanged
+        from repro.errors import DatabaseError
+
+        with pytest.raises(DatabaseError):
+            db.send_atomic(ctx, enc, "insertItem", "keep", 2)
+        db.commit(ctx)
+
+    def test_program_api_exposure(self, db):
+        from repro.runtime import InterleavedExecutor, TransactionProgram
+
+        ledger = db.create(Ledger)
+
+        def body(api):
+            api.send(ledger, "append", "a")
+            assert api.send_atomic(ledger, "append_then_fail", "b", default=-1) == -1
+            api.send(ledger, "append", "c")
+
+        result = InterleavedExecutor(db, seed=0).run(
+            [TransactionProgram("T1", body)]
+        )
+        assert result.all_committed
+        check = db.begin()
+        assert db.send(check, ledger, "read") == ["a", "c"]
+        db.commit(check)

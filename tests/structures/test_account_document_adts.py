@@ -1,0 +1,235 @@
+"""Unit tests for accounts, documents and the Weihl-style ADTs."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.oodb import ObjectDatabase
+from repro.structures import (
+    Account,
+    Counter,
+    Directory,
+    FIFOQueue,
+    KeySet,
+    build_document,
+)
+
+
+@pytest.fixture
+def db():
+    return ObjectDatabase(page_capacity=32)
+
+
+class TestAccount:
+    def test_deposit_withdraw_balance(self, db):
+        acct = db.create(Account, 100.0, "alice")
+        ctx = db.begin()
+        assert db.send(ctx, acct, "deposit", 50) == 150
+        assert db.send(ctx, acct, "withdraw", 30) == 120
+        assert db.send(ctx, acct, "balance") == 120
+        db.commit(ctx)
+
+    def test_overdraft_rejected(self, db):
+        acct = db.create(Account, 10.0)
+        ctx = db.begin()
+        with pytest.raises(DatabaseError):
+            db.send(ctx, acct, "withdraw", 11)
+        db.abort(ctx)
+
+    def test_negative_amounts_rejected(self, db):
+        acct = db.create(Account, 10.0)
+        ctx = db.begin()
+        with pytest.raises(DatabaseError):
+            db.send(ctx, acct, "deposit", -1)
+        db.abort(ctx)
+        with pytest.raises(DatabaseError):
+            db.create(Account, -5.0)
+
+    def test_state_snapshot_feeds_escrow(self, db):
+        acct = db.create(Account, 75.0)
+        assert db.get_object(acct).state_snapshot() == 75.0
+
+    def test_abort_restores_balance(self, db):
+        acct = db.create(Account, 100.0)
+        ctx = db.begin()
+        db.send(ctx, acct, "withdraw", 40)
+        db.abort(ctx)
+        ctx2 = db.begin()
+        assert db.send(ctx2, acct, "balance") == 100.0
+
+    def test_open_nested_abort_compensates(self):
+        from repro.locking import OpenNestedLocking
+
+        db = ObjectDatabase(scheduler=OpenNestedLocking(), page_capacity=32)
+        acct = db.create(Account, 100.0)
+        ctx = db.begin()
+        db.send(ctx, acct, "deposit", 25)
+        db.send(ctx, acct, "withdraw", 10)
+        db.abort(ctx)
+        ctx2 = db.begin()
+        assert db.send(ctx2, acct, "balance") == 100.0
+        db.commit(ctx2)
+
+
+class TestDocument:
+    def _doc(self, db):
+        return build_document(
+            db, "paper", {"intro": "one", "model": "two"}, oid="Doc"
+        )
+
+    def test_build_and_read(self, db):
+        doc = self._doc(db)
+        ctx = db.begin()
+        assert db.send(ctx, doc, "read_section", "intro") == "one"
+        assert db.send(ctx, doc, "read_all") == [("intro", "one"), ("model", "two")]
+        assert db.send(ctx, doc, "section_count") == 2
+        db.commit(ctx)
+
+    def test_edit_returns_old_text(self, db):
+        doc = self._doc(db)
+        ctx = db.begin()
+        assert db.send(ctx, doc, "edit", "intro", "new") == "one"
+        assert db.send(ctx, doc, "read_section", "intro") == "new"
+        db.commit(ctx)
+
+    def test_edit_abort_restores(self, db):
+        doc = self._doc(db)
+        ctx = db.begin()
+        db.send(ctx, doc, "edit", "intro", "scribble")
+        db.abort(ctx)
+        ctx2 = db.begin()
+        assert db.send(ctx2, doc, "read_section", "intro") == "one"
+
+    def test_append_section(self, db):
+        doc = self._doc(db)
+        ctx = db.begin()
+        db.send(ctx, doc, "append_section", "eval", "three")
+        assert db.send(ctx, doc, "section_count") == 3
+        db.commit(ctx)
+        ctx2 = db.begin()
+        with pytest.raises(DatabaseError):
+            db.send(ctx2, doc, "append_section", "eval", "dup")
+        db.abort(ctx2)
+
+    def test_unknown_section(self, db):
+        doc = self._doc(db)
+        ctx = db.begin()
+        with pytest.raises(DatabaseError):
+            db.send(ctx, doc, "read_section", "nope")
+        db.abort(ctx)
+
+    def test_different_sections_commute_same_section_conflicts(self, db):
+        from repro.core.actions import Invocation
+        from repro.structures.document import document_commutativity
+
+        spec = document_commutativity()
+        edit_a = Invocation("Doc", "edit", ("intro", "x"))
+        edit_b = Invocation("Doc", "edit", ("model", "y"))
+        assert spec.commutes(edit_a, edit_b)
+        assert spec.conflicts(edit_a, Invocation("Doc", "edit", ("intro", "z")))
+        assert spec.conflicts(edit_a, Invocation("Doc", "read_all"))
+
+
+class TestCounter:
+    def test_increment_decrement(self, db):
+        counter = db.create(Counter, 5)
+        ctx = db.begin()
+        assert db.send(ctx, counter, "increment", 3) == 8
+        assert db.send(ctx, counter, "decrement") == 7
+        assert db.send(ctx, counter, "value") == 7
+        db.commit(ctx)
+
+    def test_increments_commute(self):
+        from repro.core.actions import Invocation
+
+        spec = Counter.commutativity
+        assert spec.commutes(
+            Invocation("C", "increment", (1,)), Invocation("C", "increment", (2,))
+        )
+        assert spec.conflicts(
+            Invocation("C", "value"), Invocation("C", "increment", (1,))
+        )
+
+
+class TestQueue:
+    def test_fifo_order(self, db):
+        queue = db.create(FIFOQueue)
+        ctx = db.begin()
+        db.send(ctx, queue, "enqueue", "a")
+        db.send(ctx, queue, "enqueue", "b")
+        assert db.send(ctx, queue, "size") == 2
+        assert db.send(ctx, queue, "dequeue") == "a"
+        assert db.send(ctx, queue, "dequeue") == "b"
+        db.commit(ctx)
+
+    def test_dequeue_empty_raises(self, db):
+        queue = db.create(FIFOQueue)
+        ctx = db.begin()
+        with pytest.raises(DatabaseError):
+            db.send(ctx, queue, "dequeue")
+        db.abort(ctx)
+
+    def test_enqueue_abort_compensates(self):
+        from repro.locking import OpenNestedLocking
+
+        db = ObjectDatabase(scheduler=OpenNestedLocking(), page_capacity=32)
+        queue = db.create(FIFOQueue)
+        ctx = db.begin()
+        db.send(ctx, queue, "enqueue", "keep")
+        db.commit(ctx)
+        ctx2 = db.begin()
+        db.send(ctx2, queue, "enqueue", "drop")
+        db.abort(ctx2)
+        ctx3 = db.begin()
+        assert db.send(ctx3, queue, "size") == 1
+        assert db.send(ctx3, queue, "dequeue") == "keep"
+        db.commit(ctx3)
+
+    def test_state_dependent_commutativity(self, db):
+        from repro.core.actions import Invocation
+
+        spec = FIFOQueue.commutativity
+        enq = Invocation("Q", "enqueue", ("x",), state=2)
+        deq = Invocation("Q", "dequeue", (), state=2)
+        assert spec.commutes(enq, deq)  # non-empty queue
+        enq_empty = Invocation("Q", "enqueue", ("x",), state=0)
+        deq_empty = Invocation("Q", "dequeue", (), state=0)
+        assert spec.conflicts(enq_empty, deq_empty)
+
+
+class TestDirectoryAndSet:
+    def test_directory_roundtrip(self, db):
+        d = db.create(Directory)
+        ctx = db.begin()
+        assert db.send(ctx, d, "insert", "k", "v") is None
+        assert db.send(ctx, d, "lookup", "k") == "v"
+        assert db.send(ctx, d, "insert", "k", "v2") == "v"
+        assert db.send(ctx, d, "delete", "k") == "v2"
+        assert db.send(ctx, d, "lookup", "k") is None
+        db.commit(ctx)
+
+    def test_directory_abort_restores_binding(self):
+        from repro.locking import OpenNestedLocking
+
+        db = ObjectDatabase(scheduler=OpenNestedLocking(), page_capacity=32)
+        d = db.create(Directory)
+        ctx = db.begin()
+        db.send(ctx, d, "insert", "k", "v")
+        db.commit(ctx)
+        ctx2 = db.begin()
+        db.send(ctx2, d, "insert", "k", "v2")
+        db.send(ctx2, d, "delete", "k")
+        db.abort(ctx2)
+        ctx3 = db.begin()
+        assert db.send(ctx3, d, "lookup", "k") == "v"
+        db.commit(ctx3)
+
+    def test_keyset(self, db):
+        s = db.create(KeySet, ("a",))
+        ctx = db.begin()
+        assert db.send(ctx, s, "contains", "a")
+        assert db.send(ctx, s, "add", "b") is True
+        assert db.send(ctx, s, "add", "b") is False
+        assert db.send(ctx, s, "members") == ["a", "b"]
+        assert db.send(ctx, s, "remove", "a") is True
+        assert db.send(ctx, s, "remove", "a") is False
+        db.commit(ctx)

@@ -1,0 +1,160 @@
+"""Unit tests for the B+ tree, in both split-propagation modes."""
+
+import random
+
+import pytest
+
+from repro.core.extension import find_offending_action
+from repro.oodb import ObjectDatabase
+from repro.structures import build_bptree
+
+
+def fresh_tree(order=4, blink=False):
+    db = ObjectDatabase(page_capacity=128)
+    tree = build_bptree(db, order, blink=blink)
+    return db, tree
+
+
+def insert_all(db, tree, pairs, label="T"):
+    ctx = db.begin()
+    for key, value in pairs:
+        db.send(ctx, tree, "insert", key, value)
+    db.commit(ctx)
+
+
+def search(db, tree, key):
+    ctx = db.begin()
+    value = db.send(ctx, tree, "search", key)
+    db.commit(ctx)
+    return value
+
+
+class TestBasics:
+    def test_empty_tree_search(self):
+        db, tree = fresh_tree()
+        assert search(db, tree, "missing") is None
+
+    def test_insert_and_search(self):
+        db, tree = fresh_tree()
+        insert_all(db, tree, [("b", 2), ("a", 1), ("c", 3)])
+        assert search(db, tree, "a") == 1
+        assert search(db, tree, "b") == 2
+        assert search(db, tree, "c") == 3
+        assert search(db, tree, "d") is None
+
+    def test_overwrite_keeps_single_entry(self):
+        db, tree = fresh_tree()
+        insert_all(db, tree, [("a", 1), ("a", 2)])
+        assert search(db, tree, "a") == 2
+        ctx = db.begin()
+        assert db.send(ctx, tree, "range", "a", "z") == [("a", 2)]
+        db.commit(ctx)
+
+    def test_order_validation(self):
+        db = ObjectDatabase()
+        with pytest.raises(Exception):
+            build_bptree(db, order=1)
+
+    def test_height_grows_with_splits(self):
+        db, tree = fresh_tree(order=3)
+        insert_all(db, tree, [(f"k{i:03d}", i) for i in range(30)])
+        ctx = db.begin()
+        assert db.send(ctx, tree, "height") >= 3
+        db.commit(ctx)
+
+    def test_all_keys_survive_many_splits(self):
+        db, tree = fresh_tree(order=3)
+        keys = [f"k{i:03d}" for i in range(60)]
+        rng = random.Random(5)
+        rng.shuffle(keys)
+        insert_all(db, tree, [(k, k.upper()) for k in keys])
+        for key in keys:
+            assert search(db, tree, key) == key.upper()
+
+    def test_delete(self):
+        db, tree = fresh_tree(order=3)
+        insert_all(db, tree, [(f"k{i}", i) for i in range(10)])
+        ctx = db.begin()
+        assert db.send(ctx, tree, "delete", "k3") == 3
+        assert db.send(ctx, tree, "delete", "k3") is None
+        db.commit(ctx)
+        assert search(db, tree, "k3") is None
+        assert search(db, tree, "k4") == 4
+
+    def test_range_scan(self):
+        db, tree = fresh_tree(order=3)
+        insert_all(db, tree, [(f"k{i:02d}", i) for i in range(20)])
+        ctx = db.begin()
+        result = db.send(ctx, tree, "range", "k05", "k09")
+        db.commit(ctx)
+        assert result == [(f"k{i:02d}", i) for i in range(5, 10)]
+
+    def test_range_across_leaves(self):
+        db, tree = fresh_tree(order=2)
+        insert_all(db, tree, [(f"k{i:02d}", i) for i in range(12)])
+        ctx = db.begin()
+        result = db.send(ctx, tree, "range", "k00", "k11")
+        db.commit(ctx)
+        assert [k for k, _ in result] == [f"k{i:02d}" for i in range(12)]
+
+
+class TestBlinkMode:
+    def test_blink_tree_correctness(self):
+        db, tree = fresh_tree(order=3, blink=True)
+        keys = [f"k{i:03d}" for i in range(40)]
+        insert_all(db, tree, [(k, k) for k in keys])
+        for key in keys:
+            assert search(db, tree, key) == key
+
+    def test_blink_split_produces_call_cycle(self):
+        """The rearrange call runs inside the insert's call path, touching
+        an ancestor's object — Definition 5's precondition (Example 3)."""
+        db, tree = fresh_tree(order=2, blink=True)
+        insert_all(db, tree, [(f"k{i}", i) for i in range(9)])
+        assert find_offending_action(db.system) is not None
+
+    def test_recursive_mode_has_no_call_cycle(self):
+        db, tree = fresh_tree(order=2, blink=False)
+        insert_all(db, tree, [(f"k{i}", i) for i in range(9)])
+        assert find_offending_action(db.system) is None
+
+    def test_blink_and_recursive_agree(self):
+        pairs = [(f"k{i:02d}", i * i) for i in range(25)]
+        rng = random.Random(3)
+        rng.shuffle(pairs)
+        db1, t1 = fresh_tree(order=3, blink=False)
+        db2, t2 = fresh_tree(order=3, blink=True)
+        insert_all(db1, t1, pairs)
+        insert_all(db2, t2, pairs)
+        for key, value in pairs:
+            assert search(db1, t1, key) == value
+            assert search(db2, t2, key) == value
+
+
+class TestAbortSemantics:
+    def test_abort_undoes_inserts_and_splits(self):
+        db, tree = fresh_tree(order=3)
+        insert_all(db, tree, [(f"pre{i}", i) for i in range(5)])
+        ctx = db.begin()
+        for i in range(10):
+            db.send(ctx, tree, "insert", f"tmp{i}", i)
+        db.abort(ctx)
+        for i in range(10):
+            assert search(db, tree, f"tmp{i}") is None
+        for i in range(5):
+            assert search(db, tree, f"pre{i}") == i
+
+    def test_open_nested_abort_compensates_inserts(self):
+        from repro.locking import OpenNestedLocking
+
+        db = ObjectDatabase(scheduler=OpenNestedLocking(), page_capacity=128)
+        tree = build_bptree(db, 3)
+        insert_all(db, tree, [(f"pre{i}", i) for i in range(5)])
+        ctx = db.begin()
+        for i in range(10):
+            db.send(ctx, tree, "insert", f"tmp{i}", i)
+        db.abort(ctx)
+        for i in range(10):
+            assert search(db, tree, f"tmp{i}") is None
+        for i in range(5):
+            assert search(db, tree, f"pre{i}") == i

@@ -1,0 +1,130 @@
+"""Unit tests for the encyclopedia application object."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.oodb import ObjectDatabase
+from repro.structures import build_encyclopedia
+
+
+@pytest.fixture
+def db():
+    return ObjectDatabase(page_capacity=64)
+
+
+@pytest.fixture
+def enc(db):
+    return build_encyclopedia(db, order=4)
+
+
+def test_build_creates_figure2_objects(db, enc):
+    assert enc == "Enc"
+    assert db.has_object("EncBpTree")
+    assert db.has_object("EncLinkedList")
+
+
+def test_insert_and_search(db, enc):
+    ctx = db.begin()
+    db.send(ctx, enc, "insertItem", "DBMS", "database management")
+    db.commit(ctx)
+    ctx2 = db.begin()
+    assert db.send(ctx2, enc, "search", "DBMS") == "database management"
+    assert db.send(ctx2, enc, "search", "nope") is None
+    db.commit(ctx2)
+
+
+def test_duplicate_key_rejected(db, enc):
+    ctx = db.begin()
+    db.send(ctx, enc, "insertItem", "DBMS", "x")
+    with pytest.raises(DatabaseError):
+        db.send(ctx, enc, "insertItem", "DBMS", "y")
+    db.abort(ctx)
+
+
+def test_change_item_via_index(db, enc):
+    ctx = db.begin()
+    db.send(ctx, enc, "insertItem", "DBS", "v1")
+    db.commit(ctx)
+    ctx2 = db.begin()
+    assert db.send(ctx2, enc, "changeItem", "DBS", "v2") == "v1"
+    db.commit(ctx2)
+    ctx3 = db.begin()
+    assert db.send(ctx3, enc, "search", "DBS") == "v2"
+    db.commit(ctx3)
+
+
+def test_change_missing_item(db, enc):
+    ctx = db.begin()
+    with pytest.raises(DatabaseError):
+        db.send(ctx, enc, "changeItem", "nope", "x")
+    db.abort(ctx)
+
+
+def test_read_seq_in_insertion_order(db, enc):
+    ctx = db.begin()
+    for key in ("b", "a", "c"):
+        db.send(ctx, enc, "insertItem", key, key.upper())
+    db.commit(ctx)
+    ctx2 = db.begin()
+    assert db.send(ctx2, enc, "readSeq") == [("b", "B"), ("a", "A"), ("c", "C")]
+    assert db.send(ctx2, enc, "length") == 3
+    db.commit(ctx2)
+
+
+def test_delete_item(db, enc):
+    ctx = db.begin()
+    db.send(ctx, enc, "insertItem", "a", 1)
+    db.send(ctx, enc, "insertItem", "b", 2)
+    db.commit(ctx)
+    ctx2 = db.begin()
+    assert db.send(ctx2, enc, "deleteItem", "a") is True
+    assert db.send(ctx2, enc, "deleteItem", "ghost") is False
+    db.commit(ctx2)
+    ctx3 = db.begin()
+    assert db.send(ctx3, enc, "search", "a") is None
+    assert db.send(ctx3, enc, "readSeq") == [("b", 2)]
+    db.commit(ctx3)
+
+
+def test_insert_many_spills_across_leaves(db, enc):
+    ctx = db.begin()
+    for i in range(40):
+        db.send(ctx, enc, "insertItem", f"key{i:02d}", i)
+    db.commit(ctx)
+    ctx2 = db.begin()
+    for i in range(40):
+        assert db.send(ctx2, enc, "search", f"key{i:02d}") == i
+    assert db.send(ctx2, enc, "length") == 40
+    db.commit(ctx2)
+
+
+def test_abort_insert_restores_everything(db, enc):
+    ctx = db.begin()
+    db.send(ctx, enc, "insertItem", "keep", 0)
+    db.commit(ctx)
+    ctx2 = db.begin()
+    db.send(ctx2, enc, "insertItem", "drop", 1)
+    db.abort(ctx2)
+    ctx3 = db.begin()
+    assert db.send(ctx3, enc, "search", "drop") is None
+    assert db.send(ctx3, enc, "readSeq") == [("keep", 0)]
+    db.commit(ctx3)
+
+
+def test_open_nested_abort_compensates_insert_item():
+    from repro.locking import OpenNestedLocking
+
+    db = ObjectDatabase(scheduler=OpenNestedLocking(), page_capacity=64)
+    enc = build_encyclopedia(db, order=4)
+    ctx = db.begin()
+    db.send(ctx, enc, "insertItem", "keep", 0)
+    db.commit(ctx)
+    ctx2 = db.begin()
+    db.send(ctx2, enc, "insertItem", "drop", 1)
+    db.send(ctx2, enc, "changeItem", "keep", 99)
+    db.abort(ctx2)
+    ctx3 = db.begin()
+    assert db.send(ctx3, enc, "search", "drop") is None
+    assert db.send(ctx3, enc, "search", "keep") == 0
+    assert db.send(ctx3, enc, "length") == 1
+    db.commit(ctx3)

@@ -1,0 +1,119 @@
+"""Unit tests for the item list and items."""
+
+import pytest
+
+from repro.errors import EncapsulationError
+from repro.oodb import ObjectDatabase
+from repro.structures import Item, LinkedList
+
+
+@pytest.fixture
+def db():
+    return ObjectDatabase(page_capacity=32)
+
+
+class TestItem:
+    def test_setup_and_read(self, db):
+        oid = db.create(Item, "DBMS", "content")
+        ctx = db.begin()
+        assert db.send(ctx, oid, "read") == "content"
+        assert db.send(ctx, oid, "key") == "DBMS"
+        assert db.send(ctx, oid, "next") is None
+        db.commit(ctx)
+
+    def test_change_returns_old(self, db):
+        oid = db.create(Item, "k", "v1")
+        ctx = db.begin()
+        assert db.send(ctx, oid, "change", "v2") == "v1"
+        assert db.send(ctx, oid, "read") == "v2"
+        db.commit(ctx)
+
+    def test_change_abort_restores(self, db):
+        oid = db.create(Item, "k", "v1")
+        ctx = db.begin()
+        db.send(ctx, oid, "change", "v2")
+        db.abort(ctx)
+        ctx2 = db.begin()
+        assert db.send(ctx2, oid, "read") == "v1"
+
+    def test_set_next(self, db):
+        a = db.create(Item, "a")
+        b = db.create(Item, "b")
+        ctx = db.begin()
+        assert db.send(ctx, a, "set_next", b) is None
+        assert db.send(ctx, a, "next") == b
+        db.commit(ctx)
+
+    def test_item_state_is_encapsulated(self, db):
+        oid = db.create(Item, "k", "v")
+        with pytest.raises(EncapsulationError):
+            db.get_object(oid).data["content"]
+
+
+class TestLinkedList:
+    def _with_items(self, db, n):
+        lst = db.create(LinkedList, oid="List")
+        items = [db.create(Item, f"k{i}", f"c{i}") for i in range(n)]
+        ctx = db.begin()
+        for item in items:
+            db.send(ctx, lst, "insert", item)
+        db.commit(ctx)
+        return lst, items
+
+    def test_empty_list(self, db):
+        lst = db.create(LinkedList)
+        ctx = db.begin()
+        assert db.send(ctx, lst, "readSeq") == []
+        assert db.send(ctx, lst, "length") == 0
+        db.commit(ctx)
+
+    def test_insert_and_read_seq(self, db):
+        lst, items = self._with_items(db, 3)
+        ctx = db.begin()
+        assert db.send(ctx, lst, "readSeq") == [
+            ("k0", "c0"),
+            ("k1", "c1"),
+            ("k2", "c2"),
+        ]
+        assert db.send(ctx, lst, "length") == 3
+        db.commit(ctx)
+
+    def test_remove_middle(self, db):
+        lst, items = self._with_items(db, 3)
+        ctx = db.begin()
+        assert db.send(ctx, lst, "remove", items[1]) is True
+        assert db.send(ctx, lst, "readSeq") == [("k0", "c0"), ("k2", "c2")]
+        assert db.send(ctx, lst, "length") == 2
+        db.commit(ctx)
+
+    def test_remove_head_and_tail(self, db):
+        lst, items = self._with_items(db, 3)
+        ctx = db.begin()
+        db.send(ctx, lst, "remove", items[0])
+        db.send(ctx, lst, "remove", items[2])
+        assert db.send(ctx, lst, "readSeq") == [("k1", "c1")]
+        db.commit(ctx)
+        # tail repaired: further inserts land after k1
+        extra = db.create(Item, "k9", "c9")
+        ctx2 = db.begin()
+        db.send(ctx2, lst, "insert", extra)
+        assert db.send(ctx2, lst, "readSeq") == [("k1", "c1"), ("k9", "c9")]
+        db.commit(ctx2)
+
+    def test_remove_missing_returns_false(self, db):
+        lst, _ = self._with_items(db, 2)
+        ghost = db.create(Item, "ghost")
+        ctx = db.begin()
+        assert db.send(ctx, lst, "remove", ghost) is False
+        db.commit(ctx)
+
+    def test_insert_abort_unlinks(self, db):
+        lst, items = self._with_items(db, 2)
+        extra = db.create(Item, "x", "X")
+        ctx = db.begin()
+        db.send(ctx, lst, "insert", extra)
+        db.abort(ctx)
+        ctx2 = db.begin()
+        assert db.send(ctx2, lst, "length") == 2
+        assert ("x", "X") not in db.send(ctx2, lst, "readSeq")
+        db.commit(ctx2)

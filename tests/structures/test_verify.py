@@ -1,0 +1,145 @@
+"""Tests of the structural integrity checkers."""
+
+import pytest
+
+from repro.oodb import ObjectDatabase
+from repro.structures import build_bptree, build_encyclopedia
+from repro.structures.verify import (
+    verify_bptree,
+    verify_encyclopedia,
+    verify_linked_list,
+)
+
+
+@pytest.fixture
+def db():
+    return ObjectDatabase(page_capacity=64)
+
+
+class TestVerifyBPTree:
+    def test_fresh_tree_ok(self, db):
+        tree = build_bptree(db, 4)
+        assert verify_bptree(db, tree)
+
+    def test_populated_tree_ok(self, db):
+        tree = build_bptree(db, 3)
+        ctx = db.begin()
+        for i in range(40):
+            db.send(ctx, tree, "insert", f"k{i:02d}", i)
+        db.commit(ctx)
+        report = verify_bptree(db, tree)
+        assert report.ok, report.problems
+
+    def test_blink_tree_ok(self, db):
+        tree = build_bptree(db, 2, blink=True)
+        ctx = db.begin()
+        for i in range(20):
+            db.send(ctx, tree, "insert", f"k{i:02d}", i)
+        db.commit(ctx)
+        assert verify_bptree(db, tree)
+
+    def test_detects_corrupted_order(self, db):
+        tree = build_bptree(db, 3)
+        ctx = db.begin()
+        for i in range(12):
+            db.send(ctx, tree, "insert", f"k{i:02d}", i)
+        db.commit(ctx)
+        # sabotage: move a key where it does not belong
+        leaf_oids = [o for o in db.object_ids if o.startswith("TreeLeaf")]
+        last = sorted(leaf_oids)[-1]
+        page = db.store.get(db.get_object(last).page_id)
+        page.slots[("k", "k00x")] = "bogus"  # duplicates the low end elsewhere
+        report = verify_bptree(db, tree)
+        assert not report.ok
+
+    def test_detects_broken_chain(self, db):
+        tree = build_bptree(db, 2)
+        ctx = db.begin()
+        for i in range(10):
+            db.send(ctx, tree, "insert", f"k{i}", i)
+        db.commit(ctx)
+        leaf_oids = sorted(o for o in db.object_ids if o.startswith("TreeLeaf"))
+        first = db.store.get(db.get_object(leaf_oids[0]).page_id)
+        first.slots["__next"] = leaf_oids[0]  # self-loop
+        report = verify_bptree(db, tree)
+        assert not report.ok
+        assert any("loop" in p for p in report.problems)
+
+
+class TestVerifyLinkedList:
+    def test_ok_after_inserts_and_removes(self, db):
+        from repro.structures import Item, LinkedList
+
+        lst = db.create(LinkedList)
+        items = [db.create(Item, f"k{i}") for i in range(4)]
+        ctx = db.begin()
+        for item in items:
+            db.send(ctx, lst, "insert", item)
+        db.send(ctx, lst, "remove", items[1])
+        db.commit(ctx)
+        assert verify_linked_list(db, lst)
+
+    def test_detects_wrong_length(self, db):
+        from repro.structures import Item, LinkedList
+
+        lst = db.create(LinkedList)
+        item = db.create(Item, "k")
+        ctx = db.begin()
+        db.send(ctx, lst, "insert", item)
+        db.commit(ctx)
+        db.store.get(db.get_object(lst).page_id).slots["__len"] = 7
+        report = verify_linked_list(db, lst)
+        assert not report.ok
+
+    def test_detects_stale_tail(self, db):
+        from repro.structures import Item, LinkedList
+
+        lst = db.create(LinkedList)
+        a, b = db.create(Item, "a"), db.create(Item, "b")
+        ctx = db.begin()
+        db.send(ctx, lst, "insert", a)
+        db.send(ctx, lst, "insert", b)
+        db.commit(ctx)
+        db.store.get(db.get_object(lst).page_id).slots["__tail"] = a
+        assert not verify_linked_list(db, lst)
+
+
+class TestVerifyEncyclopedia:
+    def test_ok_after_mixed_operations(self, db):
+        enc = build_encyclopedia(db, order=4)
+        ctx = db.begin()
+        for i in range(20):
+            db.send(ctx, enc, "insertItem", f"k{i:02d}", i)
+        db.send(ctx, enc, "deleteItem", "k05")
+        db.send(ctx, enc, "changeItem", "k06", "changed")
+        db.commit(ctx)
+        report = verify_encyclopedia(db, enc)
+        assert report.ok, report.problems
+
+    def test_ok_after_aborts(self, db):
+        from repro.locking import OpenNestedLocking
+
+        db = ObjectDatabase(scheduler=OpenNestedLocking(), page_capacity=64)
+        enc = build_encyclopedia(db, order=4)
+        ctx = db.begin()
+        for i in range(8):
+            db.send(ctx, enc, "insertItem", f"keep{i}", i)
+        db.commit(ctx)
+        ctx2 = db.begin()
+        db.send(ctx2, enc, "insertItem", "drop", 1)
+        db.send(ctx2, enc, "changeItem", "keep3", "dirty")
+        db.abort(ctx2)
+        report = verify_encyclopedia(db, enc)
+        assert report.ok, report.problems
+
+    def test_detects_index_list_divergence(self, db):
+        enc = build_encyclopedia(db, order=4)
+        ctx = db.begin()
+        db.send(ctx, enc, "insertItem", "a", 1)
+        db.commit(ctx)
+        # remove from the index behind the encyclopedia's back
+        ctx2 = db.begin()
+        db.send(ctx2, "EncBpTree", "delete", "a")
+        db.commit(ctx2)
+        report = verify_encyclopedia(db, enc)
+        assert not report.ok

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(list(argv))
+    return code, buffer.getvalue()
+
+
+def test_compare_encyclopedia_two_protocols():
+    code, output = run_cli(
+        "compare",
+        "--workload", "encyclopedia",
+        "--protocols", "page-2pl", "open-nested-oo",
+        "--transactions", "4",
+        "--seeds", "0",
+    )
+    assert code == 0
+    assert "page-2pl" in output and "open-nested-oo" in output
+    assert "tput/1k" in output
+
+
+def test_compare_banking():
+    code, output = run_cli(
+        "compare", "--workload", "banking", "--protocols", "open-nested-oo",
+        "--transactions", "4", "--seeds", "0",
+    )
+    assert code == 0
+    assert "banking workload" in output
+
+
+def test_compare_editing_and_index():
+    for workload in ("editing", "index"):
+        code, output = run_cli(
+            "compare", "--workload", workload, "--protocols", "page-2pl",
+            "--transactions", "3", "--seeds", "0",
+        )
+        assert code == 0, workload
+        assert "page-2pl" in output
+
+
+def test_census():
+    code, output = run_cli("census")
+    assert code == 0
+    assert "two leaves, distinct keys" in output
+    assert "oo-only" in output
+
+
+def test_figures():
+    code, output = run_cli("figures")
+    assert code == 0
+    assert "Example 4 / Figure 8" in output
+    assert "serial order: ['T1', 'T2', 'T3', 'T4']" in output
+
+
+def test_figures_verbose_provenance():
+    code, output = run_cli("figures", "--verbose")
+    assert code == 0
+    assert "Definition 10" in output
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

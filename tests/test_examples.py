@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process (fresh module namespace) and its output
+is checked for the headline lines — examples are documentation, so a
+silently broken one is a bug.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        with redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return buffer.getvalue()
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "oo-serializable: True" in output
+    assert "committed: ['T0', 'T1', 'T2', 'T3']" in output
+
+
+def test_paper_example1():
+    output = run_example("paper_example1.py")
+    assert "Scenario A" in output and "Scenario B" in output
+    assert "[('T3', 'T4')]" in output
+
+
+def test_cooperative_editing():
+    output = run_example("cooperative_editing.py")
+    assert "page-2pl" in output and "open-nested-oo" in output
+    assert "per-author blocking" in output
+
+
+def test_banking_escrow():
+    output = run_example("banking_escrow.py")
+    assert "sum 2000.0" in output
+    assert "540.0" in output
+
+
+def test_schedule_explorer():
+    output = run_example("schedule_explorer.py")
+    assert "exhaustive schedule census" in output
+    assert "only by oo-serializability" in output
+
+
+def test_index_concurrency():
+    output = run_example("index_concurrency.py")
+    assert "structure check: OK" in output
+    assert "committed history oo-serializable: True" in output

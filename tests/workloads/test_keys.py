@@ -1,0 +1,71 @@
+"""Unit tests for the key-space samplers."""
+
+import collections
+
+import pytest
+
+from repro.workloads.keys import HotSetSampler, UniformSampler, ZipfSampler, key_name
+
+
+def test_key_name_format():
+    assert key_name(7) == "k000007"
+    assert key_name(7) < key_name(10)  # lexicographic == numeric order
+
+
+class TestUniform:
+    def test_samples_within_universe(self):
+        sampler = UniformSampler(10, seed=1)
+        for _ in range(100):
+            assert 0 <= int(sampler.sample()[1:]) < 10
+
+    def test_deterministic(self):
+        a = UniformSampler(100, seed=5)
+        b = UniformSampler(100, seed=5)
+        assert [a.sample() for _ in range(20)] == [b.sample() for _ in range(20)]
+
+    def test_rejects_empty_universe(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0)
+
+
+class TestZipf:
+    def test_theta_zero_is_roughly_uniform(self):
+        sampler = ZipfSampler(4, theta=0.0, seed=2)
+        counts = collections.Counter(sampler.sample() for _ in range(4000))
+        assert len(counts) == 4
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_high_theta_is_skewed(self):
+        sampler = ZipfSampler(100, theta=1.2, seed=3)
+        counts = collections.Counter(sampler.sample() for _ in range(5000))
+        top_share = counts.most_common(1)[0][1] / 5000
+        assert top_share > 0.15  # the hottest key dominates
+
+    def test_deterministic(self):
+        a = ZipfSampler(50, theta=0.8, seed=9)
+        b = ZipfSampler(50, theta=0.8, seed=9)
+        assert [a.sample() for _ in range(30)] == [b.sample() for _ in range(30)]
+
+    def test_rejects_negative_theta(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, theta=-1)
+
+
+class TestHotSet:
+    def test_hot_set_dominates(self):
+        sampler = HotSetSampler(100, hot_fraction=0.1, hot_probability=0.9, seed=4)
+        hot_hits = sum(
+            1 for _ in range(2000) if int(sampler.sample()[1:]) < 10
+        )
+        assert hot_hits > 1600
+
+    def test_full_hot_fraction(self):
+        sampler = HotSetSampler(10, hot_fraction=1.0, hot_probability=0.5, seed=0)
+        for _ in range(50):
+            assert 0 <= int(sampler.sample()[1:]) < 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotSetSampler(10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotSetSampler(10, hot_probability=1.5)

@@ -1,0 +1,57 @@
+"""Tests for the parameter-sweep driver."""
+
+import functools
+
+from repro.analysis.sweep import sweep, sweep_rows
+from repro.workloads import (
+    EncyclopediaWorkload,
+    build_encyclopedia_workload,
+    encyclopedia_layers,
+)
+
+
+def factory(mpl):
+    spec = EncyclopediaWorkload(
+        n_transactions=mpl, ops_per_transaction=2, preload=10, seed=3
+    )
+    return functools.partial(build_encyclopedia_workload, spec=spec)
+
+
+def test_sweep_shape():
+    results = sweep(
+        factory,
+        (2, 3),
+        protocols=("page-2pl", "open-nested-oo"),
+        layers=encyclopedia_layers(),
+        seeds=(0,),
+    )
+    assert set(results) == {2, 3}
+    for mpl, per_protocol in results.items():
+        assert set(per_protocol) == {"page-2pl", "open-nested-oo"}
+        for metrics in per_protocol.values():
+            assert metrics.committed == mpl
+
+
+def test_sweep_rows_pivot():
+    results = sweep(
+        factory,
+        (2,),
+        protocols=("page-2pl",),
+        layers=encyclopedia_layers(),
+        seeds=(0,),
+    )
+    headers, rows = sweep_rows(results, metric="committed", fmt="{}")
+    assert headers == ["value", "page-2pl"]
+    assert rows == [[2, 2]]
+
+
+def test_sweep_rows_formats_floats():
+    results = sweep(
+        factory,
+        (2,),
+        protocols=("page-2pl",),
+        layers=encyclopedia_layers(),
+        seeds=(0,),
+    )
+    _, rows = sweep_rows(results, metric="throughput", fmt="{:.1f}")
+    assert isinstance(rows[0][1], str) and "." in rows[0][1]
