@@ -1,12 +1,22 @@
-"""Shared helpers for the bench suite.
+"""Shared helpers for the bench suite, and its standalone runner.
 
 Every bench prints its paper-style table *and* writes it to
 ``benchmarks/results/<name>.txt`` so the regenerated artifacts survive
 pytest's output capturing.  EXPERIMENTS.md records the reference outputs.
+
+``python benchmarks/_harness.py [pattern ...]`` runs every ``bench_*.py``
+module's test functions directly (a stub stands in for the pytest-benchmark
+fixture) and — unlike the old behavior of importing modules that define
+but never execute their checks — **exits non-zero when any benchmark's
+internal verification fails**, so CI cannot mistake a broken claim table
+for a regenerated one.
 """
 
 from __future__ import annotations
 
+import importlib.util
+import sys
+import traceback
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -19,3 +29,59 @@ def emit(name: str, text: str) -> str:
     print(text)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     return text
+
+
+class DirectBenchmark:
+    """Stand-in for the pytest-benchmark fixture: just run the callable."""
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+        result = None
+        for _ in range(max(1, rounds) * max(1, iterations)):
+            result = fn(*args, **(kwargs or {}))
+        return result
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_benchmarks(patterns: list[str] | None = None) -> int:
+    """Run bench modules' verifications; return the number of failures."""
+    bench_dir = Path(__file__).parent
+    paths = sorted(bench_dir.glob("bench_*.py"))
+    if patterns:
+        paths = [p for p in paths if any(pat in p.stem for pat in patterns)]
+    failures = 0
+    for path in paths:
+        try:
+            module = _load_module(path)
+            tests = [
+                getattr(module, name)
+                for name in sorted(dir(module))
+                if name.startswith("test_") and callable(getattr(module, name))
+            ]
+            for test in tests:
+                test(DirectBenchmark())
+        except BaseException:
+            failures += 1
+            print(f"\nFAIL {path.name}", file=sys.stderr)
+            traceback.print_exc()
+        else:
+            print(f"PASS {path.name}")
+    print(f"\n{len(paths)} bench module(s), {failures} failure(s)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    failures = run_benchmarks(list(argv or sys.argv[1:]))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

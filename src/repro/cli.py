@@ -1,13 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the library's common entry points without writing
+Four commands cover the library's common entry points without writing
 code:
 
 - ``compare`` — run a workload under selected protocols and print the
   RunMetrics table (the C2/C3 harness);
 - ``census`` — the exhaustive schedule-space census (C5);
 - ``figures`` — regenerate the paper's Example 1 / Example 4 dependency
-  tables with provenance.
+  tables with provenance;
+- ``fuzz`` — the randomized schedule fuzzer: generated workloads under all
+  five protocols, judged by the oo-serializability oracle, with greedy
+  shrinking of any failure into a seed-reproducible counterexample file.
 """
 
 from __future__ import annotations
@@ -171,6 +174,141 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def _build_fuzz_parser(subparsers) -> None:
+    from repro.fuzz import FUZZ_PROTOCOLS
+
+    parser = subparsers.add_parser(
+        "fuzz", help="randomized schedule fuzzing with the oo oracle"
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=50,
+        help="number of generator seeds to run (0..N-1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="run exactly one generator seed (reproduction mode)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="use the small/fast smoke generator profile",
+    )
+    parser.add_argument(
+        "--protocols", nargs="+", default=list(FUZZ_PROTOCOLS),
+        choices=list(FUZZ_PROTOCOLS),
+    )
+    parser.add_argument(
+        "--ablate", action="store_true",
+        help="break the first leaf object's commutativity entries in the "
+        "oracle only — the self-test that must produce a violation",
+    )
+    parser.add_argument(
+        "--max-violations", type=int, default=1,
+        help="stop the campaign after this many violations",
+    )
+    parser.add_argument(
+        "--out", default="fuzz_counterexample.json",
+        help="where to write the shrunk counterexample on failure",
+    )
+    parser.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="replay a counterexample file instead of running a campaign",
+    )
+
+
+def cmd_fuzz(args) -> int:
+    import json
+
+    from repro.fuzz import (
+        Ablation,
+        GeneratorProfile,
+        counterexample_dict,
+        run_campaign,
+        run_cell,
+        shrink,
+    )
+    from repro.fuzz.generator import WorkloadSpec
+
+    if args.replay is not None:
+        with open(args.replay) as fh:
+            data = json.load(fh)
+        spec = WorkloadSpec.from_dict(data["workload"])
+        _, report = run_cell(
+            spec,
+            data["protocol"],
+            exec_seed=data["exec_seed"],
+            ablation=Ablation.from_dict(data.get("ablation")),
+        )
+        print(
+            f"replay {args.replay}: protocol={data['protocol']} "
+            f"exec_seed={data['exec_seed']} "
+            f"oo_serializable={report.oo_serializable} "
+            f"conventional={report.conventional_serializable}"
+        )
+        if report.violation:
+            print(report.description)
+        return 1 if report.violation else 0
+
+    profile = GeneratorProfile.smoke() if args.smoke else None
+    seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
+    campaign = run_campaign(
+        seeds=seeds,
+        protocols=tuple(args.protocols),
+        profile=profile,
+        ablate_first_leaf=args.ablate,
+        max_violations=args.max_violations,
+    )
+    header, rows = campaign.table()
+    print(
+        render_table(
+            header,
+            rows,
+            title=f"fuzz campaign, {campaign.seeds_run} seed(s)"
+            + (" [ablated oracle]" if args.ablate else ""),
+        )
+    )
+    for seed, protocol, error in campaign.errors:
+        print(f"ERROR seed={seed} protocol={protocol}: {error}")
+    if not campaign.violations:
+        print("no oracle violations" if campaign.ok else "simulator errors")
+        return 0 if campaign.ok else 1
+
+    violation = campaign.violations[0]
+    print(
+        f"violation: generator seed {violation.seed} under "
+        f"{violation.protocol}; shrinking..."
+    )
+    small, stats = shrink(
+        violation.spec,
+        violation.protocol,
+        exec_seed=violation.seed,
+        ablation=violation.ablation,
+    )
+    payload = counterexample_dict(
+        small,
+        violation.protocol,
+        exec_seed=violation.seed,
+        ablation=violation.ablation,
+        report=violation.report,
+        stats=stats,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"shrunk {stats.programs_before}->{stats.programs_after} programs, "
+        f"{stats.sends_before}->{stats.sends_after} sends "
+        f"({stats.evals} evals); wrote {args.out}"
+    )
+    print(
+        f"reproduce with: python -m repro fuzz --replay {args.out}  "
+        f"(or --seed {violation.seed}"
+        + (" --smoke" if args.smoke else "")
+        + (" --ablate" if violation.ablation else "")
+        + f" --protocols {violation.protocol})"
+    )
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -186,11 +324,14 @@ def main(argv: list[str] | None = None) -> int:
     figures.add_argument(
         "--verbose", action="store_true", help="show dependency provenance"
     )
+    _build_fuzz_parser(subparsers)
     args = parser.parse_args(argv)
     if args.command == "compare":
         return cmd_compare(args)
     if args.command == "census":
         return cmd_census(args)
+    if args.command == "fuzz":
+        return cmd_fuzz(args)
     return cmd_figures(args)
 
 

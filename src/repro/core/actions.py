@@ -61,6 +61,11 @@ class ActionNode:
     parent: Optional["ActionNode"] = None
     top: str = ""
     seq: int = 0
+    #: object-state snapshot taken when the action was dispatched; carried
+    #: into :meth:`invocation` so that state-dependent commutativity
+    #: specifications (escrow, queues) evaluate identically at scheduling
+    #: time and at analysis time.
+    state: object = None
     virtual: bool = False
     original: Optional["ActionNode"] = None
     children: list["ActionNode"] = field(default_factory=list)
@@ -217,7 +222,7 @@ class ActionNode:
     # -- invocation view ------------------------------------------------------
 
     def invocation(self) -> Invocation:
-        return Invocation(self.obj, self.method, self.args)
+        return Invocation(self.obj, self.method, self.args, state=self.state)
 
     # -- display ---------------------------------------------------------------
 

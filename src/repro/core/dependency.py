@@ -52,6 +52,59 @@ from repro.core.schedule import ObjectSchedule
 from repro.core.transactions import TransactionSystem
 
 
+def linearize_effects(system: TransactionSystem) -> None:
+    """Re-stamp each method action at its first own-object effect.
+
+    The execution trace stamps an action's ``seq`` when its scheduler
+    request is granted.  For protocols that lock the accessed object itself
+    this *is* the object-level serialization point.  But under
+    page-granularity protocols (flat 2PL, closed nesting) a method action
+    acquires no lock on its object: its stamp records dispatch time, while
+    the actual serialization of two conflicting method executions happens at
+    their first page conflict — which, after an interleaving switch, can
+    contradict dispatch order.  Axiom 1 would then bootstrap edges (via the
+    primitive virtual duplicates of Definition 5, which inherit the stamp)
+    that invert the real execution order, manufacturing cycles in perfectly
+    serializable 2PL histories.
+
+    The honest object-schedule position of a method action is therefore the
+    ``seq`` of its first *direct* primitive child — its first access to its
+    own object's page.  For object-locking protocols this never reorders
+    conflicting pairs (the grant stamp precedes all children and conflicting
+    actions cannot overlap), so the rewrite is safe to apply universally.
+    Actions without direct primitive children fall back to their subtree's
+    first effect, and childless actions keep their stamp.  The rewrite is
+    idempotent and must run before the Definition 5 extension (duplicates
+    copy their original's stamp).
+    """
+    effective: dict[int, int] = {}
+
+    def eff(action: ActionNode) -> int:
+        key = id(action)
+        if key in effective:
+            return effective[key]
+        if action.is_primitive:
+            value = action.seq
+        else:
+            direct = [c.seq for c in action.children if c.is_primitive]
+            if direct:
+                value = min(direct)
+            elif action.children:
+                value = min(eff(c) for c in action.children)
+            else:
+                value = action.seq
+        effective[key] = value
+        return value
+
+    updates = [
+        (action, eff(action))
+        for action in system.all_actions()
+        if not action.is_primitive and not action.virtual
+    ]
+    for action, value in updates:
+        action.seq = value
+
+
 class DependencyAnalysis:
     """Computes every object schedule of a transaction system.
 
@@ -67,6 +120,10 @@ class DependencyAnalysis:
         Disable the extension only to demonstrate why it is needed (the
         ablation bench A2); verdicts on unextended systems with call cycles
         are not trustworthy.
+    linearize:
+        Apply :func:`linearize_effects` first (default), re-stamping each
+        method action at its first own-object effect so that Axiom 1
+        bootstraps from execution order rather than dispatch order.
     """
 
     def __init__(
@@ -76,9 +133,12 @@ class DependencyAnalysis:
         *,
         extend: bool = True,
         propagate_cross_object: bool = True,
+        linearize: bool = True,
     ):
         self.system = system
         self.commutativity = commutativity
+        if linearize:
+            linearize_effects(system)
         self.extension = extend_system(system) if extend else None
         self.propagate_cross_object = propagate_cross_object
         #: top-level ordering constraints discovered by the cross-object

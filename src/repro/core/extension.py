@@ -125,6 +125,7 @@ def _break_cycle(
             parent=peer,
             top=peer.top,
             seq=peer.seq,  # replay the original Axiom 1 order on O′
+            state=peer.state,
             virtual=True,
             original=peer,
         )

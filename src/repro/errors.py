@@ -87,4 +87,15 @@ class SubtransactionAbort(ReproError):
 
 
 class SimulationError(ReproError):
-    """The discrete-event simulator reached an inconsistent state."""
+    """The discrete-event simulator reached an inconsistent state.
+
+    Carries the executor seed (when known) so that any failure message is
+    immediately reproducible: rerun with the same seed and the identical
+    interleaving replays.
+    """
+
+    def __init__(self, message: str, *, seed: int | None = None):
+        if seed is not None:
+            message = f"{message} [executor seed={seed}]"
+        super().__init__(message)
+        self.seed = seed

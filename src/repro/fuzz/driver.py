@@ -1,0 +1,199 @@
+"""The fuzz campaign driver: many seeds x five protocols x one oracle.
+
+For every generator seed, :func:`run_campaign` builds the workload spec,
+materializes it on a fresh database per protocol, executes it under the
+interleaved executor (executor seed = generator seed, so one integer
+reproduces both the workload and the interleaving), and hands the committed
+history to the oracle.  Per-protocol tallies aggregate oracle verdicts and
+admission-rate deltas; any violation is returned with enough context for
+the shrinker to take over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.compare import make_scheduler
+from repro.errors import ReproError
+from repro.fuzz.generator import (
+    GeneratorProfile,
+    WorkloadSpec,
+    build_workload,
+    generate,
+)
+from repro.fuzz.oracle import (
+    Ablation,
+    OracleReport,
+    check_history,
+    strictness_for,
+)
+from repro.oodb.database import ObjectDatabase
+from repro.runtime.executor import ExecutionResult, InterleavedExecutor
+
+#: all five protocols, including the optimistic certifier the comparison
+#: engine's default tuple leaves out
+FUZZ_PROTOCOLS = (
+    "page-2pl",
+    "closed-nested",
+    "multilevel",
+    "open-nested-oo",
+    "optimistic-oo",
+)
+
+
+def run_cell(
+    spec: WorkloadSpec,
+    protocol: str,
+    *,
+    exec_seed: int | None = None,
+    ablation: Ablation | None = None,
+    max_ticks: int = 200_000,
+) -> tuple[ExecutionResult, OracleReport]:
+    """One (workload, protocol) cell: build, execute, judge."""
+    db = ObjectDatabase(
+        scheduler=make_scheduler(protocol, spec.layers()),
+        page_capacity=4 * spec.key_space + 16,
+    )
+    _, programs = build_workload(db, spec)
+    executor = InterleavedExecutor(
+        db,
+        seed=spec.seed if exec_seed is None else exec_seed,
+        max_ticks=max_ticks,
+    )
+    result = executor.run(programs)
+    report = check_history(
+        result, ablation, strict_cross_object=strictness_for(protocol)
+    )
+    return result, report
+
+
+@dataclass
+class Violation:
+    """One oracle failure, carrying everything needed to reproduce it."""
+
+    seed: int
+    protocol: str
+    report: OracleReport
+    spec: WorkloadSpec
+    ablation: Ablation | None = None
+
+
+@dataclass
+class ProtocolTally:
+    """Per-protocol aggregate over a campaign."""
+
+    protocol: str
+    runs: int = 0
+    violations: int = 0
+    committed: int = 0
+    gave_up: int = 0
+    restarts: int = 0
+    #: histories the conventional criterion would reject but oo-serializability
+    #: admits — the measured admission-rate delta
+    oo_only: int = 0
+    errors: int = 0
+
+    def row(self) -> list:
+        delta = self.oo_only / self.runs if self.runs else 0.0
+        return [
+            self.protocol,
+            self.runs,
+            self.violations,
+            self.errors,
+            self.committed,
+            self.gave_up,
+            self.restarts,
+            self.oo_only,
+            f"{delta:.2f}",
+        ]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a fuzz campaign produced."""
+
+    tallies: dict[str, ProtocolTally] = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+    #: (seed, protocol, repr(error)) for runs that crashed the simulator
+    errors: list[tuple[int, str, str]] = field(default_factory=list)
+    seeds_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+    def table(self) -> tuple[list[str], list[list]]:
+        header = [
+            "protocol",
+            "runs",
+            "violations",
+            "errors",
+            "committed",
+            "gave-up",
+            "restarts",
+            "oo-only",
+            "delta",
+        ]
+        return header, [t.row() for t in self.tallies.values()]
+
+
+def run_campaign(
+    *,
+    seeds: list[int],
+    protocols: tuple[str, ...] = FUZZ_PROTOCOLS,
+    profile: GeneratorProfile | None = None,
+    ablation: Ablation | None = None,
+    ablate_first_leaf: bool = False,
+    max_violations: int = 1,
+    progress=None,
+) -> CampaignResult:
+    """Run every seed under every protocol; stop after ``max_violations``.
+
+    ``ablate_first_leaf`` derives an :class:`Ablation` per workload (break
+    every entry of the first leaf object) when no explicit ablation is
+    given — the self-test mode of ``python -m repro fuzz --ablate``.
+    """
+    campaign = CampaignResult(
+        tallies={p: ProtocolTally(protocol=p) for p in protocols}
+    )
+    for seed in seeds:
+        spec = generate(seed, profile)
+        cell_ablation = ablation
+        if cell_ablation is None and ablate_first_leaf:
+            cell_ablation = Ablation(object_name=spec.leaf_objects[0].name)
+        for protocol in protocols:
+            tally = campaign.tallies[protocol]
+            tally.runs += 1
+            try:
+                result, report = run_cell(
+                    spec, protocol, ablation=cell_ablation
+                )
+            except ReproError as exc:
+                tally.errors += 1
+                campaign.errors.append((seed, protocol, repr(exc)))
+                continue
+            tally.committed += len(result.committed)
+            tally.gave_up += sum(
+                1 for o in result.outcomes if not o.committed
+            )
+            tally.restarts += result.total_restarts
+            if report.oo_only:
+                tally.oo_only += 1
+            if report.violation:
+                tally.violations += 1
+                campaign.violations.append(
+                    Violation(
+                        seed=seed,
+                        protocol=protocol,
+                        report=report,
+                        spec=spec,
+                        ablation=cell_ablation,
+                    )
+                )
+                if len(campaign.violations) >= max_violations:
+                    campaign.seeds_run = campaign.seeds_run + 1
+                    return campaign
+        campaign.seeds_run += 1
+        if progress is not None:
+            progress(seed, campaign)
+    return campaign

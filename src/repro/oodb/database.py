@@ -293,6 +293,10 @@ class ObjectDatabase:
         parent_frame = ctx.current_frame
         node = parent_frame.node.call(oid, method, args)
         invocation = Invocation(oid, method, args, state=obj.state_snapshot())
+        # The node keeps the snapshot so that the oo-serializability analysis
+        # evaluates state-dependent commutativity on the same state the
+        # scheduler saw (node.invocation() carries it).
+        node.state = invocation.state
         self._checkpoint()
         self.scheduler.request(ctx, node, invocation)
         # Stamp the execution order only after the lock is granted: the

@@ -44,6 +44,8 @@ class WorkerOutcome:
     final_ctx: "TransactionContext | None" = None
     aborted_ctxs: list = field(default_factory=list)
     error: BaseException | None = None
+    #: executor seed of the run that produced this outcome (reproduction key)
+    seed: int | None = None
 
     @property
     def label(self) -> str:
@@ -58,6 +60,8 @@ class ExecutionResult:
     makespan: int
     scheduler_stats: dict
     db: "ObjectDatabase"
+    #: executor seed of this run (reproduction key)
+    seed: int | None = None
 
     @property
     def committed(self) -> list[WorkerOutcome]:
@@ -138,6 +142,7 @@ class InterleavedExecutor:
         max_ticks: int = 1_000_000,
     ):
         self.db = db
+        self.seed = seed
         self.rng = random.Random(seed)
         self.max_ticks = max_ticks
         self.now = 0
@@ -154,15 +159,20 @@ class InterleavedExecutor:
     def run(self, programs: list[TransactionProgram]) -> ExecutionResult:
         """Execute all programs to completion; returns the aggregate result."""
         if not programs:
-            return ExecutionResult([], 0, dict(self._scheduler_stats()), self.db)
+            return ExecutionResult(
+                [], 0, dict(self._scheduler_stats()), self.db, seed=self.seed
+            )
         self._workers = [_Worker(self, program) for program in programs]
         for worker in self._workers:
+            worker.outcome.seed = self.seed
             worker.thread.start()
         self._controller_loop()
         for worker in self._workers:
             worker.thread.join(timeout=30)
             if worker.thread.is_alive():  # pragma: no cover - defensive
-                raise SimulationError(f"worker {worker.program.label} did not stop")
+                raise SimulationError(
+                    f"worker {worker.program.label} did not stop", seed=self.seed
+                )
         for worker in self._workers:
             if worker.outcome.error is not None:
                 raise worker.outcome.error
@@ -171,6 +181,7 @@ class InterleavedExecutor:
             makespan=self.now,
             scheduler_stats=dict(self._scheduler_stats()),
             db=self.db,
+            seed=self.seed,
         )
 
     def _scheduler_stats(self) -> dict:
@@ -205,11 +216,14 @@ class InterleavedExecutor:
                         raise errors[0]
                     blocked = {w.program.label: w.state for w in pending}
                     raise SimulationError(
-                        f"all transactions blocked — scheduler bug? {blocked}"
+                        f"all transactions blocked — scheduler bug? {blocked}",
+                        seed=self.seed,
                     )
                 self.now += 1
                 if self.now > self.max_ticks:
-                    raise SimulationError("simulation exceeded max_ticks")
+                    raise SimulationError(
+                        "simulation exceeded max_ticks", seed=self.seed
+                    )
                 self.rng.shuffle(runnable)
                 for worker in runnable:
                     if worker.state != _READY:
@@ -275,7 +289,9 @@ class InterleavedExecutor:
         """
         worker = self._current_worker()
         if worker is None:  # pragma: no cover - schedulers only run workers
-            raise SimulationError(f"wait_for outside a worker: {reason}")
+            raise SimulationError(
+                f"wait_for outside a worker: {reason}", seed=self.seed
+            )
         blocked_at = self.now
         worker.wait_key = reason
         self._yield_to_controller(worker, _BLOCKED)
