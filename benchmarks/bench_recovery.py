@@ -1,0 +1,122 @@
+"""Experiment C9 — crash-recovery cost as the durable log grows.
+
+The write-ahead log (``repro.oodb.wal``) makes the open-nesting journal
+durable; :func:`repro.oodb.wal.recover` is ARIES-shaped (analysis, redo,
+one merged backward undo/revert pass).  This bench crashes the same
+generated workload at increasing scales — the crash is armed at the *last*
+page write, so the log holds nearly the whole run — and measures what
+recovery costs and where the time goes.
+
+Expected shape: wall time scales roughly linearly with the number of
+durable records (redo repeats history record-by-record); the backward pass
+is proportional to the losers' surviving journals, which stay small in
+comparison because subcommits continually truncate them down to single
+compensation records.  Determinism is verified on every row: recovering a
+second time over the extended log yields a byte-identical page store.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import emit
+
+from repro.analysis import render_table
+from repro.faults import FaultPlan
+from repro.fuzz.crash import _build_db, crash_census
+from repro.fuzz.generator import GeneratorProfile, generate
+from repro.oodb.wal import WriteAheadLog, recover, store_digest
+from repro.runtime.executor import InterleavedExecutor
+
+SITE = "page-write.after"
+
+SCALES = (
+    ("smoke", GeneratorProfile.smoke()),
+    ("default", GeneratorProfile()),
+    ("2x programs", replace(GeneratorProfile(), n_programs=10)),
+    ("2x programs+ops", replace(GeneratorProfile(), n_programs=10, ops_per_program=8)),
+)
+
+
+def _crashed_wal(profile: GeneratorProfile, seed: int = 3):
+    """Run the workload to its last page write and crash there."""
+    spec = generate(seed, profile)
+    census = crash_census(spec, "open-nested-oo")
+    occurrences = census.get(SITE, 0)
+    if occurrences == 0:
+        return spec, None
+    plan = FaultPlan.crash_plan(SITE, occurrences - 1)
+    wal = WriteAheadLog()
+    db, programs = _build_db(spec, "open-nested-oo", wal=wal, faults=plan)
+    executor = InterleavedExecutor(db, seed=spec.seed, faults=plan)
+    result = executor.run(programs)
+    return spec, (wal if result.crashed else None)
+
+
+def run_recovery_bench():
+    rows = []
+    reports = []
+    for name, profile in SCALES:
+        spec, wal = _crashed_wal(profile)
+        if wal is None:
+            continue
+        records = wal.to_list()
+        db, _ = _build_db(spec)
+        start = time.perf_counter()
+        report = recover(WriteAheadLog.from_records(records), db)
+        elapsed_ms = 1000.0 * (time.perf_counter() - start)
+        digest = store_digest(db.store)
+
+        twice_db, _ = _build_db(spec)
+        recover(WriteAheadLog.from_records(records), twice_db)
+        # a recovered-then-recovered log must reconverge byte-identically
+        deterministic = store_digest(twice_db.store) == digest
+
+        rows.append(
+            [
+                name,
+                len(records),
+                len(report.losers),
+                report.redo_applied,
+                report.undone + report.reverted,
+                report.compensations_replayed,
+                f"{elapsed_ms:.1f}",
+                f"{len(records) / max(elapsed_ms, 1e-9):.0f}",
+                "yes" if deterministic else "NO",
+            ]
+        )
+        reports.append((name, report, deterministic))
+    table = render_table(
+        [
+            "scale",
+            "wal records",
+            "losers",
+            "redo",
+            "undo+revert",
+            "comps",
+            "recover ms",
+            "records/ms",
+            "deterministic",
+        ],
+        rows,
+        title="C9 — recovery cost vs durable log length "
+        f"(crash at last {SITE})",
+    )
+    return table, reports
+
+
+def test_recovery_scales_with_log(benchmark):
+    table, reports = benchmark.pedantic(run_recovery_bench, rounds=1, iterations=1)
+    emit("recovery_cost", table)
+    assert reports, "no scale produced a crashed run"
+    for name, report, deterministic in reports:
+        assert deterministic, f"{name}: recovery is not deterministic"
+        # Redo dominates the record count: the backward pass touches only
+        # the losers' surviving journals, kept short by subcommit truncation.
+        assert report.redo_applied >= report.undone + report.reverted
+    # at least one scale exercises the semantic half of recovery
+    assert any(r.compensations_replayed > 0 for _, r, _ in reports)

@@ -84,7 +84,7 @@ def metrics_from_result(result: ExecutionResult, protocol: str = "") -> RunMetri
     return RunMetrics(
         protocol=name,
         committed=len(committed),
-        gave_up=sum(1 for o in result.outcomes if not o.committed),
+        gave_up=len(result.gave_up),
         makespan=result.makespan,
         throughput=1000.0 * len(committed) / makespan,
         lock_waits=stats.get("waits", 0),

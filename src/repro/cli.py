@@ -202,6 +202,16 @@ def _build_fuzz_parser(subparsers) -> None:
         "oracle only — the self-test that must produce a violation",
     )
     parser.add_argument(
+        "--crash", action="store_true",
+        help="crash-recovery mode: kill each run at an armed fault site, "
+        "recover from the durable WAL prefix, judge with the crash oracle",
+    )
+    parser.add_argument(
+        "--crash-ablate", action="store_true",
+        help="crash mode with compensation replay disabled in recovery — "
+        "the self-test that the crash oracle must catch",
+    )
+    parser.add_argument(
         "--max-violations", type=int, default=1,
         help="stop the campaign after this many violations",
     )
@@ -231,6 +241,8 @@ def cmd_fuzz(args) -> int:
     if args.replay is not None:
         with open(args.replay) as fh:
             data = json.load(fh)
+        if data.get("kind") == "crash":
+            return _replay_crash(args.replay, data)
         spec = WorkloadSpec.from_dict(data["workload"])
         _, report = run_cell(
             spec,
@@ -250,6 +262,8 @@ def cmd_fuzz(args) -> int:
 
     profile = GeneratorProfile.smoke() if args.smoke else None
     seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
+    if args.crash or args.crash_ablate:
+        return _cmd_fuzz_crash(args, seeds, profile)
     campaign = run_campaign(
         seeds=seeds,
         protocols=tuple(args.protocols),
@@ -309,6 +323,125 @@ def cmd_fuzz(args) -> int:
     return 1
 
 
+def _cmd_fuzz_crash(args, seeds, profile) -> int:
+    import json
+
+    from repro.fuzz.crash import run_crash_campaign
+
+    skip = args.crash_ablate
+    campaign = run_crash_campaign(
+        seeds=seeds,
+        protocols=tuple(args.protocols),
+        profile=profile,
+        skip_compensation=skip,
+        max_violations=args.max_violations,
+    )
+    header, rows = campaign.table()
+    print(
+        render_table(
+            header,
+            rows,
+            title=f"crash campaign, {campaign.seeds_run} seed(s), "
+            f"{campaign.crash_runs} crash run(s)"
+            + (" [compensation replay DISABLED]" if skip else ""),
+        )
+    )
+    for seed, protocol, site, error in campaign.errors:
+        print(f"ERROR seed={seed} protocol={protocol} site={site}: {error}")
+    if skip:
+        # Self-test: a recovery that forgets compensation must be caught.
+        if campaign.violations:
+            v = campaign.violations[0]
+            print(
+                f"ablation detected (seed {v.seed}, {v.protocol}, "
+                f"{v.site}): the crash oracle sees broken recovery"
+            )
+            return 0
+        print("ablation NOT detected — the crash oracle is blind")
+        return 1
+    if not campaign.violations:
+        print(
+            "no crash-oracle violations"
+            if campaign.ok
+            else "simulator errors"
+        )
+        return 0 if campaign.ok else 1
+    violation = campaign.violations[0]
+    with open(args.out, "w") as fh:
+        json.dump(violation.counterexample, fh, indent=2)
+        fh.write("\n")
+    for line in violation.outcome.violations:
+        print(f"violation: {line}")
+    print(
+        f"wrote {args.out}; reproduce with: "
+        f"python -m repro fuzz --replay {args.out}"
+    )
+    return 1
+
+
+def _replay_crash(path: str, data: dict) -> int:
+    from repro.faults import FaultPlan
+    from repro.fuzz.crash import run_armed_cell
+    from repro.fuzz.generator import WorkloadSpec
+
+    spec = WorkloadSpec.from_dict(data["spec"])
+    plan = FaultPlan.from_dict(data["plan"])
+    outcome = run_armed_cell(
+        spec,
+        data["protocol"],
+        plan,
+        skip_compensation=data.get("skip_compensation", False),
+    )
+    print(
+        f"replay {path}: protocol={data['protocol']} "
+        f"plan=({plan.crash_site}#{plan.crash_at}) "
+        f"crashed={outcome.crashed} winners={outcome.winners} "
+        f"losers={outcome.losers}"
+    )
+    for line in outcome.violations:
+        print(f"violation: {line}")
+    return 1 if outcome.violations else 0
+
+
+def _build_recover_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "recover",
+        help="recover a database from a WAL file and report what was done",
+    )
+    parser.add_argument("wal", help="JSONL write-ahead log file")
+    parser.add_argument(
+        "--seed", type=int, required=True,
+        help="generator seed of the workload the log belongs to (recovery "
+        "re-creates the object directory from the same bootstrap)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="the workload used the smoke generator profile",
+    )
+    parser.add_argument(
+        "--skip-compensation", action="store_true",
+        help="ablation: recover without replaying compensations",
+    )
+
+
+def cmd_recover(args) -> int:
+    from repro.fuzz.crash import _build_db
+    from repro.fuzz.generator import GeneratorProfile, generate
+    from repro.oodb.wal import WriteAheadLog, recover, store_digest, verify_log
+
+    wal = WriteAheadLog.load(args.wal)
+    verify_log(wal.to_list())
+    profile = GeneratorProfile.smoke() if args.smoke else None
+    spec = generate(args.seed, profile)
+    db, _ = _build_db(spec)
+    # The loaded log has no backing path, so recovery's own records stay
+    # in memory — the input file is never modified.
+    report = recover(wal, db, skip_compensation=args.skip_compensation)
+    print(report.describe())
+    print(f"page-store digest: {store_digest(db.store)}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -325,6 +458,7 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true", help="show dependency provenance"
     )
     _build_fuzz_parser(subparsers)
+    _build_recover_parser(subparsers)
     args = parser.parse_args(argv)
     if args.command == "compare":
         return cmd_compare(args)
@@ -332,6 +466,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_census(args)
     if args.command == "fuzz":
         return cmd_fuzz(args)
+    if args.command == "recover":
+        return cmd_recover(args)
     return cmd_figures(args)
 
 

@@ -86,6 +86,23 @@ class SubtransactionAbort(ReproError):
         self.reason = reason
 
 
+class SimulatedCrash(BaseException):
+    """A fault-injection crash: the whole system dies at this instant.
+
+    Deliberately *not* a :class:`ReproError` (nor even an ``Exception``):
+    a real crash gives no code the chance to clean up, so none of the
+    library's ordinary error handling — transaction rollback, worker
+    restart, simulator error accounting — may catch it and mutate state on
+    the way out.  Only the executor's crash unwinding and the fault plane
+    itself handle it.
+    """
+
+    def __init__(self, site: str, occurrence: int = 0):
+        super().__init__(f"simulated crash at {site} (occurrence {occurrence})")
+        self.site = site
+        self.occurrence = occurrence
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state.
 

@@ -1,0 +1,15 @@
+"""Deterministic fault injection: crash sites, transient failures, lost
+wakeups — the robustness counterpart of the schedule fuzzer.
+
+See :mod:`repro.faults.plan` for the model.  The runtime hooks live in
+:class:`~repro.oodb.database.ObjectDatabase` (crash sites around page
+writes, subcommits, commits and rollback steps) and
+:class:`~repro.runtime.executor.InterleavedExecutor` (crash unwinding and
+wakeup drops); :func:`repro.oodb.wal.recover` honors the mid-recovery
+site.
+"""
+
+from repro.errors import SimulatedCrash
+from repro.faults.plan import CRASH_SITES, RECOVERY_SITES, FaultPlan
+
+__all__ = ["CRASH_SITES", "RECOVERY_SITES", "FaultPlan", "SimulatedCrash"]

@@ -1,0 +1,465 @@
+"""The crash-recovery fuzzer: kill a run mid-flight, recover, verify.
+
+Each cell is a two-pass experiment on one ``(workload seed, protocol)``
+pair.  A *counting* pass executes the workload with a passive
+:class:`~repro.faults.FaultPlan`, producing a census of how often every
+crash site is hit.  The *armed* pass replays the identical workload with a
+plan derived from the census — a crash at a seed-chosen occurrence of a
+crash site, plus optional transient dispatch failures and dropped lock
+wakeups — so every failure is reproducible from
+``(seed, protocol, site, occurrence)``.
+
+After the crash, :func:`repro.oodb.wal.recover` rebuilds a fresh database
+from the durable log prefix, and the **crash oracle** verifies:
+
+1. *No lost commits*: every transaction that observed its own commit
+   in-memory has a durable commit record (force-at-commit held).
+2. *Winner serializability*: the committed projection of the crashed
+   trace over exactly the durable winners passes the Definition 10-16
+   analysis (per-protocol strictness, as in the schedule fuzzer).
+3. *State = serial replay of winners*: the recovered page store equals a
+   from-scratch serial execution of the winners' programs.  Generated
+   workload semantics are additive, so the serial state is
+   order-independent; equality is semantic (a missing slot ≡ 0, because
+   compensation leaves zeroed slots where physical undo removes them).
+4. *Recovery idempotence*: recovering a second time over the extended log
+   yields a byte-identical store, and crashing **mid-recovery** (at a
+   seed-chosen undo step) followed by a fresh recovery converges to the
+   same digest.
+
+The ``skip_compensation`` ablation makes recovery "forget" compensation
+replay — the oracle must catch the resulting state divergence, proving the
+campaign can actually see a broken recovery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.compare import make_scheduler
+from repro.core.serializability import analyze_system
+from repro.errors import ReproError, SimulatedCrash
+from repro.faults import CRASH_SITES, RECOVERY_SITES, FaultPlan
+from repro.fuzz.driver import FUZZ_PROTOCOLS
+from repro.fuzz.generator import GeneratorProfile, WorkloadSpec, build_workload, generate
+from repro.fuzz.oracle import strictness_for
+from repro.oodb.database import ObjectDatabase
+from repro.oodb.trace import committed_projection
+from repro.oodb.wal import RecoveryReport, WriteAheadLog, recover, store_digest
+from repro.runtime.executor import InterleavedExecutor, run_sequential
+
+#: sites the campaign arms directly (mid-recovery is exercised separately,
+#: inside every cell's idempotence check)
+ARMED_SITES = tuple(s for s in CRASH_SITES if s not in RECOVERY_SITES)
+
+
+def _build_db(
+    spec: WorkloadSpec,
+    protocol: str | None = None,
+    wal: WriteAheadLog | None = None,
+    faults: FaultPlan | None = None,
+):
+    """A fresh database with the spec's objects bootstrapped.
+
+    Bootstrap is deterministic, so every database built from the same spec
+    assigns identical page ids — which is what lets a *recovery* database
+    (no protocol, no faults, WAL attached only after bootstrap) resolve
+    the crashed run's object directory.
+    """
+    db = ObjectDatabase(
+        scheduler=make_scheduler(protocol, spec.layers()) if protocol else None,
+        page_capacity=4 * spec.key_space + 16,
+        wal=wal,
+        faults=faults,
+    )
+    _, programs = build_workload(db, spec)
+    return db, programs
+
+
+def semantic_state(store) -> dict:
+    """Page state modulo representation: non-zero slots only.
+
+    Physical undo removes a slot that did not exist before; a compensation
+    writes the arithmetic inverse, leaving the slot present with value 0.
+    Both mean "no surviving effect" for the additive fuzz semantics.
+    """
+    state = {}
+    for page_id in store.page_ids:
+        for slot, value in store.get(page_id).slots.items():
+            if value != 0:
+                state[(page_id, slot)] = value
+    return state
+
+
+def crash_census(
+    spec: WorkloadSpec, protocol: str, *, max_ticks: int = 200_000
+) -> dict:
+    """Pass 1: run the workload unharmed, tallying crash-site hits."""
+    plan = FaultPlan.counting()
+    db, programs = _build_db(spec, protocol, wal=WriteAheadLog(), faults=plan)
+    executor = InterleavedExecutor(db, seed=spec.seed, max_ticks=max_ticks)
+    executor.run(programs)
+    return dict(plan.counts)
+
+
+@dataclass
+class CrashOutcome:
+    """One armed cell: what happened and what the oracle concluded."""
+
+    seed: int
+    protocol: str
+    site: str | None = None
+    occurrence: int = 0
+    plan: dict = field(default_factory=dict)
+    skipped: str | None = None
+    crashed: bool = False
+    winners: list[str] = field(default_factory=list)
+    losers: list[str] = field(default_factory=list)
+    gave_up: int = 0
+    recovery: RecoveryReport | None = None
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_counterexample(self, spec: WorkloadSpec) -> dict:
+        """Everything needed to replay this cell from a JSON file."""
+        return {
+            "kind": "crash",
+            "protocol": self.protocol,
+            "plan": self.plan,
+            "spec": spec.to_dict(),
+            "violations": self.violations,
+        }
+
+
+def run_armed_cell(
+    spec: WorkloadSpec,
+    protocol: str,
+    plan: FaultPlan,
+    *,
+    skip_compensation: bool = False,
+    check_recovery_crash: bool = True,
+    max_ticks: int = 200_000,
+) -> CrashOutcome:
+    """Pass 2: execute under the armed plan, recover, judge."""
+    outcome = CrashOutcome(
+        seed=spec.seed,
+        protocol=protocol,
+        site=plan.crash_site,
+        occurrence=plan.crash_at,
+        plan=plan.to_dict(),
+    )
+    wal = WriteAheadLog()
+    db, programs = _build_db(spec, protocol, wal=wal, faults=plan)
+    executor = InterleavedExecutor(
+        db, seed=spec.seed, max_ticks=max_ticks, faults=plan
+    )
+    result = executor.run(programs)
+    outcome.crashed = result.crashed
+    outcome.gave_up = len(result.gave_up)
+    if not result.crashed:
+        # Transient faults / dropped wakeups perturbed the schedule enough
+        # that the armed occurrence was never reached; the run completed.
+        # Nothing to recover — the regular fuzz oracle covers live runs.
+        return outcome
+
+    # --- recovery -------------------------------------------------------
+    pre_crash = wal.to_list()
+    recovery_db, _ = _build_db(spec)
+    recovery = recover(wal, recovery_db, skip_compensation=skip_compensation)
+    outcome.recovery = recovery
+    outcome.winners = list(recovery.winners)
+    outcome.losers = list(recovery.losers)
+
+    # --- oracle check 1: force-at-commit --------------------------------
+    lost = result.committed_labels - set(recovery.winners)
+    if lost:
+        outcome.violations.append(
+            f"committed in memory but no durable commit record: {sorted(lost)}"
+        )
+
+    # --- oracle check 2: winners are oo-serializable --------------------
+    projection = committed_projection(db.system, set(recovery.winners))
+    verdict, _ = analyze_system(
+        projection,
+        db.commutativity_registry(),
+        propagate_cross_object=strictness_for(protocol),
+    )
+    if not verdict.oo_serializable:
+        outcome.violations.append(
+            "surviving committed history is not oo-serializable: "
+            + verdict.describe()
+        )
+
+    # --- oracle check 3: state equals serial replay of winners ----------
+    serial_db, serial_programs = _build_db(spec)
+    by_label = {p.label: p for p in serial_programs}
+    run_sequential(
+        serial_db,
+        [by_label[w.split(".r")[0]] for w in recovery.winners],
+    )
+    expected = semantic_state(serial_db.store)
+    actual = semantic_state(recovery_db.store)
+    if expected != actual:
+        diff = {
+            key: (expected.get(key), actual.get(key))
+            for key in set(expected) | set(actual)
+            if expected.get(key) != actual.get(key)
+        }
+        outcome.violations.append(
+            "post-recovery state diverges from serial replay of winners "
+            f"{recovery.winners}: {{(page, slot): (serial, recovered)}} = "
+            + repr(dict(sorted(diff.items())))
+        )
+
+    # --- oracle check 4: recovery is deterministic and idempotent -------
+    digest = store_digest(recovery_db.store)
+    twice_db, _ = _build_db(spec)
+    recover(wal, twice_db, skip_compensation=skip_compensation)
+    if store_digest(twice_db.store) != digest:
+        outcome.violations.append(
+            "recovering twice does not yield a byte-identical page store"
+        )
+    if check_recovery_crash and not skip_compensation:
+        failure = _check_recovery_crash(spec, pre_crash, digest)
+        if failure:
+            outcome.violations.append(failure)
+    return outcome
+
+
+def _check_recovery_crash(
+    spec: WorkloadSpec, pre_crash: list[dict], clean_digest: str
+) -> str | None:
+    """Crash recovery itself mid-undo, recover again, compare digests."""
+    counting = FaultPlan.counting()
+    census_db, _ = _build_db(spec)
+    recover(WriteAheadLog.from_records(pre_crash), census_db, faults=counting)
+    steps = counting.counts.get("recovery.step", 0)
+    if steps == 0:
+        return None  # nothing to undo: recovery is a pure redo
+    rng = random.Random((spec.seed, "recovery-crash").__repr__())
+    plan = FaultPlan.crash_plan("recovery.step", rng.randrange(steps))
+    wal = WriteAheadLog.from_records(pre_crash)
+    crashed_db, _ = _build_db(spec)
+    try:
+        recover(wal, crashed_db, faults=plan)
+    except SimulatedCrash:
+        pass
+    else:  # pragma: no cover - the plan always fires within `steps`
+        return "mid-recovery crash plan did not fire"
+    resumed_db, _ = _build_db(spec)
+    recover(wal, resumed_db)
+    if store_digest(resumed_db.store) != clean_digest:
+        return (
+            "crash mid-recovery then recovery does not converge to the "
+            "clean-recovery page store"
+        )
+    return None
+
+
+def run_crash_cell(
+    spec: WorkloadSpec,
+    protocol: str,
+    *,
+    site: str | None = None,
+    skip_compensation: bool = False,
+    check_recovery_crash: bool = True,
+    max_ticks: int = 200_000,
+) -> CrashOutcome:
+    """Census + armed pass for one cell (the single-cell/replay entry)."""
+    census = crash_census(spec, protocol, max_ticks=max_ticks)
+    plan = FaultPlan.from_census(spec.seed, census, site=site)
+    if plan is None:
+        return CrashOutcome(
+            seed=spec.seed,
+            protocol=protocol,
+            site=site,
+            skipped=f"site {site!r} never hit by this workload",
+        )
+    return run_armed_cell(
+        spec,
+        protocol,
+        plan,
+        skip_compensation=skip_compensation,
+        check_recovery_crash=check_recovery_crash,
+        max_ticks=max_ticks,
+    )
+
+
+def replay_crash(data: dict) -> CrashOutcome:
+    """Replay a crash counterexample produced by ``to_counterexample``."""
+    spec = WorkloadSpec.from_dict(data["spec"])
+    plan = FaultPlan.from_dict(data["plan"])
+    return run_armed_cell(
+        spec,
+        data["protocol"],
+        plan,
+        skip_compensation=bool(data.get("skip_compensation", False)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# campaign
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CrashTally:
+    """Per-protocol aggregate over a crash campaign."""
+
+    protocol: str
+    cells: int = 0
+    crashes: int = 0
+    completed: int = 0  # armed runs that outran their crash occurrence
+    skipped: int = 0  # sites the workload never hits
+    violations: int = 0
+    errors: int = 0
+    winners: int = 0
+    losers: int = 0
+    compensations: int = 0
+
+    def row(self) -> list:
+        return [
+            self.protocol,
+            self.cells,
+            self.crashes,
+            self.completed,
+            self.skipped,
+            self.violations,
+            self.errors,
+            self.winners,
+            self.losers,
+            self.compensations,
+        ]
+
+
+@dataclass
+class CrashViolation:
+    """One failed cell, carrying a replayable counterexample."""
+
+    seed: int
+    protocol: str
+    site: str | None
+    outcome: CrashOutcome
+    counterexample: dict
+
+
+@dataclass
+class CrashCampaignResult:
+    tallies: dict[str, CrashTally] = field(default_factory=dict)
+    violations: list[CrashViolation] = field(default_factory=list)
+    errors: list[tuple[int, str, str, str]] = field(default_factory=list)
+    seeds_run: int = 0
+    site_crashes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+    @property
+    def crash_runs(self) -> int:
+        return sum(t.crashes for t in self.tallies.values())
+
+    def table(self) -> tuple[list[str], list[list]]:
+        header = [
+            "protocol",
+            "cells",
+            "crashes",
+            "completed",
+            "skipped",
+            "violations",
+            "errors",
+            "winners",
+            "losers",
+            "compensations",
+        ]
+        return header, [t.row() for t in self.tallies.values()]
+
+
+def run_crash_campaign(
+    *,
+    seeds: list[int],
+    protocols: tuple[str, ...] = FUZZ_PROTOCOLS,
+    profile: GeneratorProfile | None = None,
+    sites: tuple[str, ...] = ARMED_SITES,
+    skip_compensation: bool = False,
+    check_recovery_crash: bool = True,
+    max_violations: int = 1,
+    max_ticks: int = 200_000,
+    progress=None,
+) -> CrashCampaignResult:
+    """Sweep ``seeds × protocols × crash sites``; stop after violations.
+
+    One census per (seed, protocol); each hit site is then armed in its
+    own cell, so a single seed contributes up to ``len(sites)`` crash
+    runs per protocol.
+    """
+    campaign = CrashCampaignResult(
+        tallies={p: CrashTally(protocol=p) for p in protocols}
+    )
+    for seed in seeds:
+        spec = generate(seed, profile)
+        for protocol in protocols:
+            tally = campaign.tallies[protocol]
+            try:
+                census = crash_census(spec, protocol, max_ticks=max_ticks)
+            except ReproError as exc:
+                tally.errors += 1
+                campaign.errors.append((seed, protocol, "census", repr(exc)))
+                continue
+            for site in sites:
+                plan = FaultPlan.from_census(spec.seed, census, site=site)
+                tally.cells += 1
+                if plan is None:
+                    tally.skipped += 1
+                    continue
+                try:
+                    outcome = run_armed_cell(
+                        spec,
+                        protocol,
+                        plan,
+                        skip_compensation=skip_compensation,
+                        check_recovery_crash=check_recovery_crash,
+                        max_ticks=max_ticks,
+                    )
+                except ReproError as exc:
+                    tally.errors += 1
+                    campaign.errors.append((seed, protocol, site, repr(exc)))
+                    continue
+                if outcome.crashed:
+                    tally.crashes += 1
+                    campaign.site_crashes[site] = (
+                        campaign.site_crashes.get(site, 0) + 1
+                    )
+                    tally.winners += len(outcome.winners)
+                    tally.losers += len(outcome.losers)
+                    if outcome.recovery is not None:
+                        tally.compensations += (
+                            outcome.recovery.compensations_replayed
+                            + outcome.recovery.compensations_skipped
+                        )
+                else:
+                    tally.completed += 1
+                if not outcome.ok:
+                    tally.violations += 1
+                    counterexample = outcome.to_counterexample(spec)
+                    counterexample["skip_compensation"] = skip_compensation
+                    campaign.violations.append(
+                        CrashViolation(
+                            seed=seed,
+                            protocol=protocol,
+                            site=site,
+                            outcome=outcome,
+                            counterexample=counterexample,
+                        )
+                    )
+                    if len(campaign.violations) >= max_violations:
+                        campaign.seeds_run += 1
+                        return campaign
+        campaign.seeds_run += 1
+        if progress is not None:
+            progress(seed, campaign)
+    return campaign

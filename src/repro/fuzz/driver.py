@@ -173,9 +173,7 @@ def run_campaign(
                 campaign.errors.append((seed, protocol, repr(exc)))
                 continue
             tally.committed += len(result.committed)
-            tally.gave_up += sum(
-                1 for o in result.outcomes if not o.committed
-            )
+            tally.gave_up += len(result.gave_up)
             tally.restarts += result.total_restarts
             if report.oo_only:
                 tally.oo_only += 1

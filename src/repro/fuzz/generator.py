@@ -132,8 +132,14 @@ class FuzzObjectBase(DatabaseObject):
                 observed += self.data.get(self._slot(key, op[1]), 0)
             elif kind == "call":
                 _, target, method, shift = op
+                # Companion bodies negate their own amount (``sign=-1`` in
+                # ``_make_body``).  An inverse plan runs with an already
+                # negated amount, so forward the *original* magnitude to a
+                # companion or its negation would cancel out and the nested
+                # compensation would re-apply the forward effect.
+                sent = -amount if method.startswith("c_") else amount
                 self.call(
-                    target, method, (key + shift) % type(self).key_space, amount
+                    target, method, (key + shift) % type(self).key_space, sent
                 )
             else:  # pragma: no cover - specs are generator-produced
                 raise ValueError(f"unknown plan op {op!r}")

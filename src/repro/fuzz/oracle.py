@@ -121,6 +121,9 @@ class OracleReport:
     conventional_constraints: int
     committed: int
     description: str
+    #: workers that exhausted their restart budget without committing —
+    #: liveness signal, distinct from a correctness violation
+    gave_up: int = 0
 
     @property
     def oo_only(self) -> bool:
@@ -156,4 +159,5 @@ def check_history(
         conventional_constraints=len(conventional_constraints(projection)),
         committed=len(result.committed_labels),
         description=verdict.describe(),
+        gave_up=len(result.gave_up),
     )

@@ -98,6 +98,17 @@ class Scheduler:
     ) -> None:
         """The action's frame completed (``release`` per open-nesting rules)."""
 
+    def prepare(self, ctx: "TransactionContext") -> None:
+        """Last chance to refuse the commit (certification/validation).
+
+        Called by the database immediately before the commit record is
+        made durable; :meth:`commit` must then succeed unconditionally.
+        Raising :class:`~repro.errors.TransactionAborted` here turns the
+        commit into an abort *before* anything durable claims otherwise —
+        required for write-ahead logging, where "committed" means "the
+        commit record survived" and lock release must come after it.
+        """
+
     def commit(self, ctx: "TransactionContext") -> None:
         """The top-level transaction commits; free everything."""
 

@@ -64,8 +64,13 @@ class OptimisticCertifier(LockingScheduler):
 
     # -- validation ----------------------------------------------------------
 
-    def commit(self, ctx) -> None:
-        """Validate against the committed history; abort on conflict."""
+    def prepare(self, ctx) -> None:
+        """Validate against the committed history; abort on conflict.
+
+        Runs in ``prepare`` rather than ``commit`` so the database can
+        order things as write-ahead logging demands: validate, *then*
+        force the commit record, then release locks in :meth:`commit`.
+        """
         if self.db is not None and not ctx.runtime_data.get("compensating"):
             from repro.core.serializability import analyze_system
             from repro.oodb.trace import committed_projection
@@ -83,5 +88,8 @@ class OptimisticCertifier(LockingScheduler):
                 # locks (releasing first would open a dirty-restore window
                 # for concurrent writers).  ``Scheduler.abort`` releases.
                 raise TransactionAborted(ctx.txn_id, "validation failed")
+
+    def commit(self, ctx) -> None:
+        if self.db is not None and not ctx.runtime_data.get("compensating"):
             self._committed.append(ctx.txn_id)
         super().commit(ctx)

@@ -36,6 +36,9 @@ class Frame:
     log: FrameLog = field(default_factory=FrameLog)
     receiver: "DatabaseObject | None" = None
     spec: "MethodSpec | None" = None
+    #: WAL position when the frame started — the frame's records occupy
+    #: LSNs >= wal_mark, which is what a durable subcommit/jtrunc truncates
+    wal_mark: int = 0
 
 
 @dataclass

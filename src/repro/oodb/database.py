@@ -28,18 +28,20 @@ from repro.core.transactions import TransactionSystem
 from repro.errors import (
     DatabaseError,
     EncapsulationError,
+    SimulatedCrash,
     TransactionAborted,
     UnknownObjectError,
 )
 from repro.oodb.context import Frame, TransactionContext, TxnStatus
 from repro.oodb.log import (
+    DELETED,
     CompensationRecord,
     FrameLog,
     PageAllocationRecord,
     UndoRecord,
 )
 from repro.oodb.object_model import DatabaseObject, ensure_database_object_type
-from repro.oodb.pages import DEFAULT_PAGE_CAPACITY, PageStore
+from repro.oodb.pages import DEFAULT_PAGE_CAPACITY, Page, PageStore
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.locking.interfaces import Scheduler
@@ -56,12 +58,22 @@ class ObjectDatabase:
         only).
     page_capacity:
         Default slots per page — the "keys per page" experiment knob.
+    wal:
+        Optional :class:`~repro.oodb.wal.WriteAheadLog`; when attached,
+        every physical page effect and journal transition is logged so the
+        database survives (simulated) crashes via
+        :func:`repro.oodb.wal.recover`.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` consulted at named crash
+        sites and dispatch points.
     """
 
     def __init__(
         self,
         scheduler: "Scheduler | None" = None,
         page_capacity: int = DEFAULT_PAGE_CAPACITY,
+        wal=None,
+        faults=None,
     ):
         from repro.locking.interfaces import NoConcurrencyControl
 
@@ -72,9 +84,27 @@ class ObjectDatabase:
         #: optional simulation environment; when set, every action request
         #: is an interleaving checkpoint
         self.env = None
+        self.wal = wal
+        self.faults = faults
         self._objects: dict[str, DatabaseObject] = {}
         self._oid_counters: dict[str, int] = {}
         self._local = threading.local()
+
+    def _fault_hit(self, site: str) -> None:
+        """Consult the fault plane at a named crash site.
+
+        When the plan fires, the WAL's volatile tail is dropped *before*
+        the exception starts to propagate — a real crash gives nothing
+        downstream the chance to sync it on the way out.
+        """
+        if self.faults is None:
+            return
+        try:
+            self.faults.hit(site)
+        except SimulatedCrash:
+            if self.wal is not None:
+                self.wal.crash()
+            raise
 
     # ------------------------------------------------------------------
     # object management
@@ -108,7 +138,9 @@ class ObjectDatabase:
         """Create an object from inside a running method (traced, undoable)."""
         ctx = self._require_ctx()
         obj = self._instantiate(cls, oid, page_capacity)
-        ctx.current_frame.log.record(PageAllocationRecord(obj.page_id))
+        ctx.current_frame.log.record(
+            PageAllocationRecord(obj.page_id, lsn=self._last_alloc_lsn)
+        )
         self._dispatch_create(ctx, obj, args)
         return obj.oid
 
@@ -127,6 +159,22 @@ class ObjectDatabase:
             raise DatabaseError(f"object id {oid!r} already exists")
         capacity = page_capacity or cls.page_capacity
         page = self.store.allocate(capacity=capacity)
+        self._last_alloc_lsn = None
+        if self.wal is not None:
+            ctx = self._current_ctx()
+            # j: inside a transaction the caller journals the matching
+            # PageAllocationRecord (create_nested); bootstrap never undoes.
+            lsn = self.wal.append(
+                {
+                    "t": "alloc",
+                    "txn": ctx.txn_id if ctx is not None else None,
+                    "page": page.page_id,
+                    "capacity": page.capacity,
+                    "j": ctx is not None
+                    and not ctx.runtime_data.get("compensating"),
+                }
+            )
+            self._last_alloc_lsn = lsn if lsn >= 0 else None
         obj = cls(self, oid, page.page_id)
         self._objects[oid] = obj
         return obj
@@ -180,10 +228,17 @@ class ObjectDatabase:
     # transactions
     # ------------------------------------------------------------------
 
-    def begin(self, label: str | None = None) -> TransactionContext:
+    def begin(
+        self, label: str | None = None, *, log: bool = True
+    ) -> TransactionContext:
         txn = self.system.transaction(label)
         ctx = TransactionContext(txn)
         self.scheduler.begin(ctx)
+        if log and self.wal is not None:
+            # Sync: cheap (begins are rare) and it anchors durability of
+            # everything before the transaction — bootstrap included.
+            self.wal.append({"t": "begin", "txn": ctx.txn_id})
+            self.wal.sync()
         return ctx
 
     def send(self, ctx: TransactionContext, oid: str, method: str, *args: Any) -> Any:
@@ -235,11 +290,12 @@ class ObjectDatabase:
         parent_frame = ctx.current_frame
         children_before = len(parent_frame.node.children)
         journal_before = len(parent_frame.log.entries)
+        wal_mark = self.wal.next_lsn if self.wal is not None else None
         try:
             return self._dispatch(ctx, oid, method, args)
         except SubtransactionAbort:
             self._rollback_subtransaction(
-                ctx, parent_frame, children_before, journal_before
+                ctx, parent_frame, children_before, journal_before, wal_mark
             )
             return default
         finally:
@@ -251,6 +307,7 @@ class ObjectDatabase:
         parent_frame: Frame,
         children_before: int,
         journal_before: int,
+        wal_mark: int | None = None,
     ) -> None:
         """Undo one aborted subtransaction and erase it from the trace."""
         # 1. Reverse the journal entries the subtransaction contributed
@@ -260,14 +317,19 @@ class ObjectDatabase:
         ctx.runtime_data["compensating"] = True
         try:
             for entry in reversed(entries):
-                if isinstance(entry, CompensationRecord):
-                    self._dispatch(ctx, entry.oid, entry.method, entry.args)
-                else:
-                    entry.apply(self.store)
+                self._fault_hit("rollback.step")
+                self._consume_entry(ctx, entry)
         finally:
             ctx.runtime_data.pop("compensating", None)
         # The rollback's own bookkeeping is not undoable either.
         del parent_frame.log.entries[journal_before:]
+        if self.wal is not None and wal_mark is not None:
+            # The subtransaction's journal is history; durable before its
+            # locks release, like a subcommit.
+            self.wal.append(
+                {"t": "jtrunc", "txn": ctx.txn_id, "from_lsn": wal_mark}
+            )
+            self.wal.sync()
         # 2. Release the subtree's locks and erase it from the call tree —
         #    an aborted subtransaction never happened.
         removed = parent_frame.node.children[children_before:]
@@ -288,6 +350,15 @@ class ObjectDatabase:
     ) -> Any:
         if not ctx.is_active:
             raise TransactionAborted(ctx.txn_id, "context is not active")
+        if (
+            self.faults is not None
+            and ctx.depth == 0
+            and not ctx.runtime_data.get("compensating")
+            and self.faults.transient("dispatch")
+        ):
+            # Transient method failure: the victim rolls back and may
+            # restart, exactly like a deadlock victim.
+            raise TransactionAborted(ctx.txn_id, "injected transient fault")
         obj = self.get_object(oid)
         spec = type(obj).method_spec(method)
         parent_frame = ctx.current_frame
@@ -303,7 +374,12 @@ class ObjectDatabase:
         # Axiom 1 order must reflect when the action actually ran, not when
         # it was first attempted (the request above may have blocked).
         node.seq = self.system._next_seq()
-        frame = Frame(node=node, receiver=obj, spec=spec)
+        frame = Frame(
+            node=node,
+            receiver=obj,
+            spec=spec,
+            wal_mark=self.wal.next_lsn if self.wal is not None else 0,
+        )
         ctx.push(frame)
         ctx.stats.actions += 1
         try:
@@ -330,8 +406,12 @@ class ObjectDatabase:
         spec = frame.spec
         if ctx.runtime_data.get("compensating"):
             # Actions of a rollback are never themselves undone or
-            # compensated; release their locks as soon as they complete so
-            # concurrent rollbacks do not pile up page locks.
+            # compensated; their locks release with the frame so that
+            # concurrent rollbacks do not pile up page locks.  The writes
+            # of a compensating send may therefore interleave with other
+            # transactions' writes on the same slots — delta-aware undo
+            # (``UndoRecord.resolve``) keeps both live rollback and crash
+            # recovery correct under such interleavings.
             parent_frame.log.merge_child(frame.log)
             self.scheduler.end_action(ctx, frame.node, release=True)
             return
@@ -344,9 +424,28 @@ class ObjectDatabase:
             # effects become permanent (undo discarded) and the caller
             # records the semantic compensation instead.
             method_name, comp_args = compensation
-            parent_frame.log.record(
-                CompensationRecord(frame.node.obj, method_name, comp_args)
-            )
+            record = CompensationRecord(frame.node.obj, method_name, comp_args)
+            if self.wal is not None:
+                # Open-nesting durability rule: the compensation must be
+                # durable *before* the low-level locks release, or a crash
+                # leaves permanent effects nothing knows how to remove.
+                self._fault_hit("subcommit.before")
+                lsn = self.wal.append(
+                    {
+                        "t": "subcommit",
+                        "txn": ctx.txn_id,
+                        "oid": record.oid,
+                        "method": record.method,
+                        "args": list(record.args),
+                        "from_lsn": frame.wal_mark,
+                    }
+                )
+                self.wal.sync()
+                self._fault_hit("subcommit.after")
+                record = CompensationRecord(
+                    record.oid, record.method, record.args, lsn=lsn
+                )
+            parent_frame.log.record(record)
             # The child journal (undo records and child compensations) is
             # superseded by this single semantic compensation and dropped.
             self.scheduler.end_action(ctx, frame.node, release=True)
@@ -364,6 +463,16 @@ class ObjectDatabase:
             raise DatabaseError(f"{ctx.txn_id} is not active")
         if ctx.depth != 0:
             raise DatabaseError("commit inside a method execution")
+        # Certification (optimistic validation) runs in prepare, *before*
+        # the commit record: a transaction is a winner exactly when its
+        # commit record is durable, so nothing may fail after the append —
+        # and the record must be durable before any lock releases.
+        self.scheduler.prepare(ctx)
+        self._fault_hit("commit.before")
+        if self.wal is not None:
+            self.wal.append({"t": "commit", "txn": ctx.txn_id})
+            self.wal.sync()
+        self._fault_hit("commit.after")
         self.scheduler.commit(ctx)
         ctx.status = TxnStatus.COMMITTED
         if self.env is not None:
@@ -377,6 +486,8 @@ class ObjectDatabase:
         while ctx.depth > 0:
             frame = ctx.pop()
             ctx.root_frame.log.merge_child(frame.log)
+        if self.wal is not None:
+            self.wal.append({"t": "abort", "txn": ctx.txn_id})
         ctx.runtime_data["compensating"] = True
         previous = self._current_ctx()
         self._local.ctx = ctx
@@ -387,16 +498,119 @@ class ObjectDatabase:
         ctx.root_frame.log.entries.clear()
         try:
             for entry in reversed(entries):
-                if isinstance(entry, CompensationRecord):
-                    self._dispatch(ctx, entry.oid, entry.method, entry.args)
-                else:
-                    entry.apply(self.store)
+                self._fault_hit("rollback.step")
+                self._consume_entry(ctx, entry)
             ctx.root_frame.log.entries.clear()
         finally:
             self._local.ctx = previous
             ctx.runtime_data.pop("compensating", None)
         self.scheduler.abort(ctx)
         ctx.status = TxnStatus.ABORTED
+        if self.wal is not None:
+            self.wal.append({"t": "abort-done", "txn": ctx.txn_id})
+            self.wal.sync()
+
+    def _consume_entry(self, ctx: TransactionContext, entry) -> None:
+        """Process one journal entry of a rollback, logging progress.
+
+        A replayed compensation is marked consumed (``comp-done``) and
+        synced before the next step: compensations are incremental, so a
+        crash mid-rollback must never re-send one that already ran.
+        """
+        if isinstance(entry, CompensationRecord):
+            self._dispatch(ctx, entry.oid, entry.method, entry.args)
+            if self.wal is not None and entry.lsn is not None:
+                self.wal.append(
+                    {"t": "comp-done", "txn": ctx.txn_id, "target": entry.lsn}
+                )
+                self.wal.sync()
+        else:
+            self.apply_physical(ctx.txn_id, entry)
+
+    def apply_physical(self, txn: str, entry) -> None:
+        """Apply an undo entry to the store, recording the physical effect.
+
+        Rollback and recovery writes bypass the object layer (no tracing,
+        no locks of their own), but the WAL must still witness them so that
+        redo repeats history exactly.
+
+        When the entry carries the LSN of its own durable journal record,
+        the emitted record is a *compensation log record* in the ARIES
+        sense: it is tagged ``consumes: lsn`` so crash analysis pops the
+        journal entry (never replaying an already-applied undo step), and
+        recovery's revert pass never reverts it (its before-image may be
+        stale once later writers have touched the slot).
+        """
+        if self.wal is not None:
+            consumes = getattr(entry, "lsn", None)
+            if isinstance(entry, PageAllocationRecord):
+                if entry.page_id in self.store:
+                    page = self.store.get(entry.page_id)
+                    rec = {
+                        "t": "dealloc",
+                        "txn": txn,
+                        "page": page.page_id,
+                        "capacity": page.capacity,
+                        # full snapshot, as [slot, value] pairs, so a
+                        # partially-reverted rollback can resurrect it
+                        "slots": [[k, v] for k, v in page.slots.items()],
+                        "j": False,
+                    }
+                    if consumes is not None:
+                        rec["consumes"] = consumes
+                    self.wal.append(rec)
+            elif entry.page_id in self.store:
+                page = self.store.get(entry.page_id)
+                # Log the *resolved* mutation: delta-undo may write a value
+                # different from the journaled before-image (see
+                # ``UndoRecord.resolve``), and redo must repeat exactly what
+                # happened.
+                action, value = entry.resolve(self.store)
+                rec = {
+                    "t": action,
+                    "txn": txn,
+                    "page": entry.page_id,
+                    "slot": entry.slot,
+                    "had": page.has(entry.slot),
+                    "before": page.read(entry.slot),
+                    "j": False,
+                }
+                if action == "set":
+                    rec["value"] = value
+                if consumes is not None:
+                    rec["consumes"] = consumes
+                self.wal.append(rec)
+        entry.apply(self.store)
+
+    def restore_page(
+        self, txn: str, page_id: str, capacity: int, slots: dict
+    ) -> None:
+        """Reinstall a deallocated page exactly as a logged snapshot saw it
+        (recovery reverting a half-finished rollback's deallocation)."""
+        if self.wal is not None:
+            self.wal.append(
+                {
+                    "t": "alloc",
+                    "txn": txn,
+                    "page": page_id,
+                    "capacity": capacity,
+                    "j": False,
+                }
+            )
+            for slot, value in slots.items():
+                self.wal.append(
+                    {
+                        "t": "set",
+                        "txn": txn,
+                        "page": page_id,
+                        "slot": slot,
+                        "value": value,
+                        "had": False,
+                        "before": None,
+                        "j": False,
+                    }
+                )
+        self.store.install(Page(page_id, capacity, dict(slots)))
 
     # ------------------------------------------------------------------
     # page access (called by SlotProxy)
@@ -423,32 +637,80 @@ class ObjectDatabase:
     def page_write(self, obj: DatabaseObject, slot: Any, value: Any) -> None:
         ctx = self._trace_page_action(obj, "write")
         page = self.store.get(obj.page_id)
+        had = page.has(slot)
+        before = page.read(slot)
+        undo = None
         if ctx is not None:
+            self._fault_hit("page-write.before")
             ctx.stats.page_writes += 1
-            ctx.current_frame.log.record(
-                UndoRecord(
-                    page_id=page.page_id,
-                    slot=slot,
-                    had_slot=page.has(slot),
-                    before=page.read(slot),
-                )
-            )
         page.write(slot, value)
+        # Journal and WAL records land only after the write succeeded (the
+        # page may reject a new slot): neither undo nor redo may replay a
+        # refused write.
+        if ctx is not None:
+            undo = UndoRecord(
+                page_id=page.page_id,
+                slot=slot,
+                had_slot=had,
+                before=before,
+                after=value,
+            )
+            ctx.current_frame.log.record(undo)
+        if self.wal is not None:
+            lsn = self.wal.append(
+                {
+                    "t": "set",
+                    "txn": ctx.txn_id if ctx is not None else None,
+                    "page": page.page_id,
+                    "slot": slot,
+                    "value": value,
+                    "had": had,
+                    "before": before,
+                    "j": ctx is not None
+                    and not ctx.runtime_data.get("compensating"),
+                }
+            )
+            if undo is not None and lsn >= 0:
+                object.__setattr__(undo, "lsn", lsn)
+        if ctx is not None:
+            self._fault_hit("page-write.after")
 
     def page_delete(self, obj: DatabaseObject, slot: Any) -> None:
         ctx = self._trace_page_action(obj, "write")
         page = self.store.get(obj.page_id)
+        had = page.has(slot)
+        before = page.read(slot)
+        undo = None
         if ctx is not None:
+            self._fault_hit("page-write.before")
             ctx.stats.page_writes += 1
-            ctx.current_frame.log.record(
-                UndoRecord(
-                    page_id=page.page_id,
-                    slot=slot,
-                    had_slot=page.has(slot),
-                    before=page.read(slot),
-                )
-            )
         page.delete(slot)
+        if ctx is not None:
+            undo = UndoRecord(
+                page_id=page.page_id,
+                slot=slot,
+                had_slot=had,
+                before=before,
+                after=DELETED,
+            )
+            ctx.current_frame.log.record(undo)
+        if self.wal is not None:
+            lsn = self.wal.append(
+                {
+                    "t": "del",
+                    "txn": ctx.txn_id if ctx is not None else None,
+                    "page": page.page_id,
+                    "slot": slot,
+                    "had": had,
+                    "before": before,
+                    "j": ctx is not None
+                    and not ctx.runtime_data.get("compensating"),
+                }
+            )
+            if undo is not None and lsn >= 0:
+                object.__setattr__(undo, "lsn", lsn)
+        if ctx is not None:
+            self._fault_hit("page-write.after")
 
     def _trace_page_action(
         self, obj: DatabaseObject, method: str

@@ -113,3 +113,33 @@ class PageStore:
     @property
     def page_ids(self) -> list[str]:
         return list(self._pages)
+
+    # -- recovery surface ---------------------------------------------------
+    #
+    # Crash recovery rebuilds a store by *repeating history* from the WAL:
+    # it must install pages exactly as logged, bypassing the allocation
+    # bookkeeping and capacity policy that governed the original execution
+    # (the log already witnessed those checks pass).
+
+    def reset(self) -> None:
+        """Drop every page — recovery rebuilds from an empty store."""
+        self._pages = {}
+
+    def install(self, page: Page) -> None:
+        """(Re)install a page verbatim, as redo or a rollback revert."""
+        self._pages[page.page_id] = page
+        self._observe_page_id(page.page_id)
+
+    def remove(self, page_id: str) -> None:
+        """Remove a page if present (redo of a logged deallocation)."""
+        self._pages.pop(page_id, None)
+
+    def _observe_page_id(self, page_id: str) -> None:
+        """Keep the id sequence ahead of every replayed page id, so pages
+        allocated after recovery never collide with recovered ones."""
+        if page_id.startswith("Page"):
+            try:
+                number = int(page_id[4:])
+            except ValueError:
+                return
+            self._next_page_number = max(self._next_page_number, number)

@@ -1,0 +1,503 @@
+"""Durable write-ahead logging and crash recovery.
+
+The in-memory substrate already keeps, per execution frame, exactly the
+information open nested transaction theory prescribes (``repro.oodb.log``):
+page-level before-images for uncommitted work, semantic compensations for
+subtransactions that committed and released their low-level locks.  This
+module makes that information *durable*: every physical page mutation and
+every journal state transition is appended to a :class:`WriteAheadLog`,
+and :func:`recover` rebuilds a database from the log alone after a crash.
+
+Record stream
+-------------
+
+Records are JSON-serializable dicts, one per line in file mode, each
+stamped with its ``lsn`` (position in the stream):
+
+======================  =====================================================
+``begin``               a top-level transaction started (synced)
+``alloc``               page allocated (``j`` true when journaled, i.e. the
+                        undo is a deallocation owned by the transaction)
+``dealloc``             page deallocated during a rollback (carries the full
+                        slot snapshot so a partial rollback can be reverted)
+``set`` / ``del``       physical slot mutation with redo (``value``) *and*
+                        undo (``had``/``before``) images; ``j`` true when the
+                        matching :class:`UndoRecord` survives in the
+                        transaction's effective journal (false for
+                        bootstrap, compensating and recovery writes)
+``subcommit``           an open-nested subtransaction committed: journal
+                        entries from ``from_lsn`` are superseded by the
+                        compensation ``(oid, method, args)`` (synced before
+                        the low-level locks release — the open-nesting
+                        durability rule)
+``jtrunc``              journal truncated from ``from_lsn`` (a completed
+                        inline subtransaction rollback)
+``comp-done``           the compensation journaled at ``lsn`` was fully
+                        re-sent during a rollback (synced: the logical
+                        analogue of an ARIES CLR)
+``commit``              commit record (synced *before* locks release)
+``abort``               top-level rollback started
+``abort-done``          top-level rollback finished; the journal is empty
+======================  =====================================================
+
+Recovery
+--------
+
+:func:`recover` is ARIES-shaped, adapted to open nesting:
+
+1. **Analysis** — winners are transactions with a durable ``commit``,
+   finished rollbacks have ``abort-done``; everything else seen in the log
+   is a loser.  Each loser's *effective journal* is reconstructed by
+   replaying the journal transitions (``j``-flagged records append,
+   ``subcommit``/``jtrunc`` truncate, ``comp-done`` consumes).
+2. **Redo** — the page store is rebuilt from scratch by replaying every
+   physical record in LSN order ("repeating history": the durable state at
+   the instant of the crash, including any partial rollback work).
+3. **Revert** — a rollback step interrupted mid-flight (physical records
+   after the loser's last ``comp-done``/``jtrunc`` marker) is physically
+   reverted using the records' own before-images, so a partially executed
+   compensation is never applied one-and-a-half times.  Reverts are logged
+   like any other write, which is what makes a crash *during recovery*
+   recoverable by simply running :func:`recover` again.
+4. **Undo** — the losers' journals are processed in global reverse-LSN
+   order: before-images restore uncommitted low-level writes (idempotent),
+   compensations are re-sent through the object layer (logged with
+   ``comp-done`` as they complete).  Each finished loser gets an
+   ``abort-done`` record, making recovery itself idempotent: a second
+   :func:`recover` over the extended log is pure redo and yields a
+   byte-identical page store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import DatabaseError, SimulatedCrash
+from repro.oodb.context import TxnStatus
+from repro.oodb.log import (
+    DELETED,
+    CompensationRecord,
+    PageAllocationRecord,
+    UndoRecord,
+)
+from repro.oodb.pages import Page
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+    from repro.oodb.database import ObjectDatabase
+
+#: record types that mutate the page store (replayed by the redo pass)
+PHYSICAL_TYPES = frozenset({"alloc", "dealloc", "set", "del"})
+
+
+class WriteAheadLog:
+    """An append-only log with explicit sync points.
+
+    Appended records sit in a volatile buffer until :meth:`sync` moves them
+    to the durable prefix (and, in file mode, to disk).  :meth:`crash`
+    models the system dying: the buffer is lost, the durable prefix is all
+    recovery will ever see.
+    """
+
+    def __init__(self, path: str | None = None):
+        self.path = path
+        #: the durable prefix — everything a crash cannot take away
+        self.records: list[dict] = []
+        self._buffer: list[dict] = []
+        self._crashed = False
+
+    # -- appending ----------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        return len(self.records) + len(self._buffer)
+
+    def append(self, record: dict) -> int:
+        """Buffer one record; returns its LSN (or -1 after a crash)."""
+        if self._crashed:
+            return -1
+        record = dict(record)
+        record["lsn"] = self.next_lsn
+        self._buffer.append(record)
+        return record["lsn"]
+
+    def sync(self) -> None:
+        """Force the buffer to the durable prefix (a write barrier)."""
+        if self._crashed or not self._buffer:
+            return
+        if self.path is not None:
+            with open(self.path, "a") as fh:
+                for record in self._buffer:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+                fh.flush()
+        self.records.extend(self._buffer)
+        self._buffer = []
+
+    # -- crash surface ------------------------------------------------------
+
+    def crash(self) -> None:
+        """The system dies: unsynced records are gone, appends turn no-op."""
+        self._buffer = []
+        self._crashed = True
+
+    def reopen(self) -> None:
+        """Reopen the log for recovery appends after a crash."""
+        self._crashed = False
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def to_list(self) -> list[dict]:
+        return [dict(r) for r in self.records]
+
+    @classmethod
+    def load(cls, path: str) -> "WriteAheadLog":
+        """Read a JSONL log file back into an in-memory durable prefix."""
+        wal = cls()
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    wal.records.append(json.loads(line))
+        return wal
+
+    @classmethod
+    def from_records(cls, records: list[dict]) -> "WriteAheadLog":
+        wal = cls()
+        wal.records = [dict(r) for r in records]
+        return wal
+
+
+# ---------------------------------------------------------------------------
+# recovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryReport:
+    """What one :func:`recover` run found and did."""
+
+    records: int = 0
+    winners: list[str] = field(default_factory=list)
+    finished_aborts: list[str] = field(default_factory=list)
+    losers: list[str] = field(default_factory=list)
+    redo_applied: int = 0
+    reverted: int = 0
+    undone: int = 0
+    compensations_replayed: int = 0
+    compensations_skipped: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"recovered {self.records} records: "
+            f"{len(self.winners)} winner(s) {sorted(self.winners)}, "
+            f"{len(self.losers)} loser(s) {sorted(self.losers)} "
+            f"(redo {self.redo_applied}, revert {self.reverted}, "
+            f"undo {self.undone}, compensations {self.compensations_replayed}"
+            + (
+                f", SKIPPED {self.compensations_skipped}"
+                if self.compensations_skipped
+                else ""
+            )
+            + ")"
+        )
+
+
+def _journal_entry(rec: dict):
+    """The in-memory journal entry a ``j``-flagged physical record implies.
+
+    The entry keeps its record's LSN so that replaying it during recovery
+    emits a ``consumes``-tagged compensation log record — a crash during
+    recovery then sees the consumption and does not replay it twice.
+    """
+    if rec["t"] == "alloc":
+        return PageAllocationRecord(rec["page"], lsn=rec["lsn"])
+    return UndoRecord(
+        page_id=rec["page"],
+        slot=rec["slot"],
+        had_slot=rec["had"],
+        before=rec["before"],
+        after=rec["value"] if rec["t"] == "set" else DELETED,
+        lsn=rec["lsn"],
+    )
+
+
+def _analyze(records: list[dict]):
+    """Pass 1: winners, losers, effective journals, rollback boundaries."""
+    seen: dict[str, None] = {}  # ordered set of transaction labels
+    committed: set[str] = set()
+    aborted: set[str] = set()
+    journals: dict[str, dict[int, Any]] = {}
+    boundary: dict[str, int] = {}
+
+    def journal(txn: str) -> dict[int, Any]:
+        return journals.setdefault(txn, {})
+
+    def truncate(txn: str, from_lsn: int) -> None:
+        j = journal(txn)
+        for lsn in [lsn for lsn in j if lsn >= from_lsn]:
+            del j[lsn]
+
+    for rec in records:
+        t = rec["t"]
+        txn = rec.get("txn")
+        if txn is not None:
+            seen.setdefault(txn)
+        if rec.get("consumes") is not None:
+            # A compensation log record: one undo step durably applied
+            # during a live rollback (or a prior recovery).  The consumed
+            # journal entry must never be replayed — its before-image is
+            # stale once later writers touched the slot.
+            journal(txn).pop(rec["consumes"], None)
+        if t in ("set", "del", "alloc") and rec.get("j"):
+            journal(txn)[rec["lsn"]] = _journal_entry(rec)
+        elif t == "subcommit":
+            truncate(txn, rec["from_lsn"])
+            journal(txn)[rec["lsn"]] = CompensationRecord(
+                rec["oid"], rec["method"], tuple(rec["args"]), lsn=rec["lsn"]
+            )
+        elif t == "jtrunc":
+            truncate(txn, rec["from_lsn"])
+            boundary[txn] = rec["lsn"]
+        elif t == "comp-done":
+            journal(txn).pop(rec["target"], None)
+            boundary[txn] = rec["lsn"]
+        elif t == "commit":
+            committed.add(txn)
+        elif t == "abort-done":
+            aborted.add(txn)
+            journals[txn] = {}
+    losers = [
+        txn for txn in seen if txn not in committed and txn not in aborted
+    ]
+    return committed, aborted, losers, journals, boundary
+
+
+def _redo(records: list[dict], store) -> int:
+    """Pass 2: repeat history — rebuild the page store from scratch."""
+    store.reset()
+    applied = 0
+    for rec in records:
+        t = rec["t"]
+        if t not in PHYSICAL_TYPES:
+            continue
+        applied += 1
+        if t == "alloc":
+            store.install(Page(rec["page"], rec["capacity"]))
+        elif t == "dealloc":
+            store.remove(rec["page"])
+        elif t == "set":
+            store.get(rec["page"]).slots[rec["slot"]] = rec["value"]
+        else:  # del
+            store.get(rec["page"]).slots.pop(rec["slot"], None)
+    return applied
+
+
+def _collect_windows(
+    records: list[dict],
+    losers: list[str],
+    boundary: dict[str, int],
+) -> list[dict]:
+    """The physical records of rollback steps interrupted mid-flight.
+
+    A loser's *window* is its non-journaled physical records after its last
+    rollback-progress marker: the writes of a compensation that started but
+    whose ``comp-done`` never became durable.  Reverting them — strictly
+    interleaved with the journal's undo entries in reverse global LSN
+    order — walks each slot's history backward.  Where writes of different
+    transactions *did* interleave on a slot (commuting updates, concurrent
+    rollbacks), delta-aware undo (``UndoRecord.resolve``) removes exactly
+    this record's contribution instead of resurrecting a stale absolute
+    before-image over surviving work.
+
+    ``consumes``-tagged records are excluded: they are compensation log
+    records (durably applied undo steps), redone but never reverted — the
+    rollbacks of concurrent losers *can* interleave on a page through the
+    lock-free undo path, so their before-images may be stale.  Analysis
+    already popped their journal entries, so nothing replays them either.
+    """
+    loser_set = set(losers)
+    return [
+        rec
+        for rec in records
+        if (
+            rec.get("txn") in loser_set
+            and rec["t"] in PHYSICAL_TYPES
+            and not rec.get("j")
+            and rec.get("consumes") is None
+            and rec["lsn"] > boundary.get(rec["txn"], -1)
+        )
+    ]
+
+
+def _revert_record(db: "ObjectDatabase", rec: dict) -> None:
+    """Cancel one interrupted rollback step with its own before-image."""
+    txn = rec["txn"]
+    if rec["t"] == "set" or rec["t"] == "del":
+        entry = UndoRecord(
+            page_id=rec["page"],
+            slot=rec["slot"],
+            had_slot=rec["had"],
+            before=rec["before"],
+            after=rec["value"] if rec["t"] == "set" else DELETED,
+        )
+        db.apply_physical(txn, entry)
+    elif rec["t"] == "dealloc":
+        # Bring the page back exactly as the dealloc snapshot saw it.
+        db.restore_page(txn, rec["page"], rec["capacity"], dict(rec["slots"]))
+    else:  # alloc mid-rollback: take it away again
+        db.apply_physical(txn, PageAllocationRecord(rec["page"]))
+
+
+def recover(
+    wal: WriteAheadLog,
+    db: "ObjectDatabase",
+    *,
+    faults: "FaultPlan | None" = None,
+    skip_compensation: bool = False,
+) -> RecoveryReport:
+    """Rebuild ``db``'s state from the durable log and roll back losers.
+
+    ``db`` must be a freshly materialized database whose objects were
+    created by the same deterministic bootstrap as the crashed instance
+    (recovery needs the object directory to re-send compensating methods);
+    its page store is discarded and rebuilt from the log.  The log is
+    reopened and recovery appends its own records to it, so crashing *during*
+    recovery (via ``faults``) and calling :func:`recover` again converges to
+    the same state.  ``skip_compensation`` is the ablation hook: a recovery
+    that "forgets" compensation replay, which the crash oracle must catch.
+    """
+    wal.reopen()
+    db.wal = wal
+    records = wal.to_list()
+    report = RecoveryReport(records=len(records))
+
+    committed, aborted, losers, journals, boundary = _analyze(records)
+    # Keep winners in commit-record order — the crash oracle replays them
+    # serially in exactly this order.
+    report.winners = [r["txn"] for r in records if r["t"] == "commit"]
+    report.finished_aborts = sorted(aborted)
+    report.losers = list(losers)
+
+    report.redo_applied = _redo(records, db.store)
+
+    # One backward pass over everything that must be physically or
+    # semantically unwound: the losers' surviving journal entries AND the
+    # window records of interrupted rollback steps, in reverse *global*
+    # LSN order.  Interleaving the two is essential — a before-image only
+    # restores correctly once every later write to its slot has itself
+    # been unwound (e.g. another loser's frame wrote a page after a
+    # half-finished compensation touched it).
+    merged = [
+        (lsn, txn, entry)
+        for txn in losers
+        for lsn, entry in journals.get(txn, {}).items()
+    ]
+    merged.extend(
+        (rec["lsn"], rec["txn"], rec)
+        for rec in _collect_windows(records, losers, boundary)
+    )
+    merged.sort(key=lambda item: item[0], reverse=True)
+    remaining = {txn: sum(1 for _, t, _ in merged if t == txn) for txn in losers}
+    contexts: dict[str, Any] = {}
+    for lsn, txn, entry in merged:
+        if faults is not None:
+            try:
+                faults.hit("recovery.step")
+            except SimulatedCrash:
+                wal.crash()
+                raise
+        if isinstance(entry, dict):
+            _revert_record(db, entry)
+            report.reverted += 1
+        elif isinstance(entry, CompensationRecord):
+            if skip_compensation:
+                report.compensations_skipped += 1
+            else:
+                ctx = contexts.get(txn)
+                if ctx is None:
+                    # Reuse the loser's own label so the compensating
+                    # sends' physical records attribute to it in the log.
+                    ctx = db.begin(txn, log=False)
+                    ctx.runtime_data["compensating"] = True
+                    contexts[txn] = ctx
+                db.send(ctx, entry.oid, entry.method, *entry.args)
+                wal.append({"t": "comp-done", "txn": txn, "target": lsn})
+                wal.sync()
+                report.compensations_replayed += 1
+        else:
+            db.apply_physical(txn, entry)
+            report.undone += 1
+        remaining[txn] -= 1
+        if remaining[txn] == 0:
+            wal.append({"t": "abort-done", "txn": txn})
+    # Losers with nothing to unwind still need a durable verdict.
+    for txn in losers:
+        if remaining.get(txn, 0) == 0 and not any(
+            t == txn for _, t, _ in merged
+        ):
+            wal.append({"t": "abort-done", "txn": txn})
+    wal.sync()
+
+    # Retire the recovery contexts: their journals were bookkeeping only
+    # (every effect is already durable), so clear them before release.
+    for ctx in contexts.values():
+        ctx.root_frame.log.entries.clear()
+        db.scheduler.abort(ctx)
+        ctx.status = TxnStatus.ABORTED
+    return report
+
+
+# ---------------------------------------------------------------------------
+# state digests (determinism / idempotence checks)
+# ---------------------------------------------------------------------------
+
+
+def store_snapshot(store) -> dict:
+    """A plain-data snapshot of every page (capacity + slots)."""
+    return {
+        page_id: {
+            "capacity": store.get(page_id).capacity,
+            "slots": dict(store.get(page_id).slots),
+        }
+        for page_id in store.page_ids
+    }
+
+
+def store_digest(store) -> str:
+    """A deterministic digest of the page store (byte-identity witness)."""
+    canonical = repr(
+        sorted(
+            (
+                page_id,
+                snap["capacity"],
+                sorted(snap["slots"].items(), key=lambda kv: repr(kv[0])),
+            )
+            for page_id, snap in store_snapshot(store).items()
+        )
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def verify_log(records: list[dict]) -> None:
+    """Sanity-check a record stream (used by the CLI before recovery)."""
+    for i, rec in enumerate(records):
+        if "t" not in rec:
+            raise DatabaseError(f"WAL record {i} has no type: {rec!r}")
+        if rec.get("lsn") != i:
+            raise DatabaseError(
+                f"WAL record {i} carries lsn {rec.get('lsn')!r} — "
+                "stream is reordered or truncated mid-prefix"
+            )

@@ -21,7 +21,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import SimulationError, TransactionAborted
+from repro.errors import SimulatedCrash, SimulationError, TransactionAborted
 from repro.runtime.program import ProgramAPI, TransactionProgram
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,6 +46,9 @@ class WorkerOutcome:
     error: BaseException | None = None
     #: executor seed of the run that produced this outcome (reproduction key)
     seed: int | None = None
+    #: exhausted max_restarts without committing (every attempt aborted —
+    #: distinct from "still aborted because the run crashed mid-flight")
+    gave_up: bool = False
 
     @property
     def label(self) -> str:
@@ -62,10 +65,16 @@ class ExecutionResult:
     db: "ObjectDatabase"
     #: executor seed of this run (reproduction key)
     seed: int | None = None
+    #: the run ended in a simulated crash (fault injection)
+    crashed: bool = False
 
     @property
     def committed(self) -> list[WorkerOutcome]:
         return [o for o in self.outcomes if o.committed]
+
+    @property
+    def gave_up(self) -> list[WorkerOutcome]:
+        return [o for o in self.outcomes if o.gave_up]
 
     @property
     def committed_labels(self) -> set[str]:
@@ -98,9 +107,9 @@ class _Worker:
 
     def _run(self) -> None:
         executor = self.executor
-        executor._wait_until_scheduled(self)
         db = executor.db
         try:
+            executor._wait_until_scheduled(self)
             for attempt in range(self.program.max_restarts + 1):
                 self.outcome.attempts = attempt + 1
                 ctx = db.begin(self.program.attempt_label(attempt))
@@ -112,6 +121,12 @@ class _Worker:
                     db.commit(ctx)
                     self.outcome.committed = True
                     self.outcome.final_ctx = ctx
+                    return
+                except SimulatedCrash:
+                    # The system died mid-action.  No rollback, no lock
+                    # release, no restart: volatile state is gone and
+                    # recovery (from the WAL) owns everything else.
+                    executor._note_crash()
                     return
                 except TransactionAborted:
                     db.abort(ctx, "scheduler abort")
@@ -125,7 +140,12 @@ class _Worker:
                     self.outcome.error = exc
                     db.abort(ctx, f"worker crashed: {exc!r}")
                     return
+            self.outcome.gave_up = True
             self.outcome.final_ctx = None  # gave up after max restarts
+        except SimulatedCrash:
+            # Unwound while the crash propagated (e.g. parked in a lock
+            # wait, a backoff, or rolling back when the system died).
+            executor._note_crash()
         except BaseException as exc:  # pragma: no cover - defensive
             self.outcome.error = exc
         finally:
@@ -140,17 +160,24 @@ class InterleavedExecutor:
         db: "ObjectDatabase",
         seed: int = 0,
         max_ticks: int = 1_000_000,
+        faults=None,
     ):
         self.db = db
         self.seed = seed
         self.rng = random.Random(seed)
         self.max_ticks = max_ticks
         self.now = 0
+        self.faults = faults
+        #: a SimulatedCrash fired somewhere; every worker unwinds
+        self.crashed = False
+        self._wakeups_dropped = 0
         self._cond = threading.Condition()
         self._workers: list[_Worker] = []
         self._current: object = "controller"
         db.env = self
         db.scheduler.bind_environment(self)
+        if faults is not None and getattr(db, "faults", None) is None:
+            db.faults = faults
 
     # ------------------------------------------------------------------
     # public API
@@ -182,6 +209,7 @@ class InterleavedExecutor:
             scheduler_stats=dict(self._scheduler_stats()),
             db=self.db,
             seed=self.seed,
+            crashed=self.crashed,
         )
 
     def _scheduler_stats(self) -> dict:
@@ -205,6 +233,12 @@ class InterleavedExecutor:
                 pending = [w for w in self._workers if w.state != _DONE]
                 if not pending:
                     return
+                if self.crashed:
+                    # Unwind parked workers: they resume only to observe
+                    # the crash and die (their locks are never released).
+                    for worker in pending:
+                        if worker.state == _BLOCKED:
+                            worker.state = _READY
                 runnable = [w for w in pending if w.state == _READY]
                 if not runnable:
                     errors = [
@@ -214,6 +248,17 @@ class InterleavedExecutor:
                     ]
                     if errors:
                         raise errors[0]
+                    if self._wakeups_dropped:
+                        # Lost-wakeup tolerance: a swallowed notification
+                        # (fault injection) may have stranded the blocked
+                        # workers; sweep-wake them so they re-check their
+                        # lock conditions.  Only when drops actually
+                        # happened — a stall without them is still a bug.
+                        self._wakeups_dropped = 0
+                        for worker in pending:
+                            if worker.state == _BLOCKED:
+                                worker.state = _READY
+                        continue
                     blocked = {w.program.label: w.state for w in pending}
                     raise SimulationError(
                         f"all transactions blocked — scheduler bug? {blocked}",
@@ -240,6 +285,8 @@ class InterleavedExecutor:
     def _wait_until_scheduled(self, worker: _Worker) -> None:
         with self._cond:
             self._cond.wait_for(lambda: self._current is worker)
+            if self.crashed:
+                raise SimulatedCrash("crash.unwind")
 
     def _yield_to_controller(self, worker: _Worker, new_state: str) -> None:
         with self._cond:
@@ -247,6 +294,13 @@ class InterleavedExecutor:
             self._current = "controller"
             self._cond.notify_all()
             self._cond.wait_for(lambda: self._current is worker)
+            # Resumed into a dead system: the worker exists only to unwind.
+            if self.crashed:
+                raise SimulatedCrash("crash.unwind")
+
+    def _note_crash(self) -> None:
+        with self._cond:
+            self.crashed = True
 
     def _current_worker(self) -> _Worker | None:
         current = self._current
@@ -298,6 +352,18 @@ class InterleavedExecutor:
         worker.wait_key = None
         ctx.stats.wait_ticks += self.now - blocked_at
 
+    # On notify-free wakeups: flipping ``state`` under ``_cond`` without
+    # ``notify_all()`` is safe here.  A parked worker waits on exactly one
+    # predicate — ``self._current is worker`` — and ``_current`` is changed
+    # only by the controller (or ``_worker_done``), both of which always
+    # notify afterwards.  ``state`` is *not* part of any wait predicate: the
+    # flip merely marks the worker schedulable, and the controller reads it
+    # at the top of its next round while holding ``_cond`` (it cannot be
+    # mid-``wait_for`` re-check, because wakers run inside a worker's
+    # execution slice, during which the controller is parked).  So no
+    # waiter can miss the transition; a ``notify_all()`` here would only
+    # cost spurious wakeup churn.
+
     def wake_all(self) -> None:
         """Make every blocked worker runnable again (they re-check locks)."""
         with self._cond:
@@ -308,6 +374,11 @@ class InterleavedExecutor:
     def wake_keys(self, keys) -> None:
         """Wake only the workers whose wait key is in ``keys``."""
         with self._cond:
+            if self.faults is not None and self.faults.drop_wakeup():
+                # Fault injection: the release notification is lost.  The
+                # controller's lost-wakeup sweep is the safety net.
+                self._wakeups_dropped += 1
+                return
             for worker in self._workers:
                 if worker.state == _BLOCKED and worker.wait_key in keys:
                     worker.state = _READY

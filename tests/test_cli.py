@@ -67,6 +67,55 @@ def test_figures_verbose_provenance():
     assert "Definition 10" in output
 
 
+def test_fuzz_crash_smoke():
+    code, output = run_cli(
+        "fuzz", "--crash", "--smoke", "--seeds", "1",
+        "--protocols", "open-nested-oo",
+    )
+    assert code == 0
+    assert "crash campaign" in output
+    assert "no crash-oracle violations" in output
+
+
+def test_fuzz_crash_ablate_self_test():
+    # recovery without compensation replay must be caught (exit 0 = caught)
+    code, output = run_cli(
+        "fuzz", "--crash-ablate", "--smoke", "--seeds", "2",
+        "--protocols", "multilevel", "open-nested-oo",
+    )
+    assert code == 0
+    assert "ablation detected" in output
+
+
+def test_recover_command(tmp_path):
+    import json
+
+    from repro.faults import FaultPlan
+    from repro.fuzz.crash import _build_db, crash_census
+    from repro.fuzz.generator import GeneratorProfile, generate
+    from repro.oodb.wal import WriteAheadLog
+    from repro.runtime.executor import InterleavedExecutor
+
+    spec = generate(0, GeneratorProfile.smoke())
+    census = crash_census(spec, "open-nested-oo")
+    plan = FaultPlan.crash_plan(
+        "page-write.after", census["page-write.after"] - 1
+    )
+    wal = WriteAheadLog()
+    db, programs = _build_db(spec, "open-nested-oo", wal=wal, faults=plan)
+    result = InterleavedExecutor(db, seed=spec.seed, faults=plan).run(programs)
+    assert result.crashed
+    path = tmp_path / "crashed.wal"
+    with open(path, "w") as fh:
+        for rec in wal.to_list():
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+
+    code, output = run_cli("recover", str(path), "--seed", "0", "--smoke")
+    assert code == 0
+    assert "recovered" in output
+    assert "page-store digest:" in output
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
