@@ -10,11 +10,20 @@ fixture) and — unlike the old behavior of importing modules that define
 but never execute their checks — **exits non-zero when any benchmark's
 internal verification fails**, so CI cannot mistake a broken claim table
 for a regenerated one.
+
+``--jobs N`` shards bench *modules* across worker processes (``0`` means
+one per CPU).  Each module's output is captured in the worker and printed
+in sorted module order, so a parallel run's transcript matches the serial
+one regardless of which worker finishes first.
 """
 
 from __future__ import annotations
 
+import argparse
+import contextlib
 import importlib.util
+import io
+import multiprocessing
 import sys
 import traceback
 from pathlib import Path
@@ -51,35 +60,77 @@ def _load_module(path: Path):
     return module
 
 
-def run_benchmarks(patterns: list[str] | None = None) -> int:
+def _run_module(path: Path) -> int:
+    """Run one module's test functions; returns 1 on failure, 0 on pass.
+
+    Prints the usual PASS/FAIL line itself, so callers (serial loop or the
+    output-capturing pool worker) emit identical transcripts.
+    """
+    try:
+        module = _load_module(path)
+        tests = [
+            getattr(module, name)
+            for name in sorted(dir(module))
+            if name.startswith("test_") and callable(getattr(module, name))
+        ]
+        for test in tests:
+            test(DirectBenchmark())
+    except BaseException:
+        print(f"\nFAIL {path.name}", file=sys.stderr)
+        traceback.print_exc()
+        return 1
+    print(f"PASS {path.name}")
+    return 0
+
+
+def _pool_worker(path_str: str) -> tuple[int, str]:
+    """Module runner for ``--jobs``: capture output, ship it back picklable."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
+        failed = _run_module(Path(path_str))
+    return failed, out.getvalue()
+
+
+def run_benchmarks(patterns: list[str] | None = None, jobs: int = 1) -> int:
     """Run bench modules' verifications; return the number of failures."""
     bench_dir = Path(__file__).parent
     paths = sorted(bench_dir.glob("bench_*.py"))
     if patterns:
         paths = [p for p in paths if any(pat in p.stem for pat in patterns)]
-    failures = 0
-    for path in paths:
-        try:
-            module = _load_module(path)
-            tests = [
-                getattr(module, name)
-                for name in sorted(dir(module))
-                if name.startswith("test_") and callable(getattr(module, name))
-            ]
-            for test in tests:
-                test(DirectBenchmark())
-        except BaseException:
-            failures += 1
-            print(f"\nFAIL {path.name}", file=sys.stderr)
-            traceback.print_exc()
-        else:
-            print(f"PASS {path.name}")
+    if jobs <= 0:
+        jobs = multiprocessing.cpu_count()
+    if jobs > 1 and len(paths) > 1:
+        with multiprocessing.Pool(processes=min(jobs, len(paths))) as pool:
+            results = pool.map(_pool_worker, [str(p) for p in paths])
+        failures = 0
+        # map preserves submission order: transcript matches the serial run
+        for failed, output in results:
+            failures += failed
+            sys.stdout.write(output)
+    else:
+        failures = sum(_run_module(path) for path in paths)
     print(f"\n{len(paths)} bench module(s), {failures} failure(s)")
     return failures
 
 
 def main(argv: list[str] | None = None) -> int:
-    failures = run_benchmarks(list(argv or sys.argv[1:]))
+    parser = argparse.ArgumentParser(
+        description="Run the bench suite's verifications outside pytest."
+    )
+    parser.add_argument(
+        "patterns",
+        nargs="*",
+        help="substring filters on bench module names (default: all)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run bench modules across N worker processes (0 = one per CPU)",
+    )
+    args = parser.parse_args(list(argv if argv is not None else sys.argv[1:]))
+    failures = run_benchmarks(args.patterns, jobs=args.jobs)
     return 1 if failures else 0
 
 

@@ -212,6 +212,11 @@ def _build_fuzz_parser(subparsers) -> None:
         "the self-test that the crash oracle must catch",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard seeds across N worker processes (0 = one per CPU); "
+        "the campaign report is byte-identical to a serial run",
+    )
+    parser.add_argument(
         "--max-violations", type=int, default=1,
         help="stop the campaign after this many violations",
     )
@@ -270,6 +275,7 @@ def cmd_fuzz(args) -> int:
         profile=profile,
         ablate_first_leaf=args.ablate,
         max_violations=args.max_violations,
+        jobs=args.jobs,
     )
     header, rows = campaign.table()
     print(
@@ -335,6 +341,7 @@ def _cmd_fuzz_crash(args, seeds, profile) -> int:
         profile=profile,
         skip_compensation=skip,
         max_violations=args.max_violations,
+        jobs=args.jobs,
     )
     header, rows = campaign.table()
     print(

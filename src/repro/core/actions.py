@@ -40,6 +40,16 @@ class Invocation:
     args: tuple = ()
     state: object = None
 
+    def __hash__(self) -> int:
+        # Invocations key the lock table's commutativity memo cache, where
+        # each is hashed once per held-lock comparison; the generated
+        # dataclass hash would rebuild the field tuple every time.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.obj, self.method, self.args, self.state))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __str__(self) -> str:
         rendered_args = ", ".join(repr(a) for a in self.args)
         return f"{self.obj}.{self.method}({rendered_args})"

@@ -34,6 +34,7 @@ campaign can actually see a broken recovery.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass, field
 
@@ -44,6 +45,7 @@ from repro.faults import CRASH_SITES, RECOVERY_SITES, FaultPlan
 from repro.fuzz.driver import FUZZ_PROTOCOLS
 from repro.fuzz.generator import GeneratorProfile, WorkloadSpec, build_workload, generate
 from repro.fuzz.oracle import strictness_for
+from repro.fuzz.parallel import iter_seed_results
 from repro.oodb.database import ObjectDatabase
 from repro.oodb.trace import committed_projection
 from repro.oodb.wal import RecoveryReport, WriteAheadLog, recover, store_digest
@@ -379,6 +381,129 @@ class CrashCampaignResult:
         return header, [t.row() for t in self.tallies.values()]
 
 
+@dataclass
+class CrashCell:
+    """Picklable summary of one crash-campaign cell.
+
+    A census failure produces a single protocol-level cell
+    (``census_error`` set, no site); otherwise one cell per armed site, in
+    site order — the exact shape the serial accounting walks.
+    """
+
+    protocol: str
+    site: str | None = None
+    census_error: str | None = None
+    error: str | None = None
+    skipped: bool = False
+    outcome: CrashOutcome | None = None
+    counterexample: dict | None = None
+
+
+def run_seed_crash_cells(
+    seed: int,
+    *,
+    protocols: tuple[str, ...] = FUZZ_PROTOCOLS,
+    profile: GeneratorProfile | None = None,
+    sites: tuple[str, ...] = ARMED_SITES,
+    skip_compensation: bool = False,
+    check_recovery_crash: bool = True,
+    max_ticks: int = 200_000,
+) -> list[CrashCell]:
+    """The per-seed crash-campaign worker (deterministic in ``seed``)."""
+    spec = generate(seed, profile)
+    cells: list[CrashCell] = []
+    for protocol in protocols:
+        try:
+            census = crash_census(spec, protocol, max_ticks=max_ticks)
+        except ReproError as exc:
+            cells.append(CrashCell(protocol=protocol, census_error=repr(exc)))
+            continue
+        for site in sites:
+            plan = FaultPlan.from_census(spec.seed, census, site=site)
+            if plan is None:
+                cells.append(
+                    CrashCell(protocol=protocol, site=site, skipped=True)
+                )
+                continue
+            try:
+                outcome = run_armed_cell(
+                    spec,
+                    protocol,
+                    plan,
+                    skip_compensation=skip_compensation,
+                    check_recovery_crash=check_recovery_crash,
+                    max_ticks=max_ticks,
+                )
+            except ReproError as exc:
+                cells.append(
+                    CrashCell(protocol=protocol, site=site, error=repr(exc))
+                )
+                continue
+            cell = CrashCell(protocol=protocol, site=site, outcome=outcome)
+            if not outcome.ok:
+                counterexample = outcome.to_counterexample(spec)
+                counterexample["skip_compensation"] = skip_compensation
+                cell.counterexample = counterexample
+            cells.append(cell)
+    return cells
+
+
+def _fold_crash_seed(
+    campaign: CrashCampaignResult,
+    seed: int,
+    cells: list[CrashCell],
+    max_violations: int,
+) -> bool:
+    """Fold one seed's crash cells into the campaign; True = stop."""
+    for cell in cells:
+        tally = campaign.tallies[cell.protocol]
+        if cell.census_error is not None:
+            tally.errors += 1
+            campaign.errors.append(
+                (seed, cell.protocol, "census", cell.census_error)
+            )
+            continue
+        tally.cells += 1
+        if cell.skipped:
+            tally.skipped += 1
+            continue
+        if cell.error is not None:
+            tally.errors += 1
+            campaign.errors.append((seed, cell.protocol, cell.site, cell.error))
+            continue
+        outcome = cell.outcome
+        if outcome.crashed:
+            tally.crashes += 1
+            campaign.site_crashes[cell.site] = (
+                campaign.site_crashes.get(cell.site, 0) + 1
+            )
+            tally.winners += len(outcome.winners)
+            tally.losers += len(outcome.losers)
+            if outcome.recovery is not None:
+                tally.compensations += (
+                    outcome.recovery.compensations_replayed
+                    + outcome.recovery.compensations_skipped
+                )
+        else:
+            tally.completed += 1
+        if not outcome.ok:
+            tally.violations += 1
+            campaign.violations.append(
+                CrashViolation(
+                    seed=seed,
+                    protocol=cell.protocol,
+                    site=cell.site,
+                    outcome=outcome,
+                    counterexample=cell.counterexample,
+                )
+            )
+            if len(campaign.violations) >= max_violations:
+                campaign.seeds_run += 1
+                return True
+    campaign.seeds_run += 1
+    return False
+
+
 def run_crash_campaign(
     *,
     seeds: list[int],
@@ -389,77 +514,32 @@ def run_crash_campaign(
     check_recovery_crash: bool = True,
     max_violations: int = 1,
     max_ticks: int = 200_000,
+    jobs: int = 1,
     progress=None,
 ) -> CrashCampaignResult:
     """Sweep ``seeds × protocols × crash sites``; stop after violations.
 
     One census per (seed, protocol); each hit site is then armed in its
     own cell, so a single seed contributes up to ``len(sites)`` crash
-    runs per protocol.
+    runs per protocol.  ``jobs > 1`` shards seeds across worker processes
+    with a seed-order fold, so the report matches a serial run byte for
+    byte; ``jobs = 0`` means one worker per CPU.
     """
     campaign = CrashCampaignResult(
         tallies={p: CrashTally(protocol=p) for p in protocols}
     )
-    for seed in seeds:
-        spec = generate(seed, profile)
-        for protocol in protocols:
-            tally = campaign.tallies[protocol]
-            try:
-                census = crash_census(spec, protocol, max_ticks=max_ticks)
-            except ReproError as exc:
-                tally.errors += 1
-                campaign.errors.append((seed, protocol, "census", repr(exc)))
-                continue
-            for site in sites:
-                plan = FaultPlan.from_census(spec.seed, census, site=site)
-                tally.cells += 1
-                if plan is None:
-                    tally.skipped += 1
-                    continue
-                try:
-                    outcome = run_armed_cell(
-                        spec,
-                        protocol,
-                        plan,
-                        skip_compensation=skip_compensation,
-                        check_recovery_crash=check_recovery_crash,
-                        max_ticks=max_ticks,
-                    )
-                except ReproError as exc:
-                    tally.errors += 1
-                    campaign.errors.append((seed, protocol, site, repr(exc)))
-                    continue
-                if outcome.crashed:
-                    tally.crashes += 1
-                    campaign.site_crashes[site] = (
-                        campaign.site_crashes.get(site, 0) + 1
-                    )
-                    tally.winners += len(outcome.winners)
-                    tally.losers += len(outcome.losers)
-                    if outcome.recovery is not None:
-                        tally.compensations += (
-                            outcome.recovery.compensations_replayed
-                            + outcome.recovery.compensations_skipped
-                        )
-                else:
-                    tally.completed += 1
-                if not outcome.ok:
-                    tally.violations += 1
-                    counterexample = outcome.to_counterexample(spec)
-                    counterexample["skip_compensation"] = skip_compensation
-                    campaign.violations.append(
-                        CrashViolation(
-                            seed=seed,
-                            protocol=protocol,
-                            site=site,
-                            outcome=outcome,
-                            counterexample=counterexample,
-                        )
-                    )
-                    if len(campaign.violations) >= max_violations:
-                        campaign.seeds_run += 1
-                        return campaign
-        campaign.seeds_run += 1
+    worker = functools.partial(
+        run_seed_crash_cells,
+        protocols=tuple(protocols),
+        profile=profile,
+        sites=tuple(sites),
+        skip_compensation=skip_compensation,
+        check_recovery_crash=check_recovery_crash,
+        max_ticks=max_ticks,
+    )
+    for seed, cells in iter_seed_results(worker, seeds, jobs):
+        if _fold_crash_seed(campaign, seed, cells, max_violations):
+            return campaign
         if progress is not None:
             progress(seed, campaign)
     return campaign

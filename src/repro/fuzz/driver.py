@@ -7,10 +7,18 @@ reproduces both the workload and the interleaving), and hands the committed
 history to the oracle.  Per-protocol tallies aggregate oracle verdicts and
 admission-rate deltas; any violation is returned with enough context for
 the shrinker to take over.
+
+The campaign is split into a per-seed **worker** (:func:`run_seed_cells` —
+deterministic, self-contained, picklable results) and an order-sensitive
+**fold** that replays the accounting seed by seed.  ``jobs > 1`` shards the
+workers across processes via :mod:`repro.fuzz.parallel`; because the fold
+consumes results in seed order either way, a parallel campaign's report is
+byte-identical to the serial one.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.analysis.compare import make_scheduler
@@ -27,6 +35,7 @@ from repro.fuzz.oracle import (
     check_history,
     strictness_for,
 )
+from repro.fuzz.parallel import iter_seed_results
 from repro.oodb.database import ObjectDatabase
 from repro.runtime.executor import ExecutionResult, InterleavedExecutor
 
@@ -137,6 +146,120 @@ class CampaignResult:
         return header, [t.row() for t in self.tallies.values()]
 
 
+@dataclass
+class CellOutcome:
+    """Picklable summary of one (seed, protocol) cell.
+
+    Carries exactly what the campaign accounting needs across a process
+    boundary — counters and the oracle report (primitives only), never the
+    executed database or call trees.
+    """
+
+    protocol: str
+    error: str | None = None
+    committed: int = 0
+    gave_up: int = 0
+    restarts: int = 0
+    oo_only: bool = False
+    report: OracleReport | None = None
+
+
+def _cell_ablation_for(
+    spec: WorkloadSpec,
+    ablation: Ablation | None,
+    ablate_first_leaf: bool,
+) -> Ablation | None:
+    """``ablate_first_leaf`` derives an :class:`Ablation` per workload
+    (break every entry of the first leaf object) when no explicit ablation
+    is given — the self-test mode of ``python -m repro fuzz --ablate``."""
+    if ablation is None and ablate_first_leaf:
+        return Ablation(object_name=spec.leaf_objects[0].name)
+    return ablation
+
+
+def run_seed_cells(
+    seed: int,
+    *,
+    protocols: tuple[str, ...] = FUZZ_PROTOCOLS,
+    profile: GeneratorProfile | None = None,
+    ablation: Ablation | None = None,
+    ablate_first_leaf: bool = False,
+) -> list[CellOutcome]:
+    """The per-seed campaign worker: one seed under every protocol.
+
+    Fully deterministic in ``seed`` (the workload, the interleaving and the
+    oracle verdict all derive from it), which is what makes sharding seeds
+    across processes safe.
+    """
+    spec = generate(seed, profile)
+    cell_ablation = _cell_ablation_for(spec, ablation, ablate_first_leaf)
+    cells: list[CellOutcome] = []
+    for protocol in protocols:
+        try:
+            result, report = run_cell(spec, protocol, ablation=cell_ablation)
+        except ReproError as exc:
+            cells.append(CellOutcome(protocol=protocol, error=repr(exc)))
+            continue
+        cells.append(
+            CellOutcome(
+                protocol=protocol,
+                committed=len(result.committed),
+                gave_up=len(result.gave_up),
+                restarts=result.total_restarts,
+                oo_only=report.oo_only,
+                report=report,
+            )
+        )
+    return cells
+
+
+def _fold_seed(
+    campaign: CampaignResult,
+    seed: int,
+    cells: list[CellOutcome],
+    *,
+    profile: GeneratorProfile | None,
+    ablation: Ablation | None,
+    ablate_first_leaf: bool,
+    max_violations: int,
+) -> bool:
+    """Fold one seed's cell outcomes into the campaign (the serial
+    accounting, replayed verbatim); returns True when the campaign stops."""
+    for cell in cells:
+        tally = campaign.tallies[cell.protocol]
+        tally.runs += 1
+        if cell.error is not None:
+            tally.errors += 1
+            campaign.errors.append((seed, cell.protocol, cell.error))
+            continue
+        tally.committed += cell.committed
+        tally.gave_up += cell.gave_up
+        tally.restarts += cell.restarts
+        if cell.oo_only:
+            tally.oo_only += 1
+        if cell.report is not None and cell.report.violation:
+            tally.violations += 1
+            # The spec is regenerated rather than shipped back from the
+            # worker: generation is cheap and deterministic per seed.
+            spec = generate(seed, profile)
+            campaign.violations.append(
+                Violation(
+                    seed=seed,
+                    protocol=cell.protocol,
+                    report=cell.report,
+                    spec=spec,
+                    ablation=_cell_ablation_for(
+                        spec, ablation, ablate_first_leaf
+                    ),
+                )
+            )
+            if len(campaign.violations) >= max_violations:
+                campaign.seeds_run += 1
+                return True
+    campaign.seeds_run += 1
+    return False
+
+
 def run_campaign(
     *,
     seeds: list[int],
@@ -145,53 +268,37 @@ def run_campaign(
     ablation: Ablation | None = None,
     ablate_first_leaf: bool = False,
     max_violations: int = 1,
+    jobs: int = 1,
     progress=None,
 ) -> CampaignResult:
     """Run every seed under every protocol; stop after ``max_violations``.
 
-    ``ablate_first_leaf`` derives an :class:`Ablation` per workload (break
-    every entry of the first leaf object) when no explicit ablation is
-    given — the self-test mode of ``python -m repro fuzz --ablate``.
+    ``jobs > 1`` shards seeds across worker processes; the report is
+    byte-identical to a serial run over the same seeds (results are folded
+    in seed order either way).  ``jobs = 0`` means one worker per CPU.
     """
     campaign = CampaignResult(
         tallies={p: ProtocolTally(protocol=p) for p in protocols}
     )
-    for seed in seeds:
-        spec = generate(seed, profile)
-        cell_ablation = ablation
-        if cell_ablation is None and ablate_first_leaf:
-            cell_ablation = Ablation(object_name=spec.leaf_objects[0].name)
-        for protocol in protocols:
-            tally = campaign.tallies[protocol]
-            tally.runs += 1
-            try:
-                result, report = run_cell(
-                    spec, protocol, ablation=cell_ablation
-                )
-            except ReproError as exc:
-                tally.errors += 1
-                campaign.errors.append((seed, protocol, repr(exc)))
-                continue
-            tally.committed += len(result.committed)
-            tally.gave_up += len(result.gave_up)
-            tally.restarts += result.total_restarts
-            if report.oo_only:
-                tally.oo_only += 1
-            if report.violation:
-                tally.violations += 1
-                campaign.violations.append(
-                    Violation(
-                        seed=seed,
-                        protocol=protocol,
-                        report=report,
-                        spec=spec,
-                        ablation=cell_ablation,
-                    )
-                )
-                if len(campaign.violations) >= max_violations:
-                    campaign.seeds_run = campaign.seeds_run + 1
-                    return campaign
-        campaign.seeds_run += 1
+    worker = functools.partial(
+        run_seed_cells,
+        protocols=tuple(protocols),
+        profile=profile,
+        ablation=ablation,
+        ablate_first_leaf=ablate_first_leaf,
+    )
+    for seed, cells in iter_seed_results(worker, seeds, jobs):
+        stopped = _fold_seed(
+            campaign,
+            seed,
+            cells,
+            profile=profile,
+            ablation=ablation,
+            ablate_first_leaf=ablate_first_leaf,
+            max_violations=max_violations,
+        )
+        if stopped:
+            return campaign
         if progress is not None:
             progress(seed, campaign)
     return campaign

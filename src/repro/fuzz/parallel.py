@@ -1,0 +1,56 @@
+"""Multiprocessing fan-out shared by the fuzz and crash campaign runners.
+
+Both campaigns have the same shape: a deterministic, self-contained unit of
+work per generator seed (each run is keyed only by its seed, never by
+shared state), followed by order-sensitive accounting.  :func:`iter_seed_results`
+exploits that split — it yields ``(seed, result)`` pairs **in seed order**
+whether the work ran serially or was sharded across worker processes, so
+the caller's fold is the *same code* in both modes and a parallel
+campaign's report is byte-identical to the serial one by construction.
+
+Workers are plain module-level functions plus picklable argument bundles
+(specs, profiles and outcome summaries are all dataclasses of primitives),
+so the default ``fork``/``spawn`` start methods both work.  Early
+termination (``max_violations`` reached) simply abandons the iterator; the
+pool context manager tears the workers down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Iterable, Iterator
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``--jobs 0`` (one per CPU)."""
+    return multiprocessing.cpu_count()
+
+
+def iter_seed_results(
+    worker: Callable,
+    seeds: Iterable[int],
+    jobs: int = 1,
+) -> Iterator[tuple[int, object]]:
+    """Yield ``(seed, worker(seed))`` in seed order, serially or sharded.
+
+    ``worker`` must be picklable (a module-level function or a
+    ``functools.partial`` over one) and fully deterministic per seed.  With
+    ``jobs <= 1`` no process machinery is involved at all.
+    """
+    seeds = list(seeds)
+    if jobs <= 0:
+        jobs = default_jobs()
+    if multiprocessing.current_process().daemon:
+        # Pool workers are daemonic and may not spawn children; a campaign
+        # already running inside one (e.g. the bench harness's --jobs)
+        # degrades to serial instead of crashing.
+        jobs = 1
+    if jobs <= 1 or len(seeds) <= 1:
+        for seed in seeds:
+            yield seed, worker(seed)
+        return
+    with multiprocessing.Pool(processes=min(jobs, len(seeds))) as pool:
+        # imap preserves submission order: the fold sees seeds exactly as
+        # the serial loop would, regardless of which worker finished first.
+        for seed, result in zip(seeds, pool.imap(worker, seeds, chunksize=1)):
+            yield seed, result

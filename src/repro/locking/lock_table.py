@@ -10,6 +10,25 @@ serves every protocol.
 Lock *ownership* is by action node: a protocol decides which node owns each
 acquired lock (the requesting action's caller for nested protocols, the
 transaction root for flat 2PL), and releases by owner when frames complete.
+
+Performance notes
+-----------------
+
+The table keeps three secondary indexes — by owner node, by transaction
+context, and by requesting node — so that ``release_owned_by`` / ``reown``
+/ ``release_transaction`` / ``release_requested_by`` / ``held_by`` are
+O(locks touched) rather than O(table).  The indexes are identity-keyed
+(owners and contexts are compared with ``is`` everywhere in this module).
+
+Commutativity verdicts are memoized in a bounded per-table cache keyed by
+the spec plus the two invocations' (object, method, args) fields.  The
+cache is only
+consulted for *state-free* invocation pairs: an invocation carrying a state
+snapshot (escrow-style, Definition 9's "status of accessed objects") is
+evaluated directly every time, so a state-dependent specification can never
+return a verdict computed for a different snapshot.  Invocations are frozen
+dataclasses, making state-free pairs hashable; unhashable arguments fall
+back to direct evaluation as well.
 """
 
 from __future__ import annotations
@@ -23,6 +42,9 @@ from repro.errors import DeadlockError
 from repro.locking.deadlock import WaitsForGraph
 from repro.locking.interfaces import Scheduler
 from repro.oodb.context import TransactionContext
+
+#: default bound on memoized commutativity verdicts per table
+COMMUTE_CACHE_SIZE = 4096
 
 
 @dataclass
@@ -41,13 +63,75 @@ class Lock:
 
 
 class LockTable:
-    """Semantic locks per object, with ownership bookkeeping."""
+    """Semantic locks per object, with ownership bookkeeping.
 
-    def __init__(self) -> None:
+    All bulk operations go through the secondary indexes; ``index_hits``
+    counts the operations that were answered from an index instead of a
+    full-table scan, and ``commute_cache_hits`` counts memoized
+    commutativity verdicts (both are surfaced in the owning scheduler's
+    ``stats``).
+    """
+
+    def __init__(self, commute_cache_size: int = COMMUTE_CACHE_SIZE) -> None:
         self._locks: dict[ObjectId, list[Lock]] = {}
+        self._by_owner: dict[ActionNode, list[Lock]] = {}
+        self._by_ctx: dict[TransactionContext, list[Lock]] = {}
+        self._by_requester: dict[ActionNode, list[Lock]] = {}
+        self._count = 0
+        self.index_hits = 0
+        #: None means the cache is disabled (``commute_cache_size <= 0``)
+        self._commute_cache: dict[tuple, bool] | None = (
+            {} if commute_cache_size > 0 else None
+        )
+        self._commute_cache_size = commute_cache_size
+        self.commute_cache_hits = 0
+        self.commute_cache_misses = 0
 
     def locks_on(self, obj: ObjectId) -> list[Lock]:
         return list(self._locks.get(obj, ()))
+
+    # -- commutativity memoization -------------------------------------------
+
+    def _commutes(
+        self, spec: CommutativitySpec, held: Invocation, requested: Invocation
+    ) -> bool:
+        """Memoized ``spec.commutes(held, requested)``.
+
+        State-carrying invocations bypass the cache entirely: their verdict
+        may depend on the snapshot, and a snapshot taken at a different
+        request time must never answer for this one.
+        """
+        if held.state is not None or requested.state is not None:
+            return spec.commutes(held, requested)
+        cache = self._commute_cache
+        if cache is None:  # cache disabled
+            return spec.commutes(held, requested)
+        # The key is flattened to primitives (strings and argument tuples):
+        # probing with Invocation objects would pay their field-tuple
+        # __hash__/__eq__ on every hit, which costs more than many specs.
+        key = (
+            spec,
+            held.obj,
+            held.method,
+            held.args,
+            requested.obj,
+            requested.method,
+            requested.args,
+        )
+        try:
+            cached = cache.get(key)
+        except TypeError:  # unhashable arguments: evaluate directly
+            return spec.commutes(held, requested)
+        if cached is not None:
+            self.commute_cache_hits += 1
+            return cached
+        verdict = spec.commutes(held, requested)
+        self.commute_cache_misses += 1
+        if len(cache) >= self._commute_cache_size:
+            # bounded: evict the oldest entry (insertion order)
+            cache.pop(next(iter(cache)))
+        cache[key] = verdict
+        return verdict
 
     def conflicting(
         self,
@@ -64,8 +148,10 @@ class LockTable:
             lock
             for lock in self._locks.get(invocation.obj, ())
             if lock.ctx is not ctx
-            and not spec.commutes(lock.invocation, invocation)
+            and not self._commutes(spec, lock.invocation, invocation)
         ]
+
+    # -- mutation -------------------------------------------------------------
 
     def add(self, lock: Lock) -> None:
         entries = self._locks.setdefault(lock.obj, [])
@@ -77,53 +163,90 @@ class LockTable:
             ):
                 return  # identical lock already held
         entries.append(lock)
+        self._by_owner.setdefault(lock.owner, []).append(lock)
+        self._by_ctx.setdefault(lock.ctx, []).append(lock)
+        if lock.requester is not None:
+            self._by_requester.setdefault(lock.requester, []).append(lock)
+        self._count += 1
+
+    def _drop(self, locks: list[Lock]) -> set[ObjectId]:
+        """Remove the given locks from every structure; returns the objects
+        they were held on.  O(locks touched): only the buckets the dropped
+        locks actually live in are filtered."""
+        dropped = {id(lock) for lock in locks}
+        released: set[ObjectId] = set()
+        for lock in locks:
+            released.add(lock.obj)
+        for obj in released:
+            kept = [l for l in self._locks.get(obj, ()) if id(l) not in dropped]
+            if kept:
+                self._locks[obj] = kept
+            else:
+                self._locks.pop(obj, None)
+        for index, key_of in (
+            (self._by_owner, lambda lock: lock.owner),
+            (self._by_ctx, lambda lock: lock.ctx),
+            (self._by_requester, lambda lock: lock.requester),
+        ):
+            for key in {key_of(lock) for lock in locks}:
+                if key is None or key not in index:
+                    continue
+                kept = [l for l in index[key] if id(l) not in dropped]
+                if kept:
+                    index[key] = kept
+                else:
+                    del index[key]
+        self._count -= len(locks)
+        return released
 
     def release_owned_by(self, owner: ActionNode) -> set[ObjectId]:
         """Drop every lock owned by ``owner``; returns the touched objects."""
-        released: set[ObjectId] = set()
-        for obj in list(self._locks):
-            kept = [lock for lock in self._locks[obj] if lock.owner is not owner]
-            if len(kept) != len(self._locks[obj]):
-                released.add(obj)
-            if kept:
-                self._locks[obj] = kept
-            else:
-                del self._locks[obj]
-        return released
+        locks = self._by_owner.get(owner)
+        if not locks:
+            return set()
+        self.index_hits += 1
+        return self._drop(list(locks))
+
+    def release_requested_by(self, node: ActionNode) -> set[ObjectId]:
+        """Drop every lock whose acquiring action was ``node`` (an aborted
+        subtransaction's own lock); returns the touched objects."""
+        locks = self._by_requester.get(node)
+        if not locks:
+            return set()
+        self.index_hits += 1
+        return self._drop(list(locks))
+
+    def release_transaction(self, ctx: TransactionContext) -> set[ObjectId]:
+        locks = self._by_ctx.get(ctx)
+        if not locks:
+            return set()
+        self.index_hits += 1
+        return self._drop(list(locks))
 
     def reown(self, owner: ActionNode, new_owner: ActionNode) -> int:
         """Transfer ownership (closed nesting's lock inheritance)."""
-        moved = 0
-        for locks in self._locks.values():
-            for lock in locks:
-                if lock.owner is owner:
-                    lock.owner = new_owner
-                    moved += 1
-        return moved
-
-    def release_transaction(self, ctx: TransactionContext) -> set[ObjectId]:
-        released: set[ObjectId] = set()
-        for obj in list(self._locks):
-            kept = [lock for lock in self._locks[obj] if lock.ctx is not ctx]
-            if len(kept) != len(self._locks[obj]):
-                released.add(obj)
-            if kept:
-                self._locks[obj] = kept
-            else:
-                del self._locks[obj]
-        return released
+        locks = self._by_owner.get(owner)
+        if not locks:
+            return 0
+        self.index_hits += 1
+        if new_owner is owner:
+            return len(locks)
+        del self._by_owner[owner]
+        for lock in locks:
+            lock.owner = new_owner
+        self._by_owner.setdefault(new_owner, []).extend(locks)
+        return len(locks)
 
     def held_by(self, ctx: TransactionContext) -> list[Lock]:
-        return [
-            lock
-            for locks in self._locks.values()
-            for lock in locks
-            if lock.ctx is ctx
-        ]
+        locks = self._by_ctx.get(ctx)
+        if not locks:
+            return []
+        self.index_hits += 1
+        return list(locks)
 
     @property
     def lock_count(self) -> int:
-        return sum(len(locks) for locks in self._locks.values())
+        return self._count
 
 
 class LockingScheduler(Scheduler):
@@ -145,8 +268,22 @@ class LockingScheduler(Scheduler):
         self.waits = WaitsForGraph()
         self._page_rw = ReadWriteCommutativity()
         self._active: dict[str, TransactionContext] = {}
-        #: cumulative counters for the bench harness
-        self.stats = {"acquired": 0, "waits": 0, "deadlocks": 0, "wounds": 0}
+        #: cumulative counters for the bench harness — every counter the
+        #: skeleton can touch is initialized here (no lazily-created keys)
+        self.stats = {
+            "acquired": 0,
+            "waits": 0,
+            "deadlocks": 0,
+            "wounds": 0,
+            "overrides": 0,
+            "lock_index_hits": 0,
+            "commute_cache_hits": 0,
+        }
+
+    def _sync_table_stats(self) -> None:
+        """Mirror the table's fast-path counters into the stats dict."""
+        self.stats["lock_index_hits"] = self.table.index_hits
+        self.stats["commute_cache_hits"] = self.table.commute_cache_hits
 
     # -- protocol knobs --------------------------------------------------------
 
@@ -215,6 +352,7 @@ class LockingScheduler(Scheduler):
             )
         )
         self.stats["acquired"] += 1
+        self._sync_table_stats()
 
     def _resolve_deadlock(
         self, ctx, cycle: list[str], compensating: bool
@@ -250,7 +388,7 @@ class LockingScheduler(Scheduler):
                 self.stats["wounds"] += 1
                 self.env.wake_all()
                 return False
-        self.stats["overrides"] = self.stats.get("overrides", 0) + 1
+        self.stats["overrides"] += 1
         return True
 
     def end_action(self, ctx, node, release) -> None:
@@ -261,6 +399,7 @@ class LockingScheduler(Scheduler):
         else:
             # Locks acquired for this subtree stay with the enclosing frame.
             self.table.reown(node, node.parent if node.parent is not None else node)
+        self._sync_table_stats()
 
     def commit(self, ctx) -> None:
         self._finish(ctx)
@@ -272,6 +411,7 @@ class LockingScheduler(Scheduler):
         self.waits.clear(ctx.txn_id)
         self._active.pop(ctx.txn_id, None)
         released = self.table.release_transaction(ctx)
+        self._sync_table_stats()
         if released:
             self._wake(released)
 
@@ -279,18 +419,8 @@ class LockingScheduler(Scheduler):
         """Drop locks owned *by* this node and the lock it *requested* —
         the node's subtransaction aborted and is erased."""
         released = self.table.release_owned_by(node)
-        for obj in list(self.table._locks):
-            kept = [
-                lock
-                for lock in self.table._locks[obj]
-                if lock.requester is not node
-            ]
-            if len(kept) != len(self.table._locks[obj]):
-                released.add(obj)
-                if kept:
-                    self.table._locks[obj] = kept
-                else:
-                    del self.table._locks[obj]
+        released |= self.table.release_requested_by(node)
+        self._sync_table_stats()
         if released:
             self._wake(released)
 

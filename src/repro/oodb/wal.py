@@ -108,6 +108,9 @@ class WriteAheadLog:
         self.records: list[dict] = []
         self._buffer: list[dict] = []
         self._crashed = False
+        #: lazily opened, kept across syncs: one buffered write + one flush
+        #: per sync point instead of an open/write-per-record cycle
+        self._fh = None
 
     # -- appending ----------------------------------------------------------
 
@@ -125,16 +128,32 @@ class WriteAheadLog:
         return record["lsn"]
 
     def sync(self) -> None:
-        """Force the buffer to the durable prefix (a write barrier)."""
+        """Force the buffer to the durable prefix (a write barrier).
+
+        In file mode the whole buffer goes down as a single write followed
+        by a single flush on a persistent handle — the write barrier is per
+        sync point, not per record.
+        """
         if self._crashed or not self._buffer:
             return
         if self.path is not None:
-            with open(self.path, "a") as fh:
-                for record in self._buffer:
-                    fh.write(json.dumps(record, sort_keys=True) + "\n")
-                fh.flush()
+            if self._fh is None:
+                self._fh = open(self.path, "a")
+            self._fh.write(
+                "".join(
+                    json.dumps(record, sort_keys=True) + "\n"
+                    for record in self._buffer
+                )
+            )
+            self._fh.flush()
         self.records.extend(self._buffer)
         self._buffer = []
+
+    def close(self) -> None:
+        """Release the backing file handle (safe to call repeatedly)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
 
     # -- crash surface ------------------------------------------------------
 

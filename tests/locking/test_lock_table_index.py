@@ -1,0 +1,330 @@
+"""The indexed lock table against a naive full-scan reference model.
+
+The secondary indexes (by owner, by context, by requester) are an
+optimization only: every bulk operation must return exactly what a single
+flat dict interrogated by full scans would.  A randomized operation
+sequence cross-checks the two after every step.
+
+The second half pins the commutativity memo cache's correctness envelope:
+state-carrying invocations (escrow-style snapshots) must never be answered
+from the cache, the cache stays within its bound, and a disabled cache
+(``commute_cache_size=0``) still answers correctly.
+"""
+
+import random
+
+from repro.core.actions import Invocation
+from repro.core.commutativity import (
+    EscrowCommutativity,
+    ReadWriteCommutativity,
+)
+from repro.core.transactions import TransactionSystem
+from repro.locking.lock_table import Lock, LockTable
+from repro.oodb.context import TransactionContext
+
+
+class ReferenceLockTable:
+    """The obviously-correct model: one dict, full scans everywhere."""
+
+    def __init__(self):
+        self._locks = {}
+
+    def add(self, lock):
+        entries = self._locks.setdefault(lock.obj, [])
+        for existing in entries:
+            if (
+                existing.ctx is lock.ctx
+                and existing.owner is lock.owner
+                and existing.invocation == lock.invocation
+            ):
+                return
+        entries.append(lock)
+
+    def _release(self, predicate):
+        released = set()
+        for obj, locks in list(self._locks.items()):
+            kept = [l for l in locks if not predicate(l)]
+            if len(kept) != len(locks):
+                released.add(obj)
+                if kept:
+                    self._locks[obj] = kept
+                else:
+                    del self._locks[obj]
+        return released
+
+    def release_owned_by(self, owner):
+        return self._release(lambda l: l.owner is owner)
+
+    def release_requested_by(self, node):
+        return self._release(lambda l: l.requester is node)
+
+    def release_transaction(self, ctx):
+        return self._release(lambda l: l.ctx is ctx)
+
+    def reown(self, owner, new_owner):
+        moved = 0
+        for locks in self._locks.values():
+            for lock in locks:
+                if lock.owner is owner:
+                    if new_owner is not owner:
+                        lock.owner = new_owner
+                    moved += 1
+        return moved
+
+    def held_by(self, ctx):
+        return [
+            lock
+            for locks in self._locks.values()
+            for lock in locks
+            if lock.ctx is ctx
+        ]
+
+    @property
+    def lock_count(self):
+        return sum(len(locks) for locks in self._locks.values())
+
+
+def _held_fingerprint(locks):
+    """A sorted, table-independent multiset digest of a lock list.
+
+    Contexts/owners/requesters are shared objects between the two tables
+    under test, so their ids are comparable; the locks themselves are not.
+    """
+    return sorted(
+        (
+            lock.obj,
+            lock.invocation.obj,
+            lock.invocation.method,
+            lock.invocation.args,
+            id(lock.ctx),
+            id(lock.owner),
+            -1 if lock.requester is None else id(lock.requester),
+        )
+        for lock in locks
+    )
+
+
+class TestIndexedAgainstReference:
+    def _world(self, rng, n_txns=6, n_nodes_per_txn=3):
+        system = TransactionSystem()
+        ctxs, nodes = [], []
+        for t in range(n_txns):
+            ctx = TransactionContext(system.transaction(f"T{t}"))
+            ctxs.append(ctx)
+            nodes.append(ctx.txn.root)
+            for n in range(n_nodes_per_txn):
+                nodes.append(ctx.txn.root.call(f"O{t}", f"m{n}"))
+        return ctxs, nodes
+
+    def test_randomized_sequences_agree(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            ctxs, nodes = self._world(rng)
+            indexed, reference = LockTable(), ReferenceLockTable()
+            # Both tables see the *same* Lock objects per side, built from
+            # the same drawn parameters.
+            for step in range(120):
+                op = rng.choice(
+                    ["add", "add", "add", "owned", "requested", "txn", "reown", "held"]
+                )
+                if op == "add":
+                    ctx = rng.choice(ctxs)
+                    params = dict(
+                        obj=f"P{rng.randrange(8)}",
+                        invocation=Invocation(
+                            f"P{rng.randrange(8)}",
+                            rng.choice(["read", "write"]),
+                            (rng.randrange(4),),
+                        ),
+                        ctx=ctx,
+                        owner=rng.choice(nodes),
+                        requester=rng.choice(nodes + [None]),
+                    )
+                    indexed.add(Lock(**params))
+                    reference.add(Lock(**params))
+                elif op == "owned":
+                    node = rng.choice(nodes)
+                    assert indexed.release_owned_by(
+                        node
+                    ) == reference.release_owned_by(node), f"seed {seed} step {step}"
+                elif op == "requested":
+                    node = rng.choice(nodes)
+                    assert indexed.release_requested_by(
+                        node
+                    ) == reference.release_requested_by(node)
+                elif op == "txn":
+                    ctx = rng.choice(ctxs)
+                    assert indexed.release_transaction(
+                        ctx
+                    ) == reference.release_transaction(ctx)
+                elif op == "reown":
+                    owner = rng.choice(nodes)
+                    new_owner = rng.choice(nodes)
+                    assert indexed.reown(owner, new_owner) == reference.reown(
+                        owner, new_owner
+                    )
+                elif op == "held":
+                    ctx = rng.choice(ctxs)
+                    assert _held_fingerprint(
+                        indexed.held_by(ctx)
+                    ) == _held_fingerprint(reference.held_by(ctx))
+                assert indexed.lock_count == reference.lock_count
+                assert set(indexed._locks) == set(reference._locks)
+
+    def test_indexes_consistent_after_churn(self):
+        """After heavy churn, every index entry points at a live lock and
+        every live lock is indexed."""
+        rng = random.Random(7)
+        ctxs, nodes = self._world(rng)
+        table = LockTable()
+        for _ in range(300):
+            table.add(
+                Lock(
+                    obj=f"P{rng.randrange(6)}",
+                    invocation=Invocation(
+                        f"P{rng.randrange(6)}", "write", (rng.randrange(9),)
+                    ),
+                    ctx=rng.choice(ctxs),
+                    owner=rng.choice(nodes),
+                    requester=rng.choice(nodes),
+                )
+            )
+            if rng.random() < 0.4:
+                table.release_owned_by(rng.choice(nodes))
+            if rng.random() < 0.2:
+                table.reown(rng.choice(nodes), rng.choice(nodes))
+        live = {id(l) for locks in table._locks.values() for l in locks}
+        for index, attr in (
+            (table._by_owner, "owner"),
+            (table._by_ctx, "ctx"),
+            (table._by_requester, "requester"),
+        ):
+            indexed_ids = set()
+            for key, locks in index.items():
+                assert locks, f"empty {attr} bucket left behind"
+                for lock in locks:
+                    assert getattr(lock, attr) is key
+                    indexed_ids.add(id(lock))
+            if attr in ("owner", "ctx"):
+                assert indexed_ids == live
+        assert table.lock_count == len(live)
+
+
+ESCROW = EscrowCommutativity(low=0.0, high=None)
+
+
+def _withdraw(amount, state):
+    return Invocation("acct", "withdraw", (amount,), state=state)
+
+
+class TestCommuteCache:
+    def test_state_dependent_verdicts_never_stale(self):
+        """Two withdrawals commute under a rich snapshot and conflict under
+        a poor one; a cache keyed without the snapshot would leak the first
+        verdict into the second query."""
+        table = LockTable()
+        assert ESCROW.commutes(_withdraw(5, 100.0), _withdraw(5, 100.0))
+        assert not ESCROW.commutes(_withdraw(5, 6.0), _withdraw(5, 6.0))
+        for _ in range(3):  # repeated queries: any caching would show here
+            assert table._commutes(
+                ESCROW, _withdraw(5, 100.0), _withdraw(5, 100.0)
+            )
+            assert not table._commutes(
+                ESCROW, _withdraw(5, 6.0), _withdraw(5, 6.0)
+            )
+        # state-carrying pairs must not have touched the cache at all
+        assert table.commute_cache_hits == 0
+        assert table.commute_cache_misses == 0
+
+    def test_state_dependent_conflicts_through_public_api(self):
+        system = TransactionSystem()
+        holder = TransactionContext(system.transaction("H"))
+        asker = TransactionContext(system.transaction("A"))
+        table = LockTable()
+        table.add(
+            Lock(
+                obj="acct",
+                invocation=_withdraw(5, 100.0),
+                ctx=holder,
+                owner=holder.txn.root,
+            )
+        )
+        # rich snapshot: commutes, no conflict
+        assert not table.conflicting(asker, _withdraw(5, 100.0), ESCROW)
+        # poor snapshot for the same (method, args): must conflict
+        assert table.conflicting(asker, _withdraw(5, 6.0), ESCROW)
+        # and again, in both orders, to catch cached staleness
+        assert table.conflicting(asker, _withdraw(5, 6.0), ESCROW)
+        assert not table.conflicting(asker, _withdraw(5, 100.0), ESCROW)
+
+    def test_stateless_verdicts_are_cached_and_correct(self):
+        rw = ReadWriteCommutativity()
+        table = LockTable()
+        read = Invocation("P", "read")
+        write = Invocation("P", "write")
+        assert table._commutes(rw, read, Invocation("P", "read"))
+        assert table.commute_cache_misses == 1
+        for _ in range(5):
+            assert table._commutes(rw, read, Invocation("P", "read"))
+            assert not table._commutes(rw, write, Invocation("P", "read"))
+        assert table.commute_cache_hits == 9
+        assert table.commute_cache_misses == 2
+
+    def test_cache_is_bounded(self):
+        table = LockTable(commute_cache_size=8)
+        rw = ReadWriteCommutativity()
+        for i in range(50):
+            table._commutes(rw, Invocation("P", "read", (i,)), Invocation("P", "read"))
+            assert len(table._commute_cache) <= 8
+        assert table.commute_cache_misses == 50
+
+    def test_cache_disabled(self):
+        table = LockTable(commute_cache_size=0)
+        rw = ReadWriteCommutativity()
+        for _ in range(4):
+            assert table._commutes(rw, Invocation("P", "read"), Invocation("P", "read"))
+        assert table._commute_cache is None
+        assert table.commute_cache_hits == 0
+        assert table.commute_cache_misses == 0
+
+    def test_unhashable_args_fall_back(self):
+        table = LockTable()
+        rw = ReadWriteCommutativity()
+        ugly = Invocation("P", "read", ([1, 2],))
+        for _ in range(3):
+            assert table._commutes(rw, ugly, Invocation("P", "read"))
+        assert table.commute_cache_hits == 0
+        assert table.commute_cache_misses == 0
+
+
+STATS_KEYS = {
+    "acquired",
+    "waits",
+    "deadlocks",
+    "wounds",
+    "overrides",
+    "lock_index_hits",
+    "commute_cache_hits",
+}
+
+
+class TestSchedulerStats:
+    def test_all_counters_initialized_up_front(self):
+        """The bench harness reads stats without guards: every counter the
+        locking skeleton can touch must exist (at zero) from construction —
+        no lazily-created keys."""
+        from repro.analysis.compare import make_scheduler
+
+        for protocol in (
+            "page-2pl",
+            "closed-nested",
+            "multilevel",
+            "open-nested-oo",
+            "optimistic-oo",
+        ):
+            scheduler = make_scheduler(protocol, layers={})
+            missing = STATS_KEYS - scheduler.stats.keys()
+            assert not missing, f"{protocol} lacks stats keys {missing}"
+            assert all(
+                scheduler.stats[key] == 0 for key in STATS_KEYS
+            ), f"{protocol} starts with non-zero counters"

@@ -1,0 +1,97 @@
+"""File-mode WAL buffering: one write barrier per sync point.
+
+The durable log keeps a persistent append handle and flushes the whole
+volatile buffer as a single write + flush at each :meth:`sync` — not an
+open/write/close cycle per record.  These tests pin that batching and the
+things it must not change: the on-disk JSONL format, crash semantics, and
+:meth:`close` being safe and reopenable.
+"""
+
+import json
+
+from repro.oodb.wal import WriteAheadLog
+
+
+class RecordingHandle:
+    """Wraps a real file handle, counting write barriers."""
+
+    def __init__(self, fh):
+        self.fh = fh
+        self.writes = 0
+        self.flushes = 0
+
+    def write(self, data):
+        self.writes += 1
+        return self.fh.write(data)
+
+    def flush(self):
+        self.flushes += 1
+        return self.fh.flush()
+
+    def close(self):
+        return self.fh.close()
+
+
+def test_sync_is_one_write_one_flush(tmp_path):
+    path = tmp_path / "log.wal"
+    wal = WriteAheadLog(str(path))
+    for i in range(100):
+        wal.append({"type": "set", "value": i})
+    wal.sync()  # opens the persistent handle
+    recorder = RecordingHandle(wal._fh)
+    wal._fh = recorder
+    for i in range(50):
+        wal.append({"type": "set", "value": 100 + i})
+    wal.sync()
+    assert recorder.writes == 1
+    assert recorder.flushes == 1
+    # an empty buffer costs no barrier at all
+    wal.sync()
+    assert recorder.writes == 1
+    assert recorder.flushes == 1
+    wal.close()
+
+
+def test_file_contents_match_durable_prefix(tmp_path):
+    path = tmp_path / "log.wal"
+    wal = WriteAheadLog(str(path))
+    for batch in range(4):
+        for i in range(5):
+            wal.append({"type": "set", "batch": batch, "i": i})
+        wal.sync()
+    wal.close()
+    on_disk = [
+        json.loads(line) for line in path.read_text().splitlines() if line
+    ]
+    assert on_disk == wal.records
+    assert [r["lsn"] for r in on_disk] == list(range(20))
+    assert WriteAheadLog.load(str(path)).to_list() == wal.to_list()
+
+
+def test_close_is_idempotent_and_reopenable(tmp_path):
+    path = tmp_path / "log.wal"
+    wal = WriteAheadLog(str(path))
+    wal.append({"type": "begin", "txn": "T1"})
+    wal.sync()
+    wal.close()
+    wal.close()  # safe to call repeatedly
+    wal.append({"type": "commit", "txn": "T1"})
+    wal.sync()  # reopens the handle in append mode
+    wal.close()
+    assert [r["type"] for r in WriteAheadLog.load(str(path))] == [
+        "begin",
+        "commit",
+    ]
+
+
+def test_crash_loses_only_the_buffer(tmp_path):
+    path = tmp_path / "log.wal"
+    wal = WriteAheadLog(str(path))
+    wal.append({"type": "begin", "txn": "T1"})
+    wal.sync()
+    wal.append({"type": "commit", "txn": "T1"})  # never synced
+    wal.crash()
+    wal.close()
+    survivors = WriteAheadLog.load(str(path))
+    assert [r["type"] for r in survivors] == ["begin"]
+    assert wal.append({"type": "ghost"}) == -1  # appends are dead post-crash

@@ -1,6 +1,8 @@
 """The standalone bench runner must fail loudly, not import quietly."""
 
 import importlib.util
+import os
+import subprocess
 import sys
 from pathlib import Path
 
@@ -48,3 +50,26 @@ def test_runner_counts_every_failing_module(monkeypatch):
         harness, "_load_module", lambda path: (_ for _ in ()).throw(RuntimeError())
     )
     assert harness.run_benchmarks(["fig2", "fig5"]) == 2
+
+
+def _run_harness(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(BENCH_DIR.parent / "src")
+    return subprocess.run(
+        [sys.executable, str(BENCH_DIR / "_harness.py"), *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+
+
+def test_jobs_transcript_matches_serial():
+    """``--jobs`` shards modules across processes but must print the same
+    transcript in the same (sorted) module order."""
+    serial = _run_harness("fig2", "fig4")
+    parallel = _run_harness("fig2", "fig4", "--jobs", "2")
+    assert serial.returncode == parallel.returncode == 0
+    assert "PASS bench_fig2_structure.py" in serial.stdout
+    assert "PASS bench_fig4_example1.py" in serial.stdout
+    assert serial.stdout == parallel.stdout

@@ -67,6 +67,15 @@ def test_figures_verbose_provenance():
     assert "Definition 10" in output
 
 
+def test_fuzz_jobs_output_is_byte_identical():
+    """--jobs must be invisible in the rendered report."""
+    argv = ("fuzz", "--smoke", "--seeds", "6")
+    code_serial, serial = run_cli(*argv, "--jobs", "1")
+    code_parallel, parallel = run_cli(*argv, "--jobs", "2")
+    assert code_serial == code_parallel == 0
+    assert serial == parallel
+
+
 def test_fuzz_crash_smoke():
     code, output = run_cli(
         "fuzz", "--crash", "--smoke", "--seeds", "1",
