@@ -23,12 +23,14 @@ import argparse
 import contextlib
 import importlib.util
 import io
+import json
 import multiprocessing
 import sys
 import traceback
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
 def emit(name: str, text: str) -> str:
@@ -38,6 +40,29 @@ def emit(name: str, text: str) -> str:
     print(text)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     return text
+
+
+def write_trajectory(entry: dict) -> dict:
+    """Append/replace one labelled entry in ``BENCH_perf.json``.
+
+    The artifact is a per-PR performance trajectory: every perf-oriented
+    bench (C10's hot paths, C11's analysis engines) contributes an entry
+    keyed by its ``label`` so regressions show up as numbers, not
+    anecdotes.
+    """
+    data = {"benchmark": "perf trajectory (experiment C10)", "entries": []}
+    if BENCH_JSON.exists():
+        try:
+            previous = json.loads(BENCH_JSON.read_text())
+            if isinstance(previous.get("entries"), list):
+                data = previous
+        except (json.JSONDecodeError, OSError):
+            pass  # a corrupt artifact is simply regenerated
+    data["entries"] = [
+        e for e in data["entries"] if e.get("label") != entry["label"]
+    ] + [entry]
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
 
 
 class DirectBenchmark:

@@ -33,7 +33,7 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from _harness import emit
+from _harness import emit, write_trajectory
 
 from repro.analysis import render_table
 from repro.core.actions import Invocation
@@ -313,19 +313,7 @@ def _wal_section() -> dict:
 
 def _write_trajectory(entry: dict) -> dict:
     """Append/replace this label's entry in ``BENCH_perf.json``."""
-    data = {"benchmark": "perf trajectory (experiment C10)", "entries": []}
-    if BENCH_JSON.exists():
-        try:
-            previous = json.loads(BENCH_JSON.read_text())
-            if isinstance(previous.get("entries"), list):
-                data = previous
-        except (json.JSONDecodeError, OSError):
-            pass  # a corrupt artifact is simply regenerated
-    data["entries"] = [
-        e for e in data["entries"] if e.get("label") != entry["label"]
-    ] + [entry]
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    return data
+    return write_trajectory(entry)
 
 
 def run_perf_bench() -> dict:

@@ -219,6 +219,18 @@ class CommutativityRegistry:
         self._exact: dict[ObjectId, CommutativitySpec] = {}
         self._prefixes: list[tuple[str, CommutativitySpec]] = []
 
+    def copy(self) -> "CommutativityRegistry":
+        """A registry with the same mappings that can be mutated freely.
+
+        Specifications themselves are shared (they are immutable); only the
+        lookup tables are copied.  The fuzz oracle uses this to break
+        entries without contaminating the scheduler's live registry.
+        """
+        clone = CommutativityRegistry(default=self.default)
+        clone._exact = dict(self._exact)
+        clone._prefixes = list(self._prefixes)
+        return clone
+
     def register(self, oid: ObjectId, spec: CommutativitySpec) -> None:
         """Register the specification of one object."""
         self._exact[oid] = spec

@@ -38,21 +38,57 @@ the paper's information-flow story ("divide et impera", Section 1):
    both are top-level roots, where it becomes a top-level ordering
    constraint.  ``propagate_cross_object=False`` restores the literal
    Definition 15/16 reading (used by ablation benches).
+
+Two engines compute the same fixpoint:
+
+- the legacy **batch** fixpoint rescans every edge of every relation per
+  round until nothing changes — simple, but quadratic in rounds × edges;
+- the **incremental** :class:`IncrementalDependencyEngine` (the default)
+  is worklist-driven: each edge is processed exactly once, when it is first
+  derived, and appended transactions (``append_transaction``) only pay for
+  their own deltas.  With ``track_cycles=True`` every relation is watched
+  by an online topological order (:class:`repro.core.graph.OnlineTopology`),
+  so the first contradiction is reported at the insertion that closes it.
+
+For one-shot analyses the worklist is drained in *stratified* rounds that
+replay the batch engine's derivation order edge for edge, which makes the
+two engines byte-identical — verdicts, edge sets, first-reason-wins
+provenance and cycle witnesses (pinned by the differential test suite).
+``REPRO_ANALYSIS=batch|incremental`` selects the engine globally.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterable
 
 from repro.core.actions import ActionNode
 from repro.core.commutativity import CommutativityRegistry
 from repro.core.extension import extend_system
+from repro.core.graph import OnlineTopology
 from repro.core.identifiers import SYSTEM_OBJECT, ObjectId
-from repro.core.schedule import ObjectSchedule
-from repro.core.transactions import TransactionSystem
+from repro.core.schedule import ObjectSchedule, program_precedes
+from repro.core.transactions import OOTransaction, TransactionSystem
+from repro.errors import ReproError
+
+#: environment variable selecting the analysis engine for all consumers
+ANALYSIS_ENGINE_ENV = "REPRO_ANALYSIS"
 
 
-def linearize_effects(system: TransactionSystem) -> None:
+def analysis_engine() -> str:
+    """The configured analysis engine: ``incremental`` (default) or ``batch``."""
+    value = os.environ.get(ANALYSIS_ENGINE_ENV, "incremental").strip().lower()
+    if value not in ("batch", "incremental"):
+        raise ReproError(
+            f"unknown {ANALYSIS_ENGINE_ENV} value {value!r}: "
+            f"expected 'batch' or 'incremental'"
+        )
+    return value
+
+
+def linearize_effects(
+    system: TransactionSystem, tops: Iterable[OOTransaction] | None = None
+) -> None:
     """Re-stamp each method action at its first own-object effect.
 
     The execution trace stamps an action's ``seq`` when its scheduler
@@ -76,6 +112,10 @@ def linearize_effects(system: TransactionSystem) -> None:
     first effect, and childless actions keep their stamp.  The rewrite is
     idempotent and must run before the Definition 5 extension (duplicates
     copy their original's stamp).
+
+    ``tops`` restricts the rewrite to the given transactions' trees (the
+    incremental engine re-stamps only what it appends; the recursion never
+    leaves a tree, so a restricted pass equals the global one restricted).
     """
     effective: dict[int, int] = {}
 
@@ -96,9 +136,13 @@ def linearize_effects(system: TransactionSystem) -> None:
         effective[key] = value
         return value
 
+    if tops is None:
+        source: Iterable[ActionNode] = system.all_actions()
+    else:
+        source = (action for txn in tops for action in txn.actions())
     updates = [
         (action, eff(action))
-        for action in system.all_actions()
+        for action in source
         if not action.is_primitive and not action.virtual
     ]
     for action, value in updates:
@@ -124,6 +168,9 @@ class DependencyAnalysis:
         Apply :func:`linearize_effects` first (default), re-stamping each
         method action at its first own-object effect so that Axiom 1
         bootstraps from execution order rather than dispatch order.
+    engine:
+        ``"batch"`` or ``"incremental"``; default from ``REPRO_ANALYSIS``
+        (incremental).  Both produce byte-identical schedules.
     """
 
     def __init__(
@@ -134,9 +181,11 @@ class DependencyAnalysis:
         extend: bool = True,
         propagate_cross_object: bool = True,
         linearize: bool = True,
+        engine: str | None = None,
     ):
         self.system = system
         self.commutativity = commutativity
+        self.engine = engine if engine is not None else analysis_engine()
         if linearize:
             linearize_effects(system)
         self.extension = extend_system(system) if extend else None
@@ -151,7 +200,19 @@ class DependencyAnalysis:
     def schedules(self) -> dict[ObjectId, ObjectSchedule]:
         """Compute (once) and return all object schedules, keyed by object."""
         if self._schedules is None:
-            self._schedules = self._compute()
+            if self.engine == "batch":
+                self._schedules = self._compute()
+            else:
+                core = IncrementalDependencyEngine(
+                    self.system,
+                    self.commutativity,
+                    propagate_cross_object=self.propagate_cross_object,
+                    linearize=False,  # the constructor already ran it
+                    extend=False,  # likewise
+                )
+                core.top_cross_deps = self.top_cross_deps
+                core.run()
+                self._schedules = core.schedules
         return self._schedules
 
     def schedule(self, oid: ObjectId) -> ObjectSchedule:
@@ -192,8 +253,6 @@ class DependencyAnalysis:
         a non-conform one they surface as extra (possibly contradictory)
         dependencies.
         """
-        from repro.core.schedule import program_precedes
-
         actions = sched.actions
         for i, first in enumerate(actions):
             for second in actions[i + 1 :]:
@@ -222,7 +281,9 @@ class DependencyAnalysis:
                         "action",
                         first,
                         second,
-                        f"Axiom 1: executed {first.seq} < {second.seq}",
+                        "Axiom 1: executed {} < {}",
+                        first.seq,
+                        second.seq,
                     )
 
     def _fixpoint(self, schedules: dict[ObjectId, ObjectSchedule]) -> None:
@@ -233,8 +294,9 @@ class DependencyAnalysis:
         while changed:
             changed = False
             # Definition 10: lift conflicting action dependencies to callers.
+            # (Lazy iteration is safe: the loop only adds txn edges.)
             for sched in schedules.values():
-                for src, dst in list(sched.action_dep.edges):
+                for src, dst in sched.action_dep.iter_edges():
                     if not self._conflict(src, dst):
                         continue
                     caller_src, caller_dst = src.parent, dst.parent
@@ -248,15 +310,17 @@ class DependencyAnalysis:
                             "txn",
                             caller_src,
                             caller_dst,
-                            f"Definition 10: conflicting actions "
-                            f"{src.label} <· {dst.label}",
+                            "Definition 10: conflicting actions {} <· {}",
+                            src,
+                            dst,
                         )
                         changed = True
             # Definition 11: transaction dependencies whose endpoints are
             # actions on one object flow into that object's action deps;
-            # cross-object pairs enter the closure work set.
+            # cross-object pairs enter the closure work set.  (Lazy again:
+            # only action relations are mutated while txn edges are read.)
             for sched in schedules.values():
-                for src, dst in list(sched.txn_dep.edges):
+                for src, dst in sched.txn_dep.iter_edges():
                     if src.obj != dst.obj:
                         if self.propagate_cross_object:
                             if self._push_cross(src, dst, schedules, cross_seen):
@@ -271,7 +335,8 @@ class DependencyAnalysis:
                             "action",
                             src,
                             dst,
-                            f"Definition 11: inherited from {sched.oid}",
+                            "Definition 11: inherited from {}",
+                            sched.oid,
                         )
                         changed = True
 
@@ -307,16 +372,17 @@ class DependencyAnalysis:
                 return changed
             if left.obj == right.obj:
                 target = schedules.get(left.obj)
-                if target is not None and left in target.action_dep.nodes \
-                        and right in target.action_dep.nodes:
+                if target is not None and left in target.action_dep \
+                        and right in target.action_dep:
                     if not target.action_dep.has_edge(left, right):
                         target.action_dep.add_edge(left, right)
                         target.record_reason(
                             "action",
                             left,
                             right,
-                            f"cross-object closure (from {src.label} -> "
-                            f"{dst.label})",
+                            "cross-object closure (from {} -> {})",
+                            src,
+                            dst,
                         )
                         changed = True
                     return changed
@@ -339,7 +405,7 @@ class DependencyAnalysis:
         """Definition 15: record cross-object transaction dependencies at
         both endpoint objects, redundantly."""
         for sched in schedules.values():
-            for src, dst in sched.txn_dep.edges:
+            for src, dst in sched.txn_dep.iter_edges():
                 if src.obj == dst.obj:
                     continue
                 for endpoint_obj in (src.obj, dst.obj):
@@ -350,7 +416,489 @@ class DependencyAnalysis:
                             "added",
                             src,
                             dst,
-                            f"Definition 15: recorded from {sched.oid}",
+                            "Definition 15: recorded from {}",
+                            sched.oid,
+                        )
+
+
+class IncrementalDependencyEngine:
+    """Worklist-driven evaluation of the Definition 10/11/15 fixpoint.
+
+    Every newly derived edge is *observed* exactly once: it is recorded in
+    its relation, tagged with its position in the relation's iteration
+    order, and queued.  :meth:`_drain` then processes queued edges in
+    stratified rounds — a Definition 10 phase over new action dependencies
+    followed by a Definition 11/closure phase over new transaction
+    dependencies, schedules in sorted object order, edges in relation
+    order — which replays the batch fixpoint's derivation order exactly
+    (the batch engine rescans *all* edges per round but only the new ones
+    derive anything).  One-shot analyses are therefore byte-identical to
+    the batch engine while doing O(edges) instead of O(rounds × edges)
+    rule evaluations.
+
+    The engine is also *appendable*: :meth:`append_transaction` integrates
+    one more executed transaction into an existing analysis — re-stamping
+    and extending only the new tree, bootstrapping only pairs with a new
+    member — which is how the optimistic certifier validates each commit
+    against the already-analyzed committed prefix instead of re-analyzing
+    from empty.
+
+    With ``track_cycles=True`` every relation feeds an
+    :class:`~repro.core.graph.OnlineTopology` watcher (per-object action,
+    transaction and combined ``<· ∪ <+`` relations, plus the global
+    top-level graph), Definition 15 recording happens eagerly, and
+    :attr:`violated` flips at the exact insertion that closes the first
+    cycle — the boolean consumers (certifier, fuzz oracle fast path) stop
+    there.  Without it, added dependencies are recorded in a batch-shaped
+    finalize pass so the resulting schedules match the batch engine
+    byte for byte.
+    """
+
+    def __init__(
+        self,
+        system: TransactionSystem,
+        commutativity: CommutativityRegistry,
+        *,
+        propagate_cross_object: bool = True,
+        track_cycles: bool = False,
+        linearize: bool = True,
+        extend: bool = True,
+    ):
+        self.system = system
+        self.commutativity = commutativity
+        self.propagate_cross_object = propagate_cross_object
+        self.track_cycles = track_cycles
+        self.linearize = linearize
+        self.extend = extend
+        self.schedules: dict[ObjectId, ObjectSchedule] = {}
+        self.top_cross_deps: set[tuple[ActionNode, ActionNode]] = set()
+        #: set as soon as any watched relation becomes cyclic (track_cycles)
+        self.violated = False
+        self._seen_actions: set[int] = set()
+        self._seen_callers: dict[ObjectId, set[int]] = {}
+        self._cross_seen: set[tuple[int, int]] = set()
+        #: per-object queues of (relation-order key, src, dst)
+        self._pending_action: dict[ObjectId, list] = {}
+        self._pending_txn: dict[ObjectId, list] = {}
+        self._watch_action: dict[ObjectId, OnlineTopology] = {}
+        self._watch_txn: dict[ObjectId, OnlineTopology] = {}
+        self._watch_combined: dict[ObjectId, OnlineTopology] = {}
+        self._watch_global: OnlineTopology = OnlineTopology()
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def system_oo_serializable(self) -> bool:
+        """Definition 16 on everything integrated so far (track_cycles)."""
+        return not self.violated
+
+    def run(self) -> dict[ObjectId, ObjectSchedule]:
+        """One-shot: integrate every transaction, batch-order, and drain."""
+        if self.linearize:
+            linearize_effects(self.system)
+        if self.extend:
+            extend_system(self.system)
+        # One sweep over the trees instead of ``actions_on`` per object —
+        # the latter costs O(objects × actions) in repeated full scans.
+        groups: dict[ObjectId, list[ActionNode]] = {}
+        for action in self.system.all_actions():
+            if action.obj != SYSTEM_OBJECT:
+                groups.setdefault(action.obj, []).append(action)
+        objects = sorted(self.system.objects - {SYSTEM_OBJECT})
+        for oid in objects:
+            self._schedule_for(oid)
+        for oid in objects:
+            group = groups.get(oid)
+            if group:
+                group.sort(key=lambda a: (a.seq, a.aid))
+                self._integrate_object(self.schedules[oid], group)
+        self._drain()
+        if not self.track_cycles:
+            self._finalize_added()
+        return self.schedules
+
+    def run_per_transaction(self, *, stop_on_violation: bool = True) -> bool:
+        """Integrate the system's transactions one by one, oldest first.
+
+        Re-stamping and extension are applied globally *up front* (exactly
+        the tree mutations a one-shot analysis performs), so the fixpoint
+        reached after the last transaction equals the one-shot fixpoint —
+        but with ``stop_on_violation`` the walk stops at the first
+        transaction whose integration closes a cycle, skipping the whole
+        tail.  Dependency relations only grow with each appended
+        transaction, so an early violation is final.  Returns
+        :attr:`violated`.  Requires ``track_cycles=True``.
+        """
+        if not self.track_cycles:
+            raise ReproError("run_per_transaction requires track_cycles=True")
+        if self.linearize:
+            linearize_effects(self.system)
+        if self.extend:
+            extend_system(self.system)
+        for txn in self.system.tops:
+            if stop_on_violation and self.violated:
+                break
+            self._integrate_tree(txn)
+            self._drain()
+        return self.violated
+
+    def append_transaction(self, txn: OOTransaction) -> None:
+        """Extend the analysis with one more executed transaction.
+
+        The transaction is added to the engine's system if missing; only
+        its tree is re-stamped and extended (committed trees are already
+        extension-free), and only dependency deltas involving its actions
+        (plus any virtual duplicates the extension hangs off committed
+        trees) are derived.
+        """
+        if all(existing is not txn for existing in self.system._tops):
+            self.system._tops.append(txn)
+        if self.linearize:
+            linearize_effects(self.system, tops=[txn])
+        extras: list[ActionNode] = []
+        if self.extend:
+            extension = extend_system(self.system, tops=[txn])
+            extras = extension.duplicates
+        self._integrate_tree(txn, extras=extras)
+        self._drain()
+
+    # -- integration ---------------------------------------------------------
+
+    def _conflict(self, a: ActionNode, b: ActionNode) -> bool:
+        return self.commutativity.in_conflict(a, b)
+
+    def _schedule_for(self, oid: ObjectId) -> ObjectSchedule:
+        sched = self.schedules.get(oid)
+        if sched is None:
+            sched = ObjectSchedule(system=self.system, oid=oid)
+            self.schedules[oid] = sched
+        return sched
+
+    def _integrate_tree(
+        self, txn: OOTransaction, extras: Iterable[ActionNode] = ()
+    ) -> None:
+        """Queue every not-yet-seen action of ``txn`` (plus ``extras`` —
+        virtual duplicates the extension attached to other trees)."""
+        fresh: dict[ObjectId, list[ActionNode]] = {}
+        for action in list(txn.actions()) + list(extras):
+            if action.obj == SYSTEM_OBJECT or id(action) in self._seen_actions:
+                continue
+            fresh.setdefault(action.obj, []).append(action)
+        for oid in sorted(fresh):
+            new_actions = sorted(fresh[oid], key=lambda a: (a.seq, a.aid))
+            self._integrate_object(self._schedule_for(oid), new_actions)
+
+    def _integrate_object(
+        self, sched: ObjectSchedule, new_actions: list[ActionNode]
+    ) -> None:
+        """Merge new actions into a schedule and derive their base facts.
+
+        When the schedule is empty this reproduces the batch engine's
+        per-object setup (nodes, Axiom 1, Definition 7) in the identical
+        iteration order; on later appends only pairs with a new member are
+        examined.
+        """
+        if not new_actions:
+            return
+        new_ids = {id(a) for a in new_actions}
+        self._seen_actions.update(new_ids)
+        if sched.actions:
+            merged = sorted(
+                sched.actions + new_actions, key=lambda a: (a.seq, a.aid)
+            )
+        else:
+            merged = list(new_actions)
+        sched.actions = merged
+        for action in merged:
+            if id(action) in new_ids:
+                sched.action_dep.add_node(action)
+
+        callers_seen = self._seen_callers.setdefault(sched.oid, set())
+        new_callers: list[ActionNode] = []
+        for action in merged:
+            if id(action) not in new_ids:
+                continue
+            caller = action.parent
+            if caller is not None and id(caller) not in callers_seen:
+                callers_seen.add(id(caller))
+                new_callers.append(caller)
+        if new_callers:
+            new_callers.sort(key=lambda a: (a.seq, a.aid))
+            if sched.transactions:
+                sched.transactions = sorted(
+                    sched.transactions + new_callers,
+                    key=lambda a: (a.seq, a.aid),
+                )
+            else:
+                sched.transactions = list(new_callers)
+            for caller in new_callers:
+                sched.txn_dep.add_node(caller)
+
+        position = {id(a): i for i, a in enumerate(merged)}
+
+        # Axiom 1 over pairs with a new member (and a primitive member).
+        for outer in merged:
+            if id(outer) not in new_ids:
+                continue
+            outer_pos = position[id(outer)]
+            for inner in merged:
+                if inner is outer:
+                    continue
+                inner_pos = position[id(inner)]
+                if id(inner) in new_ids and inner_pos < outer_pos:
+                    continue  # the pair was handled with roles swapped
+                first, second = (
+                    (outer, inner) if outer_pos < inner_pos else (inner, outer)
+                )
+                if not (first.is_primitive or second.is_primitive):
+                    continue
+                if self._conflict(first, second):
+                    self._observe_action(
+                        sched,
+                        first,
+                        second,
+                        "Axiom 1: executed {} < {}",
+                        (first.seq, second.seq),
+                    )
+
+        # Definition 7 over pairs with a new member.
+        for outer in merged:
+            if id(outer) not in new_ids:
+                continue
+            outer_pos = position[id(outer)]
+            for inner in merged:
+                if inner is outer:
+                    continue
+                inner_pos = position[id(inner)]
+                if id(inner) in new_ids and inner_pos < outer_pos:
+                    continue
+                first, second = (
+                    (outer, inner) if outer_pos < inner_pos else (inner, outer)
+                )
+                if program_precedes(first, second):
+                    self._observe_action(
+                        sched, first, second, "Definition 7: program precedence", ()
+                    )
+                elif program_precedes(second, first):
+                    self._observe_action(
+                        sched, second, first, "Definition 7: program precedence", ()
+                    )
+
+    # -- observation (the append/observe_edge surface) ------------------------
+
+    def observe_edge(
+        self, oid: ObjectId, relation: str, src: ActionNode, dst: ActionNode
+    ) -> None:
+        """Record an externally supplied edge and propagate its consequences.
+
+        ``relation`` is ``"action"`` or ``"txn"``.  Mostly a testing/embedding
+        hook; the executor-facing surface is :meth:`append_transaction`.
+        """
+        sched = self._schedule_for(oid)
+        if relation == "action":
+            self._observe_action(sched, src, dst, "observed", ())
+        elif relation == "txn":
+            self._observe_txn(sched, src, dst, "observed", ())
+        else:
+            raise ReproError(f"unknown relation {relation!r}")
+        self._drain()
+
+    def _observe_action(
+        self,
+        sched: ObjectSchedule,
+        src: ActionNode,
+        dst: ActionNode,
+        template: str,
+        args: tuple,
+    ) -> None:
+        graph = sched.action_dep
+        if graph.has_edge(src, dst):
+            return
+        graph.add_edge(src, dst)
+        sched.record_reason("action", src, dst, template, *args)
+        self._pending_action.setdefault(sched.oid, []).append(
+            (graph.edge_sort_key(src, dst), src, dst)
+        )
+        if self.track_cycles:
+            if self._watch(self._watch_action, sched.oid).add_edge_checked(src, dst):
+                self.violated = True
+            if self._watch(self._watch_combined, sched.oid).add_edge_checked(src, dst):
+                self.violated = True
+
+    def _observe_txn(
+        self,
+        sched: ObjectSchedule,
+        src: ActionNode,
+        dst: ActionNode,
+        template: str,
+        args: tuple,
+    ) -> None:
+        graph = sched.txn_dep
+        if graph.has_edge(src, dst):
+            return
+        graph.add_edge(src, dst)
+        sched.record_reason("txn", src, dst, template, *args)
+        self._pending_txn.setdefault(sched.oid, []).append(
+            (graph.edge_sort_key(src, dst), src, dst)
+        )
+        if self.track_cycles:
+            if self._watch(self._watch_txn, sched.oid).add_edge_checked(src, dst):
+                self.violated = True
+            if (
+                src.parent is None
+                and dst.parent is None
+                and src.top != dst.top
+            ):
+                if self._watch_global.add_edge_checked(src.top, dst.top):
+                    self.violated = True
+            if src.obj != dst.obj:
+                # Definition 15, eagerly: boolean consumers never run the
+                # batch-shaped finalize pass.
+                self._record_added(sched, src, dst)
+
+    def _record_added(
+        self, sched: ObjectSchedule, src: ActionNode, dst: ActionNode
+    ) -> None:
+        for endpoint_obj in (src.obj, dst.obj):
+            target = self.schedules.get(endpoint_obj)
+            if target is None or target.added_dep.has_edge(src, dst):
+                continue
+            target.added_dep.add_edge(src, dst)
+            target.record_reason(
+                "added", src, dst, "Definition 15: recorded from {}", sched.oid
+            )
+            if self._watch(self._watch_combined, endpoint_obj).add_edge_checked(
+                src, dst
+            ):
+                self.violated = True
+
+    def _watch(
+        self, watchers: dict[ObjectId, OnlineTopology], oid: ObjectId
+    ) -> OnlineTopology:
+        watcher = watchers.get(oid)
+        if watcher is None:
+            watcher = OnlineTopology()
+            watchers[oid] = watcher
+        return watcher
+
+    # -- the worklist ---------------------------------------------------------
+
+    def _drain(self) -> None:
+        """Process queued edges to the fixpoint, in stratified rounds."""
+        while self._pending_action or self._pending_txn:
+            if self.track_cycles and self.violated:
+                return  # terminal for every boolean consumer
+            # Phase 1 — Definition 10 over newly derived action dependencies.
+            batch = self._pending_action
+            self._pending_action = {}
+            for oid in sorted(batch):
+                sched = self.schedules[oid]
+                entries = batch[oid]
+                entries.sort(key=lambda entry: entry[0])
+                for _, src, dst in entries:
+                    self._lift(sched, src, dst)
+            # Phase 2 — Definition 11 / cross-object closure over newly
+            # derived transaction dependencies (including phase 1's).
+            batch = self._pending_txn
+            self._pending_txn = {}
+            for oid in sorted(batch):
+                sched = self.schedules[oid]
+                entries = batch[oid]
+                entries.sort(key=lambda entry: entry[0])
+                for _, src, dst in entries:
+                    self._flow(sched, src, dst)
+
+    def _lift(self, sched: ObjectSchedule, src: ActionNode, dst: ActionNode) -> None:
+        """Definition 10 on one action dependency."""
+        if not self._conflict(src, dst):
+            return
+        caller_src, caller_dst = src.parent, dst.parent
+        if caller_src is None or caller_dst is None:
+            return
+        if caller_src is caller_dst:
+            return
+        self._observe_txn(
+            sched,
+            caller_src,
+            caller_dst,
+            "Definition 10: conflicting actions {} <· {}",
+            (src, dst),
+        )
+
+    def _flow(self, sched: ObjectSchedule, src: ActionNode, dst: ActionNode) -> None:
+        """Definition 11 (or the cross-object closure) on one txn dependency."""
+        if src.obj != dst.obj:
+            if self.propagate_cross_object:
+                self._push_cross(src, dst)
+            return
+        target = self.schedules.get(src.obj)
+        if target is None:
+            return
+        self._observe_action(
+            target, src, dst, "Definition 11: inherited from {}", (sched.oid,)
+        )
+
+    def _push_cross(self, src: ActionNode, dst: ActionNode) -> None:
+        """The cross-object closure walk (see the batch engine's docstring)."""
+        pair: tuple[ActionNode, ActionNode] | None = (src, dst)
+        while pair is not None:
+            left, right = pair
+            key = (id(left), id(right))
+            if key in self._cross_seen:
+                return
+            self._cross_seen.add(key)
+            if left.parent is None and right.parent is None:
+                if (left, right) not in self.top_cross_deps:
+                    self.top_cross_deps.add((left, right))
+                    if self.track_cycles and left.top != right.top:
+                        if self._watch_global.add_edge_checked(left.top, right.top):
+                            self.violated = True
+                return
+            if left.obj == right.obj:
+                target = self.schedules.get(left.obj)
+                if target is not None and left in target.action_dep \
+                        and right in target.action_dep:
+                    self._observe_action(
+                        target,
+                        left,
+                        right,
+                        "cross-object closure (from {} -> {})",
+                        (src, dst),
+                    )
+                    return
+            if left.depth > right.depth and left.parent is not None:
+                pair = (left.parent, right)
+            elif right.depth > left.depth and right.parent is not None:
+                pair = (left, right.parent)
+            else:
+                next_left = left.parent if left.parent is not None else left
+                next_right = right.parent if right.parent is not None else right
+                if next_left is left and next_right is right:
+                    return
+                pair = (next_left, next_right)
+            if pair[0] is pair[1]:
+                return  # same caller: intra-unit, no constraint
+
+    # -- finalize -------------------------------------------------------------
+
+    def _finalize_added(self) -> None:
+        """Definition 15 in the batch engine's shape (one-shot runs only):
+        iterating finished relations keeps the added-edge insertion order —
+        and with it combined-graph cycle witnesses — byte-identical."""
+        for sched in self.schedules.values():
+            for src, dst in sched.txn_dep.iter_edges():
+                if src.obj == dst.obj:
+                    continue
+                for endpoint_obj in (src.obj, dst.obj):
+                    target = self.schedules.get(endpoint_obj)
+                    if target is not None:
+                        target.added_dep.add_edge(src, dst)
+                        target.record_reason(
+                            "added",
+                            src,
+                            dst,
+                            "Definition 15: recorded from {}",
+                            sched.oid,
                         )
 
 

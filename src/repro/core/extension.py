@@ -22,6 +22,7 @@ execution order.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.core.actions import ActionNode
@@ -59,14 +60,19 @@ class ExtensionResult:
         return "\n".join(lines)
 
 
-def find_offending_action(system: TransactionSystem) -> ActionNode | None:
+def find_offending_action(
+    system: TransactionSystem, tops: Iterable | None = None
+) -> ActionNode | None:
     """Find an action with a proper call ancestor on the same object.
 
     Such an action violates the premise that, seen from one object, callers
     (transactions) and accessors (actions) are disjoint roles.  Returns the
     first offender in deterministic (transaction, aid) order, or None.
+    ``tops`` restricts the scan to the given transactions' trees (a call
+    cycle lies within one tree, so scanning only newly appended trees is
+    sound when the rest of the system is already extension-free).
     """
-    for txn in system.tops:
+    for txn in system.tops if tops is None else tops:
         for action in txn.actions():
             if action.virtual:
                 continue
@@ -76,18 +82,26 @@ def find_offending_action(system: TransactionSystem) -> ActionNode | None:
     return None
 
 
-def extend_system(system: TransactionSystem) -> ExtensionResult:
+def extend_system(
+    system: TransactionSystem, tops: Iterable | None = None
+) -> ExtensionResult:
     """Apply Definition 5 until the system is free of call cycles.
 
     Mutates ``system`` in place and returns an :class:`ExtensionResult`
     describing the virtual objects, moved actions and duplicates.  Calling
     this on an already-extended system is a no-op.
+
+    ``tops`` restricts the *offender scan* to the given transactions' trees
+    — used by the incremental engine when appending a transaction to an
+    already-extended system.  Peer duplication is never restricted: once an
+    offender is found, every action on its object (whichever tree it lives
+    in) is virtually duplicated, exactly as in the unrestricted pass.
     """
     result = ExtensionResult(system=system)
     generations: dict[ObjectId, int] = {}
 
     while True:
-        offender = find_offending_action(system)
+        offender = find_offending_action(system, tops)
         if offender is None:
             break
         _break_cycle(system, offender, generations, result)

@@ -4,8 +4,19 @@ The paper's serializability conditions are acyclicity conditions on
 dependency relations (Definitions 13 and 16), so the core needs cycle
 detection, cycle witnesses (for diagnostics), topological orders (to exhibit
 equivalent serial schedules) and transitive closures (for the call
-relationship ``->*``).  The implementation is self-contained; ``networkx``
-is only used in the test suite to cross-check these algorithms.
+relationship ``->*``).  Two detectors are provided:
+
+- :class:`DirectedGraph` stores a relation and answers batch queries
+  (``find_cycle``, ``topological_order``); adjacency is kept in insertion
+  order, so every traversal is deterministic even over identity-hashed
+  nodes.
+- :class:`OnlineTopology` maintains a topological order *incrementally*
+  (Pearce–Kelly): ``add_edge_checked`` reports the first cycle at insertion
+  time in amortized sub-linear work, instead of a full DFS per query.  The
+  incremental dependency engine watches its relations with one of these.
+
+The implementation is self-contained; ``networkx`` is only used in the test
+suite to cross-check these algorithms.
 """
 
 from __future__ import annotations
@@ -22,11 +33,18 @@ class DirectedGraph(Generic[Node]):
     Self-loops are permitted (a self-loop is a cycle of length one, which
     matters for contradiction detection: an action depending on itself is a
     contradiction in the sense of the paper's Section 1).
+
+    Nodes and per-node successors are stored in insertion order; the
+    dependency engine relies on this to replay the batch analysis's
+    derivation order exactly (see ``edge_sort_key``).
     """
 
     def __init__(self, edges: Iterable[tuple[Node, Node]] = ()) -> None:
-        self._succ: dict[Node, set[Node]] = {}
-        self._pred: dict[Node, set[Node]] = {}
+        # dict values are per-source insertion indexes (0, 1, 2, ...);
+        # ``_pred`` only needs the key order, so values stay None.
+        self._succ: dict[Node, dict[Node, int]] = {}
+        self._pred: dict[Node, dict[Node, None]] = {}
+        self._node_index: dict[Node, int] = {}
         for src, dst in edges:
             self.add_edge(src, dst)
 
@@ -34,15 +52,19 @@ class DirectedGraph(Generic[Node]):
 
     def add_node(self, node: Node) -> None:
         """Ensure ``node`` is present, with no edges added."""
-        self._succ.setdefault(node, set())
-        self._pred.setdefault(node, set())
+        if node not in self._succ:
+            self._node_index[node] = len(self._node_index)
+            self._succ[node] = {}
+            self._pred[node] = {}
 
     def add_edge(self, src: Node, dst: Node) -> None:
         """Add the edge ``src -> dst`` (idempotent)."""
         self.add_node(src)
         self.add_node(dst)
-        self._succ[src].add(dst)
-        self._pred[dst].add(src)
+        slot = self._succ[src]
+        if dst not in slot:
+            slot[dst] = len(slot)
+            self._pred[dst][src] = None
 
     def add_edges(self, edges: Iterable[tuple[Node, Node]]) -> None:
         for src, dst in edges:
@@ -52,9 +74,8 @@ class DirectedGraph(Generic[Node]):
         clone: DirectedGraph[Node] = DirectedGraph()
         for node in self._succ:
             clone.add_node(node)
-        for src, dsts in self._succ.items():
-            for dst in dsts:
-                clone.add_edge(src, dst)
+        for src, dst in self.iter_edges():
+            clone.add_edge(src, dst)
         return clone
 
     # -- queries -----------------------------------------------------------
@@ -66,6 +87,32 @@ class DirectedGraph(Generic[Node]):
     @property
     def edges(self) -> set[tuple[Node, Node]]:
         return {(src, dst) for src, dsts in self._succ.items() for dst in dsts}
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Iterate nodes in insertion order without materializing a set."""
+        return iter(self._succ)
+
+    def iter_edges(self) -> Iterator[tuple[Node, Node]]:
+        """Iterate edges grouped by source, in insertion order, copy-free.
+
+        Do not mutate the adjacency of the sources being iterated; the
+        fixpoint rules only ever add edges to *other* relations while
+        scanning one, which keeps lazy iteration safe.
+        """
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield (src, dst)
+
+    def edge_sort_key(self, src: Node, dst: Node) -> tuple[int, int]:
+        """Position of an edge in ``iter_edges`` order.
+
+        The incremental engine tags each newly observed edge with this key
+        so a worklist round can process new edges in exactly the order the
+        batch fixpoint would have encountered them while rescanning the
+        whole relation — the property that makes the two engines'
+        first-reason-wins provenance and cycle witnesses byte-identical.
+        """
+        return (self._node_index[src], self._succ[src][dst])
 
     def successors(self, node: Node) -> set[Node]:
         return set(self._succ.get(node, ()))
@@ -91,8 +138,8 @@ class DirectedGraph(Generic[Node]):
         """Return one cycle as a node list ``[n0, n1, ..., n0]``, or None.
 
         Iterative DFS with colouring; deterministic given insertion order
-        (Python sets are not ordered, so neighbours are visited in sorted
-        order when the nodes are sortable, insertion order otherwise).
+        (neighbours are visited in sorted order when the nodes are sortable,
+        insertion order otherwise).
         """
         white, grey, black = 0, 1, 2
         colour = {node: white for node in self._succ}
@@ -173,9 +220,9 @@ class DirectedGraph(Generic[Node]):
 
     def union(self, other: "DirectedGraph[Node]") -> "DirectedGraph[Node]":
         merged = self.copy()
-        for node in other.nodes:
+        for node in other.iter_nodes():
             merged.add_node(node)
-        for src, dst in other.edges:
+        for src, dst in other.iter_edges():
             merged.add_edge(src, dst)
         return merged
 
@@ -190,3 +237,116 @@ class DirectedGraph(Generic[Node]):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DirectedGraph(nodes={len(self._succ)}, edges={len(self.edges)})"
+
+
+class OnlineTopology(Generic[Node]):
+    """Incremental cycle detection via an online topological order.
+
+    Pearce–Kelly (2006): maintain a total order ``ord`` consistent with all
+    edges inserted so far.  Inserting ``src -> dst`` with
+    ``ord[src] < ord[dst]`` costs O(1); otherwise only the *affected
+    region* — nodes ordered between ``dst`` and ``src`` and reachable
+    from/to the new edge — is searched and reordered.  If the forward
+    search from ``dst`` reaches ``src``, the insertion closes a cycle,
+    which is reported immediately as a witness path.
+
+    Dependency relations only grow, so once a cycle exists it exists
+    forever; after the first cycle is reported the structure stops
+    maintaining the order and records further insertions in O(1).
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[Node, int] = {}
+        self._succ: dict[Node, list[Node]] = {}
+        self._pred: dict[Node, list[Node]] = {}
+        self._edges: set[tuple[Node, Node]] = set()
+        #: the first cycle closed by an insertion, as ``[n0, ..., n0]``
+        self.cycle: list[Node] | None = None
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def has_cycle(self) -> bool:
+        return self.cycle is not None
+
+    def add_node(self, node: Node) -> None:
+        if node not in self._index:
+            self._index[node] = len(self._index)
+            self._succ[node] = []
+            self._pred[node] = []
+
+    def add_edge_checked(self, src: Node, dst: Node) -> list[Node] | None:
+        """Insert ``src -> dst``; return the first cycle it closes, or None.
+
+        The witness has the shape ``[src, dst, ..., src]``: the new edge
+        followed by an existing path back from ``dst`` to ``src``.  Once a
+        cycle has been reported (on this or an earlier insertion), later
+        insertions return None without searching — ``cycle`` keeps the
+        original witness.
+        """
+        self.add_node(src)
+        self.add_node(dst)
+        if (src, dst) in self._edges:
+            return None
+        self._edges.add((src, dst))
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+        if self.cycle is not None:
+            return None  # already permanently cyclic; order abandoned
+        if src is dst or src == dst:
+            self.cycle = [src, src]
+            return self.cycle
+        lower, upper = self._index[dst], self._index[src]
+        if lower > upper:
+            return None  # order already consistent
+        return self._discover(src, dst, lower, upper)
+
+    def _discover(
+        self, src: Node, dst: Node, lower: int, upper: int
+    ) -> list[Node] | None:
+        """The PK affected-region pass: find a cycle or restore the order."""
+        index = self._index
+        # Forward from dst, bounded by ord <= ord[src]; reaching src is a
+        # cycle (indexes are unique, so ord == upper identifies src).
+        forward: list[Node] = []
+        parent: dict[Node, Node] = {}
+        seen = {dst}
+        stack = [dst]
+        while stack:
+            node = stack.pop()
+            forward.append(node)
+            for nxt in self._succ[node]:
+                if nxt in seen:
+                    continue
+                nxt_index = index[nxt]
+                if nxt_index == upper:
+                    path = [node]
+                    while path[-1] is not dst:
+                        path.append(parent[path[-1]])
+                    path.reverse()
+                    self.cycle = [src, *path, src]
+                    return self.cycle
+                if nxt_index < upper:
+                    seen.add(nxt)
+                    parent[nxt] = node
+                    stack.append(nxt)
+        # Backward from src, bounded by ord >= ord[dst].
+        backward: list[Node] = []
+        seen_back = {src}
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            backward.append(node)
+            for prv in self._pred[node]:
+                if prv not in seen_back and index[prv] > lower:
+                    seen_back.add(prv)
+                    stack.append(prv)
+        # Reorder: everything reaching src moves before everything reachable
+        # from dst, reusing the affected nodes' own index pool.
+        backward.sort(key=index.__getitem__)
+        forward.sort(key=index.__getitem__)
+        pool = sorted(index[node] for node in backward + forward)
+        for node, slot in zip(backward + forward, pool):
+            index[node] = slot
+        return None

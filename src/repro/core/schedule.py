@@ -72,7 +72,8 @@ class ObjectSchedule:
     txn_dep: DirectedGraph = field(default_factory=DirectedGraph)
     #: the added action dependency relation over ACT_O ∪ ADD_O (Definition 15)
     added_dep: DirectedGraph = field(default_factory=DirectedGraph)
-    #: provenance: (relation, src aid, dst aid) -> why the edge exists
+    #: provenance: (relation, src aid, dst aid) -> (template, args); the
+    #: reason text is only rendered on demand (``explain``/``describe``)
     reasons: dict = field(default_factory=dict)
 
     # -- Definition 7 --------------------------------------------------------
@@ -114,7 +115,7 @@ class ObjectSchedule:
 
     def txn_dep_pairs(self) -> set[tuple[str, str]]:
         """Transaction dependency edges as (caller label, caller label) pairs."""
-        return {(src.label, dst.label) for src, dst in self.txn_dep.edges}
+        return {(src.label, dst.label) for src, dst in self.txn_dep.iter_edges()}
 
     def top_level_projection(self) -> DirectedGraph:
         """Project ↝ onto top-level transactions (dropping intra-transaction
@@ -123,7 +124,7 @@ class ObjectSchedule:
         projection: DirectedGraph = DirectedGraph()
         for txn in {a.top for a in self.actions}:
             projection.add_node(txn)
-        for src, dst in self.txn_dep.edges:
+        for src, dst in self.txn_dep.iter_edges():
             if src.top != dst.top:
                 projection.add_edge(src.top, dst.top)
         return projection
@@ -137,13 +138,23 @@ class ObjectSchedule:
             return None
         return [caller.label for caller in order]
 
-    def record_reason(self, relation: str, src, dst, reason: str) -> None:
-        """Remember why an edge was added (first reason wins)."""
-        self.reasons.setdefault((relation, src.aid, dst.aid), reason)
+    def record_reason(self, relation: str, src, dst, template: str, *args) -> None:
+        """Remember why an edge was added (first reason wins).
+
+        Lazy: only the format template and its arguments are stored; the
+        text is rendered when somebody actually asks (``explain``,
+        ``describe(verbose=True)``, counterexample paths).  Clean runs —
+        the overwhelming majority — never pay the f-string per edge.
+        """
+        self.reasons.setdefault((relation, src.aid, dst.aid), (template, args))
 
     def explain(self, relation: str, src, dst) -> str:
         """The provenance of one dependency edge, or '(unknown)'."""
-        return self.reasons.get((relation, src.aid, dst.aid), "(unknown)")
+        entry = self.reasons.get((relation, src.aid, dst.aid))
+        if entry is None:
+            return "(unknown)"
+        template, args = entry
+        return template.format(*args) if args else template
 
     def describe(self, *, verbose: bool = False) -> str:
         """A compact, printable rendering used by the figure benches.
@@ -153,10 +164,9 @@ class ObjectSchedule:
         """
         lines = [f"object {self.oid}:"]
         lines.append("  actions: " + ", ".join(a.label for a in self.actions))
-        if self.txn_dep.edges:
-            for src, dst in sorted(
-                self.txn_dep.edges, key=lambda e: (e[0].aid, e[1].aid)
-            ):
+        edges = sorted(self.txn_dep.iter_edges(), key=lambda e: (e[0].aid, e[1].aid))
+        if edges:
+            for src, dst in edges:
                 suffix = (
                     f"   [{self.explain('txn', src, dst)}]" if verbose else ""
                 )

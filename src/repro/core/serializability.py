@@ -134,6 +134,7 @@ def analyze_system(
     *,
     extend: bool = True,
     propagate_cross_object: bool = True,
+    engine: str | None = None,
 ) -> tuple[SystemVerdict, dict[ObjectId, ObjectSchedule]]:
     """Run the full pipeline: extension, dependency inheritance, verdicts.
 
@@ -142,13 +143,15 @@ def analyze_system(
     Figures 4, 7 and 8.  ``propagate_cross_object=False`` selects the literal
     Definition 15/16 reading (see the module docstring of
     :mod:`repro.core.dependency` and DESIGN.md for why the closure is the
-    default).
+    default).  ``engine`` overrides the ``REPRO_ANALYSIS`` engine choice
+    (``"batch"``/``"incremental"``); both engines are byte-identical here.
     """
     analysis = DependencyAnalysis(
         system,
         commutativity,
         extend=extend,
         propagate_cross_object=propagate_cross_object,
+        engine=engine,
     )
     schedules = analysis.schedules()
     verdicts = {oid: judge_object(sched) for oid, sched in schedules.items()}
@@ -163,7 +166,7 @@ def analyze_system(
         global_top.add_node(txn.label)
     for sched in schedules.values():
         for graph in (sched.txn_dep, sched.added_dep):
-            for src, dst in graph.edges:
+            for src, dst in graph.iter_edges():
                 if src.parent is None and dst.parent is None and src.top != dst.top:
                     global_top.add_edge(src.top, dst.top)
     for src, dst in analysis.top_cross_deps:
@@ -237,7 +240,7 @@ def conventional_constraints(
     read_methods: tuple[str, ...] = ("read",),
 ) -> set[tuple[str, str]]:
     """The ordering constraints the conventional criterion imposes."""
-    return set(conventional_serialization_graph(system, read_methods).edges)
+    return set(conventional_serialization_graph(system, read_methods).iter_edges())
 
 
 def registry_with_conventional_semantics() -> CommutativityRegistry:

@@ -15,7 +15,13 @@ The package has four parts, wired together by ``python -m repro fuzz``:
   into minimal, seed-reproducible counterexample files.
 """
 
-from repro.fuzz.driver import FUZZ_PROTOCOLS, CampaignResult, run_campaign, run_cell
+from repro.fuzz.driver import (
+    FUZZ_PROTOCOLS,
+    CampaignResult,
+    execute_cell,
+    run_campaign,
+    run_cell,
+)
 from repro.fuzz.generator import (
     GeneratorProfile,
     WorkloadSpec,
@@ -26,6 +32,7 @@ from repro.fuzz.oracle import (
     Ablation,
     OracleReport,
     check_history,
+    judge_violation,
     strictness_for,
 )
 from repro.fuzz.shrink import counterexample_dict, shrink, still_fails
@@ -40,7 +47,9 @@ __all__ = [
     "build_workload",
     "check_history",
     "counterexample_dict",
+    "execute_cell",
     "generate",
+    "judge_violation",
     "run_campaign",
     "run_cell",
     "shrink",

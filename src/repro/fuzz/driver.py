@@ -50,15 +50,19 @@ FUZZ_PROTOCOLS = (
 )
 
 
-def run_cell(
+def execute_cell(
     spec: WorkloadSpec,
     protocol: str,
     *,
     exec_seed: int | None = None,
-    ablation: Ablation | None = None,
     max_ticks: int = 200_000,
-) -> tuple[ExecutionResult, OracleReport]:
-    """One (workload, protocol) cell: build, execute, judge."""
+) -> ExecutionResult:
+    """Build and execute one (workload, protocol) cell, without judging it.
+
+    Split out of :func:`run_cell` for callers that judge the history
+    themselves — the shrinker only needs the oracle's violation boolean and
+    uses the incremental fast path instead of a full report.
+    """
     db = ObjectDatabase(
         scheduler=make_scheduler(protocol, spec.layers()),
         page_capacity=4 * spec.key_space + 16,
@@ -69,7 +73,21 @@ def run_cell(
         seed=spec.seed if exec_seed is None else exec_seed,
         max_ticks=max_ticks,
     )
-    result = executor.run(programs)
+    return executor.run(programs)
+
+
+def run_cell(
+    spec: WorkloadSpec,
+    protocol: str,
+    *,
+    exec_seed: int | None = None,
+    ablation: Ablation | None = None,
+    max_ticks: int = 200_000,
+) -> tuple[ExecutionResult, OracleReport]:
+    """One (workload, protocol) cell: build, execute, judge."""
+    result = execute_cell(
+        spec, protocol, exec_seed=exec_seed, max_ticks=max_ticks
+    )
     report = check_history(
         result, ablation, strict_cross_object=strictness_for(protocol)
     )

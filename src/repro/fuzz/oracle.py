@@ -93,9 +93,17 @@ class Ablation:
     pair: tuple[str, str] | None = None
 
     def apply(self, registry: CommutativityRegistry) -> CommutativityRegistry:
-        inner = registry.for_object(self.object_name)
-        registry.register(self.object_name, BrokenSpec(inner, self.pair))
-        return registry
+        """A *copy* of ``registry`` with the chosen entry broken.
+
+        The input is never mutated: the database hands out its (cached)
+        live registry, and an oracle that poisoned it in place would leak
+        the broken entry into the scheduler's own commutativity decisions —
+        and into every later cell sharing the database factory.
+        """
+        broken = registry.copy()
+        inner = broken.for_object(self.object_name)
+        broken.register(self.object_name, BrokenSpec(inner, self.pair))
+        return broken
 
     def to_dict(self) -> dict:
         return {
@@ -134,6 +142,40 @@ class OracleReport:
     @property
     def violation(self) -> bool:
         return not self.oo_serializable
+
+
+def judge_violation(
+    result: "ExecutionResult",
+    ablation: Ablation | None = None,
+    *,
+    strict_cross_object: bool = True,
+) -> bool:
+    """``check_history(...).violation``, computed the fast way.
+
+    The shrinker evaluates hundreds of candidate edits and only consumes
+    the boolean, so the full report — conventional baseline, constraint
+    counts, verdict prose — is wasted work.  This path feeds the committed
+    projection through the incremental engine transaction by transaction
+    with online cycle watchers: re-stamping and extension happen globally
+    up front (so the fixpoint is the one-shot fixpoint), each appended
+    transaction reuses the analysis of the prefix before it, and the walk
+    stops at the first transaction that closes a cycle.  The boolean is
+    pinned equal to ``check_history``'s by the differential suite.
+    """
+    from repro.core.dependency import IncrementalDependencyEngine
+
+    db = result.db
+    registry = db.commutativity_registry()
+    if ablation is not None:
+        registry = ablation.apply(registry)
+    projection = committed_projection(db.system, result.committed_labels)
+    engine = IncrementalDependencyEngine(
+        projection,
+        registry,
+        propagate_cross_object=strict_cross_object,
+        track_cycles=True,
+    )
+    return engine.run_per_transaction()
 
 
 def check_history(

@@ -44,6 +44,12 @@ class OptimisticCertifier(LockingScheduler):
         self._committed: list[str] = []
         self.stats["validations"] = 0
         self.stats["validation_failures"] = 0
+        #: cached incremental analysis of the committed projection; each
+        #: validation *extends* it with the candidate instead of re-running
+        #: Definitions 10-16 from empty (REPRO_ANALYSIS=incremental only)
+        self._engine = None
+        #: candidate appended to the cached engine but not yet committed
+        self._pending_label: str | None = None
 
     # -- locking knobs ---------------------------------------------------------
 
@@ -72,16 +78,14 @@ class OptimisticCertifier(LockingScheduler):
         force the commit record, then release locks in :meth:`commit`.
         """
         if self.db is not None and not ctx.runtime_data.get("compensating"):
-            from repro.core.serializability import analyze_system
-            from repro.oodb.trace import committed_projection
+            from repro.core.dependency import analysis_engine
 
             self.stats["validations"] += 1
-            labels = set(self._committed) | {ctx.txn_id}
-            projection = committed_projection(self.db.system, labels)
-            verdict, _ = analyze_system(
-                projection, self.db.commutativity_registry()
-            )
-            if not verdict.oo_serializable:
+            if analysis_engine() == "incremental":
+                ok = self._validate_incremental(ctx)
+            else:
+                ok = self._validate_batch(ctx)
+            if not ok:
                 self.stats["validation_failures"] += 1
                 # Keep every lock: the caller aborts the transaction, and
                 # the compensations must run under the still-held write
@@ -89,7 +93,71 @@ class OptimisticCertifier(LockingScheduler):
                 # for concurrent writers).  ``Scheduler.abort`` releases.
                 raise TransactionAborted(ctx.txn_id, "validation failed")
 
+    def _validate_batch(self, ctx) -> bool:
+        """Re-analyze committed ∪ {candidate} from scratch (legacy path)."""
+        from repro.core.serializability import analyze_system
+        from repro.oodb.trace import committed_projection
+
+        labels = set(self._committed) | {ctx.txn_id}
+        projection = committed_projection(self.db.system, labels)
+        verdict, _ = analyze_system(projection, self.db.commutativity_registry())
+        return verdict.oo_serializable
+
+    def _validate_incremental(self, ctx) -> bool:
+        """Extend the cached committed-prefix analysis with the candidate.
+
+        The engine holds the Definition 10/11/15 fixpoint of everything
+        committed so far, with every relation under an online cycle watcher;
+        validating a commit costs only the candidate's own dependency
+        deltas.  The engine mutates the same shared call trees the one-shot
+        analysis would (re-stamping, Definition 5 extension), so decisions
+        match the batch path exactly.  A failed candidate's edges cannot be
+        retracted from the fixpoint, so failure discards the cache — the
+        next validation rebuilds from the (valid) committed prefix.
+        """
+        from repro.core.dependency import IncrementalDependencyEngine
+        from repro.oodb.trace import committed_projection
+
+        candidate = None
+        for txn in self.db.system.tops:
+            if txn.label == ctx.txn_id:
+                candidate = txn
+                break
+        if candidate is None:
+            return True  # nothing executed: trivially serializable
+        registry = self.db.commutativity_registry()
+        if self._engine is None:
+            projection = committed_projection(
+                self.db.system, set(self._committed)
+            )
+            self._engine = IncrementalDependencyEngine(
+                projection, registry, track_cycles=True
+            )
+            self._engine.run()
+        else:
+            # Objects created since the cache was built carry their own
+            # specifications; the db-side cache makes this refresh cheap.
+            self._engine.commutativity = registry
+        self._engine.append_transaction(candidate)
+        if self._engine.violated:
+            self._engine = None
+            self._pending_label = None
+            return False
+        self._pending_label = ctx.txn_id
+        return True
+
     def commit(self, ctx) -> None:
         if self.db is not None and not ctx.runtime_data.get("compensating"):
             self._committed.append(ctx.txn_id)
+            if self._pending_label == ctx.txn_id:
+                self._pending_label = None  # candidate is now prefix
         super().commit(ctx)
+
+    def abort(self, ctx) -> None:
+        if self._pending_label is not None and self._pending_label == ctx.txn_id:
+            # The candidate passed validation but aborts anyway (e.g. a
+            # fault between prepare and commit): the cached fixpoint now
+            # contains a transaction that will never commit.  Drop it.
+            self._engine = None
+            self._pending_label = None
+        super().abort(ctx)

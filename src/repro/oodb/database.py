@@ -88,6 +88,7 @@ class ObjectDatabase:
         self.faults = faults
         self._objects: dict[str, DatabaseObject] = {}
         self._oid_counters: dict[str, int] = {}
+        self._registry_cache: CommutativityRegistry | None = None
         self._local = threading.local()
 
     def _fault_hit(self, site: str) -> None:
@@ -177,6 +178,7 @@ class ObjectDatabase:
             self._last_alloc_lsn = lsn if lsn >= 0 else None
         obj = cls(self, oid, page.page_id)
         self._objects[oid] = obj
+        self._registry_cache = None  # a new object invalidates the registry
         return obj
 
     def _run_setup(self, obj: DatabaseObject, args: tuple) -> None:
@@ -784,12 +786,20 @@ class ObjectDatabase:
 
     def commutativity_registry(self) -> CommutativityRegistry:
         """The Definition 9 registry for everything this database executed:
-        each object's type-level specification plus read/write pages."""
-        registry = CommutativityRegistry()
-        registry.register_prefix("Page", ReadWriteCommutativity())
-        for oid, obj in self._objects.items():
-            registry.register(oid, type(obj).commutativity)
-        return registry
+        each object's type-level specification plus read/write pages.
+
+        The registry is cached (invalidated when an object is created) —
+        the optimistic certifier asks for it on every validation.  Callers
+        must treat the returned registry as read-only; anyone who needs to
+        mutate it (the oracle's ablation hook) works on ``.copy()``.
+        """
+        if self._registry_cache is None:
+            registry = CommutativityRegistry()
+            registry.register_prefix("Page", ReadWriteCommutativity())
+            for oid, obj in self._objects.items():
+                registry.register(oid, type(obj).commutativity)
+            self._registry_cache = registry
+        return self._registry_cache
 
     def analyze(self, **kwargs):
         """Run the oo-serializability analysis on everything executed so far.

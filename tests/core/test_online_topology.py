@@ -1,0 +1,142 @@
+"""Unit tests for the Pearce–Kelly online topological order.
+
+The incremental dependency engine watches every relation with an
+:class:`~repro.core.graph.OnlineTopology`; these tests pin the two
+properties the engine relies on: the cycle verdict is independent of edge
+insertion order (cross-checked against networkx on random graphs), and the
+first cycle is reported *at the insertion that closes it*, as a genuine
+witness path.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.graph import OnlineTopology
+
+
+def _insert_all(edges):
+    topo = OnlineTopology()
+    first_report = None
+    for i, (src, dst) in enumerate(edges):
+        report = topo.add_edge_checked(src, dst)
+        if report is not None and first_report is None:
+            first_report = (i, report)
+    return topo, first_report
+
+
+def _check_order_consistent(topo, edges):
+    """After acyclic insertions the maintained order must respect every edge."""
+    for src, dst in edges:
+        assert topo._index[src] < topo._index[dst], (src, dst)
+
+
+def test_empty_and_single_edge():
+    topo = OnlineTopology()
+    assert not topo.has_cycle
+    assert topo.add_edge_checked("a", "b") is None
+    assert not topo.has_cycle
+    assert len(topo) == 2
+
+
+def test_duplicate_edges_are_ignored():
+    topo = OnlineTopology()
+    assert topo.add_edge_checked("a", "b") is None
+    assert topo.add_edge_checked("a", "b") is None
+    assert not topo.has_cycle
+
+
+def test_self_loop_is_reported_immediately():
+    topo = OnlineTopology()
+    cycle = topo.add_edge_checked("a", "a")
+    assert cycle == ["a", "a"]
+    assert topo.has_cycle
+
+
+def test_back_edge_closes_cycle_with_witness():
+    topo = OnlineTopology()
+    assert topo.add_edge_checked("a", "b") is None
+    assert topo.add_edge_checked("b", "c") is None
+    cycle = topo.add_edge_checked("c", "a")
+    assert cycle is not None
+    # Witness shape: the new edge followed by an existing path back.
+    assert cycle[0] == "c" and cycle[-1] == "c"
+    edges = {("a", "b"), ("b", "c"), ("c", "a")}
+    for src, dst in zip(cycle, cycle[1:]):
+        assert (src, dst) in edges
+
+
+def test_cycle_is_permanent_and_witness_is_kept():
+    topo = OnlineTopology()
+    topo.add_edge_checked("a", "b")
+    first = topo.add_edge_checked("b", "a")
+    assert first is not None
+    witness = list(topo.cycle)
+    # Later insertions no longer search, and keep the original witness.
+    assert topo.add_edge_checked("x", "y") is None
+    assert topo.add_edge_checked("y", "x") is None
+    assert topo.cycle == witness
+
+
+def test_forward_edge_in_order_is_cheap_and_correct():
+    topo = OnlineTopology()
+    # Insert in an order where every new edge already agrees with ord.
+    for src, dst in [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")]:
+        assert topo.add_edge_checked(src, dst) is None
+    _check_order_consistent(topo, [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")])
+
+
+def test_reordering_pass_restores_consistency():
+    topo = OnlineTopology()
+    # Force the affected-region pass: create nodes in an order that puts
+    # the edge target after the source in ord, repeatedly.
+    edges = [("d", "e"), ("c", "d"), ("b", "c"), ("a", "b")]
+    for src, dst in edges:
+        assert topo.add_edge_checked(src, dst) is None
+    _check_order_consistent(topo, edges)
+
+
+@pytest.mark.parametrize("trial", range(20))
+def test_random_graphs_match_networkx(trial):
+    """The verdict equals networkx's, for every insertion order tried."""
+    rng = random.Random(7700 + trial)
+    nodes = list(range(rng.randint(3, 14)))
+    candidates = [(a, b) for a in nodes for b in nodes if a != b]
+    edges = rng.sample(candidates, min(len(candidates), rng.randint(2, 28)))
+    reference = nx.DiGraph(edges)
+    expected = not nx.is_directed_acyclic_graph(reference)
+
+    for shuffle_seed in range(4):
+        order = list(edges)
+        random.Random(shuffle_seed).shuffle(order)
+        topo, first_report = _insert_all(order)
+        assert topo.has_cycle == expected, (edges, order)
+        if expected:
+            # The witness must be a real cycle over inserted edges.
+            assert first_report is not None
+            cycle = topo.cycle
+            assert cycle[0] == cycle[-1]
+            assert len(cycle) >= 2
+            inserted = set(edges)
+            for src, dst in zip(cycle, cycle[1:]):
+                assert (src, dst) in inserted
+        else:
+            assert first_report is None
+            _check_order_consistent(topo, edges)
+
+
+@pytest.mark.parametrize("trial", range(10))
+def test_incremental_prefix_verdicts_match_networkx(trial):
+    """After *every* insertion, has_cycle equals the batch answer so far —
+    the property the certifier's early-exit and the oracle fast path use."""
+    rng = random.Random(9100 + trial)
+    nodes = list(range(rng.randint(3, 10)))
+    candidates = [(a, b) for a in nodes for b in nodes if a != b]
+    edges = rng.sample(candidates, min(len(candidates), rng.randint(4, 20)))
+    topo = OnlineTopology()
+    reference = nx.DiGraph()
+    for src, dst in edges:
+        topo.add_edge_checked(src, dst)
+        reference.add_edge(src, dst)
+        assert topo.has_cycle == (not nx.is_directed_acyclic_graph(reference))

@@ -1,0 +1,196 @@
+"""Differential suite: the incremental engine is byte-identical to batch.
+
+Three layers of equivalence, over fuzz-generated histories under every
+protocol:
+
+1. **One-shot identity** — ``analyze_system(engine="incremental")`` produces
+   the same verdict, the same per-object relations *in the same iteration
+   order*, the same first-reason-wins provenance and the same rendered
+   descriptions as ``engine="batch"``.  This is what lets the default
+   engine flip without a single report byte changing.
+2. **Fast-judge agreement** — the boolean per-transaction walk
+   (:func:`repro.fuzz.oracle.judge_violation`) equals
+   ``check_history(...).violation``, with and without ablations.
+3. **Prefix-append agreement** — appending committed transactions one at a
+   time to an :class:`IncrementalDependencyEngine` (the certifier's cached
+   path) yields, after every prefix, the verdict a from-scratch batch
+   analysis of that prefix's projection gives.
+"""
+
+import pytest
+
+from repro.core.dependency import IncrementalDependencyEngine
+from repro.core.serializability import analyze_system
+from repro.errors import ReproError
+from repro.fuzz.driver import FUZZ_PROTOCOLS, execute_cell
+from repro.fuzz.generator import generate
+from repro.fuzz.oracle import (
+    Ablation,
+    check_history,
+    judge_violation,
+    strictness_for,
+)
+from repro.oodb.trace import committed_projection
+
+#: ≥50 seeds per protocol (ISSUE 4 acceptance criterion)
+SEEDS = range(50)
+
+
+def _labeled_edges(graph):
+    return [(src.label, dst.label) for src, dst in graph.iter_edges()]
+
+
+def _rendered_reasons(sched):
+    return {
+        key: sched.explain(key[0], _Aid(key[1]), _Aid(key[2]))
+        for key in sched.reasons
+    }
+
+
+class _Aid:
+    """Adapter: ``explain`` only reads ``.aid`` off its endpoints."""
+
+    def __init__(self, aid):
+        self.aid = aid
+
+
+def _analyze_both(result, *, strict, ablation=None):
+    outputs = []
+    for engine in ("batch", "incremental"):
+        registry = result.db.commutativity_registry()
+        if ablation is not None:
+            registry = ablation.apply(registry)
+        projection = committed_projection(
+            result.db.system, result.committed_labels
+        )
+        outputs.append(
+            analyze_system(
+                projection,
+                registry,
+                propagate_cross_object=strict,
+                engine=engine,
+            )
+        )
+    return outputs
+
+
+def _assert_identical(batch_out, incr_out):
+    (vb, sb), (vi, si) = batch_out, incr_out
+    assert vb.oo_serializable == vi.oo_serializable
+    assert vb.describe() == vi.describe()
+    assert sorted(vb.global_top_graph.edges) == sorted(vi.global_top_graph.edges)
+    assert set(sb) == set(si)
+    for oid in sb:
+        A, B = sb[oid], si[oid]
+        assert [a.label for a in A.actions] == [b.label for b in B.actions]
+        assert [a.label for a in A.transactions] == [
+            b.label for b in B.transactions
+        ]
+        # Ordered equality: identical iteration order, not just identical
+        # edge sets — downstream cycle witnesses depend on it.
+        assert _labeled_edges(A.action_dep) == _labeled_edges(B.action_dep)
+        assert _labeled_edges(A.txn_dep) == _labeled_edges(B.txn_dep)
+        assert _labeled_edges(A.added_dep) == _labeled_edges(B.added_dep)
+        assert _rendered_reasons(A) == _rendered_reasons(B)
+        assert A.describe(verbose=True) == B.describe(verbose=True)
+        VA, VB = vb.object_verdicts[oid], vi.object_verdicts[oid]
+        assert (VA.action_cycle, VA.top_cycle) == (VB.action_cycle, VB.top_cycle)
+
+
+@pytest.mark.parametrize("protocol", FUZZ_PROTOCOLS)
+def test_one_shot_identity(protocol):
+    strict = strictness_for(protocol)
+    checked = 0
+    for seed in SEEDS:
+        spec = generate(seed)
+        try:
+            result = execute_cell(spec, protocol)
+        except ReproError:
+            continue
+        batch_out, incr_out = _analyze_both(result, strict=strict)
+        _assert_identical(batch_out, incr_out)
+        checked += 1
+    assert checked >= 40  # the generator rarely produces un-runnable specs
+
+
+@pytest.mark.parametrize("protocol", FUZZ_PROTOCOLS)
+def test_one_shot_identity_under_ablation(protocol):
+    """Same identity on *violating* histories: ablations force cycles, so
+    this leg exercises the cycle-witness and reason paths."""
+    strict = strictness_for(protocol)
+    violations = 0
+    for seed in range(20):
+        spec = generate(seed)
+        ablation = Ablation(object_name=spec.leaf_objects[0].name)
+        try:
+            result = execute_cell(spec, protocol)
+        except ReproError:
+            continue
+        batch_out, incr_out = _analyze_both(
+            result, strict=strict, ablation=ablation
+        )
+        _assert_identical(batch_out, incr_out)
+        violations += not batch_out[0].oo_serializable
+    # Not every protocol/seed yields a violation; the suite as a whole does.
+
+
+@pytest.mark.parametrize("protocol", FUZZ_PROTOCOLS)
+def test_fast_judge_agrees_with_check_history(protocol):
+    strict = strictness_for(protocol)
+    for seed in range(15):
+        spec = generate(seed)
+        for ablation in (None, Ablation(object_name=spec.leaf_objects[0].name)):
+            try:
+                slow_result = execute_cell(spec, protocol)
+                fast_result = execute_cell(spec, protocol)
+            except ReproError:
+                continue
+            slow = check_history(
+                slow_result, ablation, strict_cross_object=strict
+            ).violation
+            fast = judge_violation(
+                fast_result, ablation, strict_cross_object=strict
+            )
+            assert slow == fast, (protocol, seed, ablation)
+
+
+@pytest.mark.parametrize("protocol", ["multilevel", "optimistic-oo"])
+def test_prefix_appends_agree_with_batch(protocol):
+    """The certifier's shape: committed transactions appended one at a time.
+
+    After each append, the engine's boolean must equal a from-scratch batch
+    analysis of the same prefix — including the cases where the extension
+    hangs virtual duplicates off earlier (already analyzed) trees.
+    """
+    strict = strictness_for(protocol)
+    for seed in range(8):
+        spec = generate(seed)
+        try:
+            result = execute_cell(spec, protocol)
+        except ReproError:
+            continue
+        system = result.db.system
+        committed = [t for t in system.tops if t.label in result.committed_labels]
+        if not committed:
+            continue
+        engine = IncrementalDependencyEngine(
+            committed_projection(system, set()),
+            result.db.commutativity_registry(),
+            propagate_cross_object=strict,
+            track_cycles=True,
+        )
+        prefix: set[str] = set()
+        for txn in committed:
+            engine.append_transaction(txn)
+            prefix.add(txn.label)
+            verdict, _ = analyze_system(
+                committed_projection(system, prefix),
+                result.db.commutativity_registry(),
+                propagate_cross_object=strict,
+                engine="batch",
+            )
+            assert engine.violated == (not verdict.oo_serializable), (
+                protocol,
+                seed,
+                sorted(prefix),
+            )

@@ -1,0 +1,58 @@
+"""The certifier's cached-prefix validation matches the batch path exactly.
+
+``REPRO_ANALYSIS=incremental`` makes :class:`OptimisticCertifier` validate
+each commit by extending a cached analysis of the committed prefix;
+``batch`` re-analyzes from empty each time.  Both must make identical
+accept/abort decisions on identical executions — same committed sets, same
+validation/failure counts, same final oracle report — including runs where
+validation failures trigger restarts (which is exactly where a stale or
+badly invalidated cache would diverge).
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fuzz.driver import run_cell
+from repro.fuzz.generator import generate
+
+
+def _run(spec, monkeypatch, engine):
+    monkeypatch.setenv("REPRO_ANALYSIS", engine)
+    result, report = run_cell(spec, "optimistic-oo")
+    stats = result.db.scheduler.stats
+    return (
+        sorted(result.committed_labels),
+        stats["validations"],
+        stats["validation_failures"],
+        report.oo_serializable,
+        report.oo_constraints,
+        report.conventional_constraints,
+        report.description,
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_certifier_decisions_match_batch(seed, monkeypatch):
+    spec = generate(seed)
+    try:
+        batch = _run(spec, monkeypatch, "batch")
+    except ReproError:
+        pytest.skip("spec not runnable under the certifier")
+    incremental = _run(spec, monkeypatch, "incremental")
+    assert batch == incremental
+
+
+def test_some_seed_exercises_validation_failures(monkeypatch):
+    """Guard against the suite silently losing its interesting cases: at
+    least one of the seeds above must produce validation failures (commit-
+    time aborts), so the cache-invalidation path is actually covered."""
+    monkeypatch.setenv("REPRO_ANALYSIS", "incremental")
+    failures = 0
+    for seed in range(12):
+        spec = generate(seed)
+        try:
+            result, _ = run_cell(spec, "optimistic-oo")
+        except ReproError:
+            continue
+        failures += result.db.scheduler.stats["validation_failures"]
+    assert failures > 0
