@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's common entry points without writing
+The commands cover the library's common entry points without writing
 code:
 
 - ``compare`` — run a workload under selected protocols and print the
@@ -10,7 +10,12 @@ code:
   tables with provenance;
 - ``fuzz`` — the randomized schedule fuzzer: generated workloads under all
   five protocols, judged by the oo-serializability oracle, with greedy
-  shrinking of any failure into a seed-reproducible counterexample file.
+  shrinking of any failure into a seed-reproducible counterexample file;
+- ``recover`` — replay a WAL file through crash recovery;
+- ``trace`` — re-run any fuzz cell with the span tracer attached and emit
+  its open-nested call trees as Chrome trace-event JSON (C12);
+- ``stats`` — re-run any fuzz cell and print its metrics registry, as a
+  table or in Prometheus text exposition format.
 """
 
 from __future__ import annotations
@@ -228,6 +233,11 @@ def _build_fuzz_parser(subparsers) -> None:
         "--replay", default=None, metavar="FILE",
         help="replay a counterexample file instead of running a campaign",
     )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="dump Chrome traces of violating/gave-up/errored cells here; "
+        "tracing only observes, so the campaign report is unchanged",
+    )
 
 
 def cmd_fuzz(args) -> int:
@@ -276,6 +286,7 @@ def cmd_fuzz(args) -> int:
         ablate_first_leaf=args.ablate,
         max_violations=args.max_violations,
         jobs=args.jobs,
+        trace_dir=args.trace_dir,
     )
     header, rows = campaign.table()
     print(
@@ -449,6 +460,136 @@ def cmd_recover(args) -> int:
     return 0
 
 
+def _build_trace_parser(subparsers) -> None:
+    from repro.fuzz import FUZZ_PROTOCOLS
+
+    parser = subparsers.add_parser(
+        "trace",
+        help="re-run one fuzz cell with the span tracer attached and emit "
+        "its call trees as Chrome trace-event JSON (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--seed", type=int, required=True,
+        help="generator seed (doubles as the executor seed, so this "
+        "reproduces any campaign cell, e.g. a counterexample's)",
+    )
+    parser.add_argument(
+        "--protocol", required=True, choices=list(FUZZ_PROTOCOLS),
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="use the small/fast smoke generator profile",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the Chrome trace here instead of stdout",
+    )
+    parser.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="also dump the raw typed event stream as JSONL",
+    )
+    parser.add_argument(
+        "--render", action="store_true",
+        help="print the span trees as indented text instead of JSON",
+    )
+    parser.add_argument(
+        "--wall", action="store_true",
+        help="record wall-clock time on spans alongside logical ticks",
+    )
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from repro.fuzz.driver import execute_cell
+    from repro.fuzz.generator import GeneratorProfile, generate
+    from repro.obs import (
+        EventBus,
+        EventLog,
+        SpanTracer,
+        chrome_trace,
+        events_to_jsonl,
+        validate_chrome_trace,
+    )
+
+    profile = GeneratorProfile.smoke() if args.smoke else None
+    spec = generate(args.seed, profile)
+    bus = EventBus()
+    tracer = SpanTracer(bus, wall=args.wall)
+    log = EventLog(bus) if args.events else None
+    result = execute_cell(spec, args.protocol, bus=bus)
+    tracer.finish(result.makespan)
+    if log is not None:
+        with open(args.events, "w") as fh:
+            fh.write(events_to_jsonl(log))
+        print(
+            f"wrote {args.events}: {len(log)} events", file=sys.stderr
+        )
+    if args.render:
+        print(tracer.render())
+        return 0
+    trace = chrome_trace(tracer.trees())
+    problems = validate_chrome_trace(trace)
+    for problem in problems:
+        print(f"trace problem: {problem}", file=sys.stderr)
+    text = json.dumps(trace, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(
+            f"wrote {args.out}: {len(trace['traceEvents'])} trace events, "
+            f"{len(tracer.trees())} transaction tree(s)"
+        )
+    else:
+        print(text)
+    return 1 if problems else 0
+
+
+def _build_stats_parser(subparsers) -> None:
+    from repro.fuzz import FUZZ_PROTOCOLS
+
+    parser = subparsers.add_parser(
+        "stats",
+        help="re-run one fuzz cell and print its metrics registry "
+        "(scheduler, lock table, WAL, analysis engine)",
+    )
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument(
+        "--protocol", required=True, choices=list(FUZZ_PROTOCOLS),
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="use the small/fast smoke generator profile",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "prometheus"), default="table",
+        help="table (default) or Prometheus text exposition format",
+    )
+
+
+def cmd_stats(args) -> int:
+    from repro.fuzz.driver import execute_cell
+    from repro.fuzz.generator import GeneratorProfile, generate
+    from repro.obs import prometheus_text
+
+    profile = GeneratorProfile.smoke() if args.smoke else None
+    spec = generate(args.seed, profile)
+    result = execute_cell(spec, args.protocol)
+    registry = result.db.metrics
+    if args.format == "prometheus":
+        print(prometheus_text(registry), end="")
+        return 0
+    rows = [[name, value] for name, value in registry.as_dict().items()]
+    print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=f"seed {args.seed}, {args.protocol}",
+        )
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -466,6 +607,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     _build_fuzz_parser(subparsers)
     _build_recover_parser(subparsers)
+    _build_trace_parser(subparsers)
+    _build_stats_parser(subparsers)
     args = parser.parse_args(argv)
     if args.command == "compare":
         return cmd_compare(args)
@@ -475,6 +618,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_fuzz(args)
     if args.command == "recover":
         return cmd_recover(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "stats":
+        return cmd_stats(args)
     return cmd_figures(args)
 
 

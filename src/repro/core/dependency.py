@@ -463,6 +463,7 @@ class IncrementalDependencyEngine:
         track_cycles: bool = False,
         linearize: bool = True,
         extend: bool = True,
+        metrics=None,
     ):
         self.system = system
         self.commutativity = commutativity
@@ -470,6 +471,24 @@ class IncrementalDependencyEngine:
         self.track_cycles = track_cycles
         self.linearize = linearize
         self.extend = extend
+        # Optional observability (a repro.obs.metrics.MetricsRegistry):
+        # callers that own a registry — the optimistic certifier, the CLI —
+        # see how much dependency work their analyses actually did.
+        if metrics is not None:
+            self._m_appends = metrics.counter(
+                "analysis_appends_total",
+                "transactions appended to the incremental analysis",
+            )
+            self._m_edges = metrics.counter(
+                "analysis_edges_total",
+                "dependency edges recorded (action- and txn-level)",
+            )
+            self._m_cross = metrics.counter(
+                "analysis_cross_lifts_total",
+                "cross-object constraints lifted toward a common object",
+            )
+        else:
+            self._m_appends = self._m_edges = self._m_cross = None
         self.schedules: dict[ObjectId, ObjectSchedule] = {}
         self.top_cross_deps: set[tuple[ActionNode, ActionNode]] = set()
         #: set as soon as any watched relation becomes cyclic (track_cycles)
@@ -553,6 +572,8 @@ class IncrementalDependencyEngine:
         """
         if all(existing is not txn for existing in self.system._tops):
             self.system._tops.append(txn)
+        if self._m_appends is not None:
+            self._m_appends.value += 1
         if self.linearize:
             linearize_effects(self.system, tops=[txn])
         extras: list[ActionNode] = []
@@ -715,6 +736,8 @@ class IncrementalDependencyEngine:
         if graph.has_edge(src, dst):
             return
         graph.add_edge(src, dst)
+        if self._m_edges is not None:
+            self._m_edges.value += 1
         sched.record_reason("action", src, dst, template, *args)
         self._pending_action.setdefault(sched.oid, []).append(
             (graph.edge_sort_key(src, dst), src, dst)
@@ -737,6 +760,8 @@ class IncrementalDependencyEngine:
         if graph.has_edge(src, dst):
             return
         graph.add_edge(src, dst)
+        if self._m_edges is not None:
+            self._m_edges.value += 1
         sched.record_reason("txn", src, dst, template, *args)
         self._pending_txn.setdefault(sched.oid, []).append(
             (graph.edge_sort_key(src, dst), src, dst)
@@ -840,6 +865,8 @@ class IncrementalDependencyEngine:
 
     def _push_cross(self, src: ActionNode, dst: ActionNode) -> None:
         """The cross-object closure walk (see the batch engine's docstring)."""
+        if self._m_cross is not None:
+            self._m_cross.value += 1
         pair: tuple[ActionNode, ActionNode] | None = (src, dst)
         while pair is not None:
             left, right = pair

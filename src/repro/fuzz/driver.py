@@ -56,16 +56,21 @@ def execute_cell(
     *,
     exec_seed: int | None = None,
     max_ticks: int = 200_000,
+    bus=None,
 ) -> ExecutionResult:
     """Build and execute one (workload, protocol) cell, without judging it.
 
     Split out of :func:`run_cell` for callers that judge the history
     themselves — the shrinker only needs the oracle's violation boolean and
-    uses the incremental fast path instead of a full report.
+    uses the incremental fast path instead of a full report.  ``bus`` (an
+    :class:`repro.obs.events.EventBus`) lets observers watch the run; left
+    ``None``, the database's own inert bus keeps the no-subscriber fast
+    path and the run's behaviour is bit-for-bit the same.
     """
     db = ObjectDatabase(
         scheduler=make_scheduler(protocol, spec.layers()),
         page_capacity=4 * spec.key_space + 16,
+        bus=bus,
     )
     _, programs = build_workload(db, spec)
     executor = InterleavedExecutor(
@@ -83,10 +88,11 @@ def run_cell(
     exec_seed: int | None = None,
     ablation: Ablation | None = None,
     max_ticks: int = 200_000,
+    bus=None,
 ) -> tuple[ExecutionResult, OracleReport]:
     """One (workload, protocol) cell: build, execute, judge."""
     result = execute_cell(
-        spec, protocol, exec_seed=exec_seed, max_ticks=max_ticks
+        spec, protocol, exec_seed=exec_seed, max_ticks=max_ticks, bus=bus
     )
     report = check_history(
         result, ablation, strict_cross_object=strictness_for(protocol)
@@ -202,21 +208,42 @@ def run_seed_cells(
     profile: GeneratorProfile | None = None,
     ablation: Ablation | None = None,
     ablate_first_leaf: bool = False,
+    trace_dir: str | None = None,
 ) -> list[CellOutcome]:
     """The per-seed campaign worker: one seed under every protocol.
 
     Fully deterministic in ``seed`` (the workload, the interleaving and the
     oracle verdict all derive from it), which is what makes sharding seeds
     across processes safe.
+
+    ``trace_dir`` attaches a span tracer to every cell and dumps the Chrome
+    trace of any *interesting* one — an oracle violation, a transaction
+    that exhausted its restarts, or a simulator error — to
+    ``{trace_dir}/seed{seed}_{protocol}.trace.json``.  Tracing observes the
+    run through the event bus without influencing it, so the campaign
+    report (and its accounting) is unchanged; when ``trace_dir`` is None no
+    subscriber ever attaches and the bus keeps its zero-cost path.
     """
     spec = generate(seed, profile)
     cell_ablation = _cell_ablation_for(spec, ablation, ablate_first_leaf)
     cells: list[CellOutcome] = []
     for protocol in protocols:
+        tracer = None
+        bus = None
+        if trace_dir is not None:
+            from repro.obs.events import EventBus
+            from repro.obs.tracing import SpanTracer
+
+            bus = EventBus()
+            tracer = SpanTracer(bus)
         try:
-            result, report = run_cell(spec, protocol, ablation=cell_ablation)
+            result, report = run_cell(
+                spec, protocol, ablation=cell_ablation, bus=bus
+            )
         except ReproError as exc:
             cells.append(CellOutcome(protocol=protocol, error=repr(exc)))
+            if tracer is not None:
+                _dump_cell_trace(tracer, trace_dir, seed, protocol, tick=None)
             continue
         cells.append(
             CellOutcome(
@@ -228,7 +255,28 @@ def run_seed_cells(
                 report=report,
             )
         )
+        if tracer is not None and (report.violation or result.gave_up):
+            _dump_cell_trace(
+                tracer, trace_dir, seed, protocol, tick=result.makespan
+            )
     return cells
+
+
+def _dump_cell_trace(
+    tracer, trace_dir: str, seed: int, protocol: str, *, tick: int | None
+) -> None:
+    """Write one traced cell's span trees as Chrome trace-event JSON."""
+    import json
+    import os
+
+    from repro.obs.export import chrome_trace
+
+    tracer.finish(tick)
+    os.makedirs(trace_dir, exist_ok=True)
+    path = os.path.join(trace_dir, f"seed{seed}_{protocol}.trace.json")
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer.trees()), fh, indent=2)
+        fh.write("\n")
 
 
 def _fold_seed(
@@ -288,6 +336,7 @@ def run_campaign(
     max_violations: int = 1,
     jobs: int = 1,
     progress=None,
+    trace_dir: str | None = None,
 ) -> CampaignResult:
     """Run every seed under every protocol; stop after ``max_violations``.
 
@@ -304,6 +353,7 @@ def run_campaign(
         profile=profile,
         ablation=ablation,
         ablate_first_leaf=ablate_first_leaf,
+        trace_dir=trace_dir,
     )
     for seed, cells in iter_seed_results(worker, seeds, jobs):
         stopped = _fold_seed(

@@ -24,6 +24,15 @@ class ClosedNestedLocking(LockingScheduler):
     open_nested = False
     conservative_page_intent = True
 
+    def __init__(self) -> None:
+        super().__init__()
+        #: deepest subtransaction that acquired a lock in its own right —
+        #: the granularity Moss's inheritance chain actually exercises
+        self._g_depth = self.metrics.gauge(
+            "max_lock_nesting_depth",
+            "deepest call-tree level that acquired a page lock",
+        )
+
     def _should_lock(self, node: ActionNode, invocation: Invocation) -> bool:
         return self._is_page(invocation.obj)
 
@@ -31,6 +40,9 @@ class ClosedNestedLocking(LockingScheduler):
         # The lock belongs to the acquiring subtransaction; ``end_action``
         # (release=False for closed nesting) re-owns it to the parent frame,
         # realizing Moss's lock inheritance step by step up to the root.
+        depth = len(node.aid)
+        if depth > self._g_depth.value:
+            self._g_depth.value = depth
         return node.parent if node.parent is not None else node
 
     def _spec_for(self, obj):

@@ -24,10 +24,24 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Protocol
 
 from repro.core.actions import ActionNode, Invocation
+from repro.obs.events import EventBus
+from repro.obs.metrics import STAT_KEYS, Counter, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.oodb.context import TransactionContext
     from repro.oodb.database import ObjectDatabase
+
+_STAT_HELP = {
+    "acquired": "semantic locks granted",
+    "waits": "lock requests that found a conflict and blocked",
+    "deadlocks": "transactions aborted as deadlock victims",
+    "wounds": "transactions wounded by a compensating requester",
+    "overrides": "rollback-vs-rollback lock overrides",
+    "lock_index_hits": "lock-table bulk operations answered from an index",
+    "commute_cache_hits": "memoized commutativity verdicts reused",
+    "validations": "optimistic certifications attempted",
+    "validation_failures": "optimistic certifications that failed",
+}
 
 
 class WaitEnvironment(Protocol):
@@ -72,12 +86,37 @@ class Scheduler:
     def __init__(self) -> None:
         self.db: "ObjectDatabase | None" = None
         self.env: WaitEnvironment = _ImmediateEnvironment()
+        #: the owning database's event bus is adopted in :meth:`attach`;
+        #: until then a private (inert) bus keeps instrumentation sites valid
+        self.bus = EventBus()
+        #: every scheduler owns a registry; the uniform ``stats`` counters
+        #: (:data:`repro.obs.metrics.STAT_KEYS`) are registered up front so
+        #: the executor's read is guaranteed and uniformly keyed — the old
+        #: ``getattr(scheduler, "stats", {})`` silent-empty fallback is gone
+        self.metrics = MetricsRegistry()
+        self._stat_counters: dict[str, Counter] = {}
+        for key in STAT_KEYS:
+            self._stat(key, _STAT_HELP.get(key, ""))
+
+    def _stat(self, key: str, help: str = "") -> Counter:
+        """Register a counter that also surfaces in the ``stats`` dict."""
+        counter = self.metrics.counter(f"scheduler_{key}_total", help)
+        self._stat_counters[key] = counter
+        return counter
+
+    @property
+    def stats(self) -> dict:
+        """The legacy stats view, derived from the registry counters."""
+        return {key: c.value for key, c in self._stat_counters.items()}
 
     # -- plumbing -------------------------------------------------------------
 
     def attach(self, db: "ObjectDatabase") -> None:
         """Called once by the database that owns this scheduler."""
         self.db = db
+        bus = getattr(db, "bus", None)
+        if bus is not None:
+            self.bus = bus
 
     def bind_environment(self, env: WaitEnvironment) -> None:
         """Called by the executor that drives concurrent transactions."""

@@ -41,6 +41,14 @@ from repro.core.identifiers import ObjectId
 from repro.errors import DeadlockError
 from repro.locking.deadlock import WaitsForGraph
 from repro.locking.interfaces import Scheduler
+from repro.obs.events import (
+    DeadlockVictim,
+    LockBlock,
+    LockGrant,
+    LockRelease,
+    LockRequest,
+    WoundVictim,
+)
 from repro.oodb.context import TransactionContext
 
 #: default bound on memoized commutativity verdicts per table
@@ -268,22 +276,41 @@ class LockingScheduler(Scheduler):
         self.waits = WaitsForGraph()
         self._page_rw = ReadWriteCommutativity()
         self._active: dict[str, TransactionContext] = {}
-        #: cumulative counters for the bench harness — every counter the
-        #: skeleton can touch is initialized here (no lazily-created keys)
-        self.stats = {
-            "acquired": 0,
-            "waits": 0,
-            "deadlocks": 0,
-            "wounds": 0,
-            "overrides": 0,
-            "lock_index_hits": 0,
-            "commute_cache_hits": 0,
-        }
+        # Bound references to the hot counters: incrementing ``.value`` on
+        # a plain object costs the same as the dict bump it replaced.
+        counters = self._stat_counters
+        self._n_acquired = counters["acquired"]
+        self._n_waits = counters["waits"]
+        self._n_deadlocks = counters["deadlocks"]
+        self._n_wounds = counters["wounds"]
+        self._n_overrides = counters["overrides"]
+        self._n_index_hits = counters["lock_index_hits"]
+        self._n_commute_hits = counters["commute_cache_hits"]
+        # Skeleton-level extras shared by every locking protocol (they are
+        # what distinguishes the protocols: closed nesting inherits, open
+        # nesting releases early, flat 2PL does neither).
+        self._n_inherited = self._stat(
+            "lock_inheritances", "locks re-owned upward when a frame ended"
+        )
+        self._n_early_released = self._stat(
+            "early_releases", "locks freed before top-level commit"
+        )
+        self._h_wait_ticks = self.metrics.histogram(
+            "lock_wait_ticks", "logical ticks spent blocked per granted lock"
+        )
+        self._g_locks_held = self.metrics.gauge(
+            "locks_held", "semantic locks currently in the table"
+        )
 
     def _sync_table_stats(self) -> None:
-        """Mirror the table's fast-path counters into the stats dict."""
-        self.stats["lock_index_hits"] = self.table.index_hits
-        self.stats["commute_cache_hits"] = self.table.commute_cache_hits
+        """Mirror the table's fast-path counters into the registry."""
+        self._n_index_hits.value = self.table.index_hits
+        self._n_commute_hits.value = self.table.commute_cache_hits
+        self._g_locks_held.value = self.table.lock_count
+
+    def _env_tick(self) -> int:
+        """The environment's logical clock (0 outside a simulation)."""
+        return getattr(self.env, "now", 0)
 
     # -- protocol knobs --------------------------------------------------------
 
@@ -315,12 +342,27 @@ class LockingScheduler(Scheduler):
         compensating = bool(ctx.runtime_data.get("compensating"))
         if not self._should_lock(node, invocation):
             return
+        bus = self.bus
+        if bus.active:
+            bus.emit(
+                LockRequest(
+                    txn=ctx.txn_id,
+                    obj=invocation.obj,
+                    method=invocation.method,
+                    tick=bus.now(),
+                )
+            )
         spec = self._spec_for(invocation.obj)
         override_other_rollbacks = False
+        blocked_since: int | None = None
         while True:
             if not compensating and ctx.runtime_data.get("wounded"):
                 self.waits.clear(ctx.txn_id)
-                self.stats["deadlocks"] += 1
+                self._n_deadlocks.value += 1
+                if bus.active:
+                    bus.emit(
+                        DeadlockVictim(txn=ctx.txn_id, tick=bus.now())
+                    )
                 raise DeadlockError(ctx.txn_id)
             conflicts = self.table.conflicting(ctx, invocation, spec)
             if override_other_rollbacks:
@@ -333,7 +375,19 @@ class LockingScheduler(Scheduler):
                 break
             holders = {lock.ctx.txn_id for lock in conflicts}
             ctx.stats.lock_waits += 1
-            self.stats["waits"] += 1
+            self._n_waits.value += 1
+            if blocked_since is None:
+                blocked_since = self._env_tick()
+                if bus.active:
+                    bus.emit(
+                        LockBlock(
+                            txn=ctx.txn_id,
+                            obj=invocation.obj,
+                            method=invocation.method,
+                            holders=tuple(sorted(holders)),
+                            tick=bus.now(),
+                        )
+                    )
             self.waits.set_waits(ctx.txn_id, holders)
             cycle = self.waits.find_cycle_through(ctx.txn_id)
             if cycle is not None:
@@ -351,7 +405,23 @@ class LockingScheduler(Scheduler):
                 requester=node,
             )
         )
-        self.stats["acquired"] += 1
+        self._n_acquired.value += 1
+        if blocked_since is not None:
+            self._h_wait_ticks.observe(self._env_tick() - blocked_since)
+        if bus.active:
+            waited = (
+                0 if blocked_since is None
+                else self._env_tick() - blocked_since
+            )
+            bus.emit(
+                LockGrant(
+                    txn=ctx.txn_id,
+                    obj=invocation.obj,
+                    method=invocation.method,
+                    waited=waited,
+                    tick=bus.now(),
+                )
+            )
         self._sync_table_stats()
 
     def _resolve_deadlock(
@@ -373,9 +443,16 @@ class LockingScheduler(Scheduler):
         mutual page conflicts are resolved below transaction locking — and
         is counted in ``stats["overrides"]``.
         """
+        bus = self.bus
         if not compensating:
             self.waits.clear(ctx.txn_id)
-            self.stats["deadlocks"] += 1
+            self._n_deadlocks.value += 1
+            if bus.active:
+                bus.emit(
+                    DeadlockVictim(
+                        txn=ctx.txn_id, cycle=tuple(cycle), tick=bus.now()
+                    )
+                )
             raise DeadlockError(ctx.txn_id, tuple(cycle))
         for member in cycle:
             victim = self._active.get(member)
@@ -385,20 +462,43 @@ class LockingScheduler(Scheduler):
                 and not victim.runtime_data.get("compensating")
             ):
                 victim.runtime_data["wounded"] = f"wounded by {ctx.txn_id}"
-                self.stats["wounds"] += 1
+                self._n_wounds.value += 1
+                if bus.active:
+                    bus.emit(
+                        WoundVictim(
+                            txn=victim.txn_id,
+                            by=ctx.txn_id,
+                            tick=bus.now(),
+                        )
+                    )
                 self.env.wake_all()
                 return False
-        self.stats["overrides"] += 1
+        self._n_overrides.value += 1
         return True
 
     def end_action(self, ctx, node, release) -> None:
         if self.open_nested and release:
             released = self.table.release_owned_by(node)
             if released:
+                self._n_early_released.value += len(released)
+                bus = self.bus
+                if bus.active:
+                    bus.emit(
+                        LockRelease(
+                            txn=ctx.txn_id,
+                            objs=tuple(sorted(released)),
+                            scope="action",
+                            tick=bus.now(),
+                        )
+                    )
                 self._wake(released)
         else:
             # Locks acquired for this subtree stay with the enclosing frame.
-            self.table.reown(node, node.parent if node.parent is not None else node)
+            inherited = self.table.reown(
+                node, node.parent if node.parent is not None else node
+            )
+            if inherited and node.parent is not None:
+                self._n_inherited.value += inherited
         self._sync_table_stats()
 
     def commit(self, ctx) -> None:
@@ -413,6 +513,16 @@ class LockingScheduler(Scheduler):
         released = self.table.release_transaction(ctx)
         self._sync_table_stats()
         if released:
+            bus = self.bus
+            if bus.active:
+                bus.emit(
+                    LockRelease(
+                        txn=ctx.txn_id,
+                        objs=tuple(sorted(released)),
+                        scope="txn",
+                        tick=bus.now(),
+                    )
+                )
             self._wake(released)
 
     def release_all_for(self, ctx, node) -> None:
@@ -422,6 +532,16 @@ class LockingScheduler(Scheduler):
         released |= self.table.release_requested_by(node)
         self._sync_table_stats()
         if released:
+            bus = self.bus
+            if bus.active:
+                bus.emit(
+                    LockRelease(
+                        txn=ctx.txn_id,
+                        objs=tuple(sorted(released)),
+                        scope="subabort",
+                        tick=bus.now(),
+                    )
+                )
             self._wake(released)
 
     def _wake(self, objects: set) -> None:

@@ -39,6 +39,18 @@ class MultiLevelLocking(LockingScheduler):
     def __init__(self, layers: dict[str, int]):
         super().__init__()
         self.layers = dict(sorted(layers.items(), key=lambda kv: -len(kv[0])))
+        # How often the layered protocol can actually use its layers: a
+        # level-consistent access releases early, everything else falls
+        # back to commit-duration holds — the measured cost of forcing a
+        # non-layered call structure into a layered protocol.
+        self._n_level_consistent = self._stat(
+            "level_consistent_acquires",
+            "lock acquisitions on the level directly below the caller",
+        )
+        self._n_level_conservative = self._stat(
+            "level_conservative_acquires",
+            "acquisitions held to commit (level-skipping or unassigned)",
+        )
 
     def level_of(self, obj: ObjectId) -> int | None:
         base = original_object_id(obj)
@@ -59,11 +71,17 @@ class MultiLevelLocking(LockingScheduler):
             None if parent.parent is None else self.level_of(parent.obj)
         )
         if own_level is None:
-            return ctx.txn.root  # unassigned object: hold to commit
+            # unassigned object: hold to commit
+            self._n_level_conservative.value += 1
+            return ctx.txn.root
         if parent.parent is None:
             # called directly by the transaction: top-of-hierarchy lock,
             # held by the transaction until commit (standard multilevel)
             return ctx.txn.root
         if parent_level is not None and parent_level == own_level + 1:
-            return parent  # level-consistent: released when the caller ends
-        return ctx.txn.root  # level-skipping/cyclic: conservative
+            # level-consistent: released when the caller ends
+            self._n_level_consistent.value += 1
+            return parent
+        # level-skipping/cyclic: conservative
+        self._n_level_conservative.value += 1
+        return ctx.txn.root

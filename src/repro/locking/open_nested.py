@@ -35,7 +35,23 @@ class OpenNestedLocking(LockingScheduler):
     name = "open-nested-oo"
     open_nested = True
 
+    def __init__(self) -> None:
+        super().__init__()
+        # The protocol's defining split: semantic locks on objects (judged
+        # by commutativity specs) vs plain read/write locks on pages.
+        family = self.metrics.counter(
+            "lock_requests_total",
+            "lock requests by target kind",
+            labelnames=("kind",),
+        )
+        self._n_semantic_requests = family.labels(kind="semantic")
+        self._n_page_requests = family.labels(kind="page")
+
     def _should_lock(self, node: ActionNode, invocation: Invocation) -> bool:
+        if self._is_page(invocation.obj):
+            self._n_page_requests.value += 1
+        else:
+            self._n_semantic_requests.value += 1
         return True
 
     def _owner_for(self, ctx: TransactionContext, node: ActionNode) -> ActionNode:

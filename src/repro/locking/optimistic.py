@@ -42,8 +42,16 @@ class OptimisticCertifier(LockingScheduler):
     def __init__(self) -> None:
         super().__init__()
         self._committed: list[str] = []
-        self.stats["validations"] = 0
-        self.stats["validation_failures"] = 0
+        self._n_validations = self._stat_counters["validations"]
+        self._n_validation_failures = self._stat_counters[
+            "validation_failures"
+        ]
+        #: how often a failed/aborted candidate discarded the cached
+        #: incremental certification fixpoint (forcing a rebuild)
+        self._n_cache_resets = self._stat(
+            "certification_cache_resets",
+            "incremental-certification caches discarded",
+        )
         #: cached incremental analysis of the committed projection; each
         #: validation *extends* it with the candidate instead of re-running
         #: Definitions 10-16 from empty (REPRO_ANALYSIS=incremental only)
@@ -80,13 +88,25 @@ class OptimisticCertifier(LockingScheduler):
         if self.db is not None and not ctx.runtime_data.get("compensating"):
             from repro.core.dependency import analysis_engine
 
-            self.stats["validations"] += 1
+            self._n_validations.value += 1
             if analysis_engine() == "incremental":
                 ok = self._validate_incremental(ctx)
             else:
                 ok = self._validate_batch(ctx)
+            bus = self.bus
+            if bus.active:
+                from repro.obs.events import AnalysisVerdict
+
+                bus.emit(
+                    AnalysisVerdict(
+                        source="certify",
+                        ok=ok,
+                        txn=ctx.txn_id,
+                        tick=bus.now(),
+                    )
+                )
             if not ok:
-                self.stats["validation_failures"] += 1
+                self._n_validation_failures.value += 1
                 # Keep every lock: the caller aborts the transaction, and
                 # the compensations must run under the still-held write
                 # locks (releasing first would open a dirty-restore window
@@ -131,7 +151,7 @@ class OptimisticCertifier(LockingScheduler):
                 self.db.system, set(self._committed)
             )
             self._engine = IncrementalDependencyEngine(
-                projection, registry, track_cycles=True
+                projection, registry, track_cycles=True, metrics=self.metrics
             )
             self._engine.run()
         else:
@@ -142,6 +162,7 @@ class OptimisticCertifier(LockingScheduler):
         if self._engine.violated:
             self._engine = None
             self._pending_label = None
+            self._n_cache_resets.value += 1
             return False
         self._pending_label = ctx.txn_id
         return True
@@ -160,4 +181,5 @@ class OptimisticCertifier(LockingScheduler):
             # contains a transaction that will never commit.  Drop it.
             self._engine = None
             self._pending_label = None
+            self._n_cache_resets.value += 1
         super().abort(ctx)

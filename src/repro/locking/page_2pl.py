@@ -23,8 +23,26 @@ class PageLocking2PL(LockingScheduler):
     open_nested = False
     conservative_page_intent = True
 
+    def __init__(self) -> None:
+        super().__init__()
+        # Shared vs exclusive demand is the protocol's whole story; both
+        # children exist up front so the export always shows both modes.
+        family = self.metrics.counter(
+            "page_lock_requests_total",
+            "page lock requests by mode",
+            labelnames=("mode",),
+        )
+        self._n_read_requests = family.labels(mode="read")
+        self._n_write_requests = family.labels(mode="write")
+
     def _should_lock(self, node: ActionNode, invocation: Invocation) -> bool:
-        return self._is_page(invocation.obj)
+        if not self._is_page(invocation.obj):
+            return False
+        if invocation.method == "write":
+            self._n_write_requests.value += 1
+        else:
+            self._n_read_requests.value += 1
+        return True
 
     def _owner_for(self, ctx: TransactionContext, node: ActionNode) -> ActionNode:
         return ctx.txn.root

@@ -1,0 +1,50 @@
+"""Observability: typed event bus, span tracing, metrics, exporters.
+
+The subsystem has four parts, one module each:
+
+* :mod:`repro.obs.events` — the :class:`EventBus` and the frozen
+  dataclass event types every layer publishes (zero-allocation when no
+  subscriber is attached);
+* :mod:`repro.obs.tracing` — :class:`SpanTracer`, which rebuilds each
+  transaction's open-nested call tree as a span tree from the events;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, and histograms (the uniform scheduler ``stats`` live here);
+* :mod:`repro.obs.export` — JSONL event logs, Chrome trace-event JSON
+  (Perfetto), and Prometheus text.
+
+``repro trace`` and ``repro stats`` are the CLI front ends.
+"""
+
+from repro.obs.events import EventBus, EventLog
+from repro.obs.export import (
+    chrome_trace,
+    events_from_jsonl,
+    events_to_jsonl,
+    prometheus_text,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    STAT_KEYS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, SpanTracer
+
+__all__ = [
+    "EventBus",
+    "EventLog",
+    "SpanTracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "STAT_KEYS",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "prometheus_text",
+]

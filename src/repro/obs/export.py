@@ -1,0 +1,202 @@
+"""Exporters: JSONL event logs, Chrome trace-event JSON, Prometheus text.
+
+Traces and metrics are machine-consumable artifacts, not debug prints
+(cf. Vbox's black-box verification interface): the JSONL log round-trips
+back into typed events, the Chrome trace loads in Perfetto /
+``chrome://tracing``, and the Prometheus rendering follows the text
+exposition format so standard tooling can scrape a run's counters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.events import Event, event_from_dict, event_to_dict
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span
+
+# ---------------------------------------------------------------------------
+# JSONL event log
+# ---------------------------------------------------------------------------
+
+
+def events_to_jsonl(events: Iterable[Event]) -> str:
+    """One JSON object per line, in event order."""
+    return "\n".join(
+        json.dumps(event_to_dict(event), sort_keys=True) for event in events
+    )
+
+
+def events_from_jsonl(text: str) -> list[Event]:
+    """Invert :func:`events_to_jsonl`; blank lines are ignored."""
+    return [
+        event_from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------------
+
+#: one logical tick is rendered as this many trace microseconds
+TICK_US = 1000
+
+
+def _thread_ids(roots: list[Span]) -> dict[str, int]:
+    """Stable small integers per transaction, in begin order."""
+    tids: dict[str, int] = {}
+    for root in roots:
+        if root.txn not in tids:
+            tids[root.txn] = len(tids) + 1
+    return tids
+
+
+def _span_events(span: Span, tid: int, out: list[dict]) -> None:
+    end = span.end if span.end is not None else span.start
+    event = {
+        "name": span.label,
+        "cat": "span" if span.children or span.method not in ("read", "write")
+        else "page",
+        "ph": "X",
+        "ts": span.start * TICK_US,
+        "dur": (end - span.start) * TICK_US,
+        "pid": 1,
+        "tid": tid,
+        "args": {
+            "aid": list(span.aid),
+            "seq": span.seq,
+            "status": span.status,
+        },
+    }
+    if span.args:
+        event["args"]["call_args"] = [repr(a) for a in span.args]
+    if span.wall_start is not None and span.wall_end is not None:
+        event["args"]["wall_ms"] = round(
+            (span.wall_end - span.wall_start) * 1000, 6
+        )
+    out.append(event)
+    for obj, since, until in span.waits:
+        out.append(
+            {
+                "name": f"lock-wait {obj}",
+                "cat": "wait",
+                "ph": "X",
+                "ts": since * TICK_US,
+                "dur": (until - since) * TICK_US,
+                "pid": 1,
+                "tid": tid,
+                "args": {"object": obj},
+            }
+        )
+    for note in span.notes:
+        out.append(
+            {
+                "name": note,
+                "cat": "annotation",
+                "ph": "i",
+                "s": "t",
+                "ts": end * TICK_US,
+                "pid": 1,
+                "tid": tid,
+            }
+        )
+    for child in span.children:
+        _span_events(child, tid, out)
+
+
+def chrome_trace(roots: list[Span]) -> dict:
+    """Render span trees as a Chrome trace-event JSON object.
+
+    Each transaction attempt becomes a thread (named via ``M`` metadata
+    events); spans become ``X`` complete events whose ``ts``/``dur``
+    nesting reproduces the call tree — a child's interval is always
+    contained in its parent's, because logical ticks only move forward.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    tids = _thread_ids(roots)
+    for txn, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": txn},
+            }
+        )
+    for root in roots:
+        _span_events(root, tids[root.txn], events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(trace: dict) -> list[str]:
+    """Structural checks on a Chrome trace: X events well-formed, and per
+    thread the complete events nest (no partial overlap).  Returns a list
+    of problems; empty means valid.  CI's trace smoke step runs this.
+    """
+    problems: list[str] = []
+    if not isinstance(trace.get("traceEvents"), list):
+        return ["traceEvents missing or not a list"]
+    per_tid: dict[int, list[tuple[int, int, str]]] = {}
+    for event in trace["traceEvents"]:
+        ph = event.get("ph")
+        if ph == "X":
+            if not isinstance(event.get("ts"), int) or not isinstance(
+                event.get("dur"), int
+            ):
+                problems.append(f"X event without int ts/dur: {event.get('name')}")
+                continue
+            per_tid.setdefault(event["tid"], []).append(
+                (event["ts"], event["ts"] + event["dur"], event.get("name", ""))
+            )
+    for tid, intervals in per_tid.items():
+        for i, (s1, e1, n1) in enumerate(intervals):
+            for s2, e2, n2 in intervals[i + 1 :]:
+                # Nesting: intervals are disjoint or one contains the other.
+                if s1 < s2 < e1 < e2 or s2 < s1 < e2 < e1:
+                    problems.append(
+                        f"tid {tid}: partial overlap {n1!r} [{s1},{e1}) vs "
+                        f"{n2!r} [{s2},{e2})"
+                    )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition format
+# ---------------------------------------------------------------------------
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every instrument in the text exposition format."""
+    lines: list[str] = []
+    for metric, samples in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.type_name}")
+        for name, labels, value in samples:
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{val}"' for key, val in sorted(labels.items())
+                )
+                lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

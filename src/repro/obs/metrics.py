@@ -1,0 +1,232 @@
+"""The metrics registry: counters, gauges, and histograms with labels.
+
+One registry replaces the per-protocol ``stats`` dicts that grew ad hoc
+over PRs 1–4.  Every component that counts something — the five locking
+schedulers, the lock table, the WAL, the incremental dependency engine —
+registers its instruments here, so ``repro stats`` (and the Prometheus
+exporter) can enumerate everything a run measured through one API.
+
+Design notes
+------------
+
+* **Hot-path cost.**  A :class:`Counter` is a plain object with a
+  ``value`` attribute; the schedulers increment it with
+  ``counter.value += 1`` (or :meth:`Counter.inc`), which costs the same
+  as the old ``self.stats["waits"] += 1`` dict bump it replaces.  No
+  locking — the simulator's controller admits one worker at a time, so
+  instruments are never raced.
+* **Labels.**  A family created with ``labelnames`` hands out child
+  instruments via :meth:`Family.labels`; children are cached per label
+  tuple so the hot path pays one dict lookup, as in prometheus-client.
+* **Uniform stats keyset.**  :data:`STAT_KEYS` is the contract every
+  scheduler honours (satellite 1 of PR 5): all keys pre-registered at
+  construction, so ``executor.ExecutionResult.scheduler_stats`` is a
+  guaranteed, uniformly-keyed read instead of a silent ``{}`` fallback.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+#: the uniform per-scheduler counter keyset — every protocol exposes all
+#: of these (pre-initialized to zero) plus any protocol-specific extras
+STAT_KEYS = (
+    "acquired",
+    "waits",
+    "deadlocks",
+    "wounds",
+    "overrides",
+    "lock_index_hits",
+    "commute_cache_hits",
+    "validations",
+    "validation_failures",
+)
+
+
+class Counter:
+    """A monotonically-increasing count (resettable only via ``set``)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+    type_name = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = labels or {}
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def set(self, value: int) -> None:
+        """Overwrite the count (used to mirror pre-existing tallies)."""
+        self.value = value
+
+    def samples(self):
+        yield (self.name, self.labels, self.value)
+
+
+class Gauge:
+    """A value that can go up and down (e.g. currently-held locks)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+    type_name = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = labels or {}
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        self.value -= amount
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def samples(self):
+        yield (self.name, self.labels, self.value)
+
+
+class Histogram:
+    """A bucketed distribution (e.g. lock-wait ticks).
+
+    Cumulative bucket semantics match Prometheus: ``bucket[i]`` counts
+    observations ``<= bounds[i]``, with an implicit ``+Inf`` bucket.
+    """
+
+    __slots__ = ("name", "help", "labels", "bounds", "buckets", "sum", "count")
+    type_name = "histogram"
+
+    DEFAULT_BOUNDS = (0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict | None = None,
+        bounds: tuple = DEFAULT_BOUNDS,
+    ):
+        self.name = name
+        self.help = help
+        self.labels = labels or {}
+        self.bounds = tuple(sorted(bounds))
+        self.buckets = [0] * (len(self.bounds) + 1)  # last = +Inf
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def samples(self):
+        cumulative = 0
+        for bound, bucket in zip(self.bounds, self.buckets):
+            cumulative += bucket
+            labels = dict(self.labels, le=str(bound))
+            yield (f"{self.name}_bucket", labels, cumulative)
+        labels = dict(self.labels, le="+Inf")
+        yield (f"{self.name}_bucket", labels, self.count)
+        yield (f"{self.name}_sum", self.labels, self.sum)
+        yield (f"{self.name}_count", self.labels, self.count)
+
+
+class Family:
+    """A labelled instrument family; children cached per label values."""
+
+    __slots__ = ("name", "help", "labelnames", "_cls", "_kwargs", "_children")
+
+    def __init__(self, cls, name: str, help: str, labelnames: tuple, **kwargs):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._cls = cls
+        self._kwargs = kwargs
+        self._children: dict[tuple, object] = {}
+
+    @property
+    def type_name(self) -> str:
+        return self._cls.type_name
+
+    def labels(self, **labels):
+        key = tuple(labels.get(name, "") for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._cls(
+                self.name,
+                self.help,
+                labels=dict(zip(self.labelnames, key)),
+                **self._kwargs,
+            )
+            self._children[key] = child
+        return child
+
+    def samples(self):
+        for key in sorted(self._children):
+            yield from self._children[key].samples()
+
+
+class MetricsRegistry:
+    """All instruments a run reports into, keyed by metric name.
+
+    ``counter(name)`` etc. are get-or-create: asking twice for the same
+    name returns the same instrument, so components can share a registry
+    without coordinating registration order.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            if labelnames:
+                metric = Family(cls, name, help, labelnames, **kwargs)
+            else:
+                metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames=(),
+        bounds: tuple = Histogram.DEFAULT_BOUNDS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, bounds=bounds
+        )
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def collect(self):
+        """Yield ``(metric, samples)`` in name order, for the exporters."""
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            yield metric, list(metric.samples())
+
+    def as_dict(self) -> dict:
+        """Flatten to ``{name{label=value,...}: value}`` for table output."""
+        flat: dict[str, object] = {}
+        for _, samples in self.collect():
+            for name, labels, value in samples:
+                if labels:
+                    rendered = ",".join(
+                        f'{k}="{v}"' for k, v in sorted(labels.items())
+                    )
+                    flat[f"{name}{{{rendered}}}"] = value
+                else:
+                    flat[name] = value
+        return flat

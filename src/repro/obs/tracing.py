@@ -1,0 +1,287 @@
+"""The span tracer: call trees materialized from the event stream.
+
+The paper's open nested transaction *is* a span tree — ``T`` calls
+``BpTree.insert``, which calls ``Leaf.insert``, which reads and writes
+pages (Example 1 / Figure 4).  :class:`SpanTracer` subscribes to the
+event bus and rebuilds exactly that tree for every transaction attempt:
+one root span per ``begin``, one child span per method dispatch, one
+zero-duration leaf per page access, all stamped with the executor's
+logical ticks (optionally wall-clock time too).
+
+The tracer also attaches the *scheduling* story to the tree: lock waits
+become ``waits`` intervals on the span whose frame was blocked, and
+deadlock victims / wounds / aborts annotate the root.  ``repro trace``
+renders the result as Chrome trace-event JSON (see
+:mod:`repro.obs.export`) so any fuzz counterexample can be opened in
+Perfetto.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.events import (
+    DeadlockVictim,
+    Event,
+    EventBus,
+    LockBlock,
+    LockGrant,
+    MethodDispatch,
+    MethodReturn,
+    PageAccess,
+    TxnAbort,
+    TxnBegin,
+    TxnCommit,
+    TxnRestart,
+    WoundVictim,
+)
+
+
+@dataclass
+class Span:
+    """One node of a transaction's call tree, with timing and annotations."""
+
+    txn: str
+    obj: str
+    method: str
+    aid: tuple = ()
+    args: tuple = ()
+    seq: int = 0
+    start: int = 0
+    end: int | None = None
+    wall_start: float | None = None
+    wall_end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+    #: lock-wait intervals attributed to this span: (object, from, to) ticks
+    waits: list[tuple] = field(default_factory=list)
+    #: free-form annotations (deadlock victim, wound, abort reason, ...)
+    notes: list[str] = field(default_factory=list)
+    status: str = "open"
+
+    @property
+    def label(self) -> str:
+        return f"{self.obj}.{self.method}"
+
+    @property
+    def duration(self) -> int:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def iter_spans(self):
+        """This span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def tree_lines(self, indent: int = 0) -> list[str]:
+        """A readable text rendering (``repro trace`` without ``--out``)."""
+        window = f"[{self.start},{self.end if self.end is not None else '?'}]"
+        extra = ""
+        if self.waits:
+            waited = sum(t1 - t0 for _, t0, t1 in self.waits)
+            extra += f" waited={waited}"
+        if self.notes:
+            extra += " " + " ".join(f"<{note}>" for note in self.notes)
+        lines = [f"{'  ' * indent}{self.label} {window}{extra}"]
+        for child in self.children:
+            lines.extend(child.tree_lines(indent + 1))
+        return lines
+
+
+class SpanTracer:
+    """Subscribe to a bus; come back later for finished span trees.
+
+    ``roots`` maps each transaction attempt (its ``txn_id``) to its root
+    span, in begin order; restarts produce separate trees because every
+    attempt begins under a fresh label.  ``wall=True`` additionally
+    stamps spans with ``time.perf_counter()`` — off by default so traced
+    runs stay deterministic.
+    """
+
+    def __init__(self, bus: EventBus | None = None, *, wall: bool = False):
+        self.roots: dict[str, Span] = {}
+        self.order: list[Span] = []
+        self.wall = wall
+        self._stacks: dict[str, list[Span]] = {}
+        #: txn -> (obj, tick) of the lock request currently blocking it
+        self._blocked: dict[str, tuple] = {}
+        self._bus = bus
+        if bus is not None:
+            bus.subscribe(self.handle)
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self.handle)
+            self._bus = None
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+
+    def handle(self, event: Event) -> None:
+        kind = event.kind
+        handler = self._HANDLERS.get(kind)
+        if handler is not None:
+            handler(self, event)
+
+    def _wall_now(self) -> float | None:
+        return time.perf_counter() if self.wall else None
+
+    def _on_begin(self, event: TxnBegin) -> None:
+        root = Span(
+            txn=event.txn,
+            obj="txn",
+            method=event.txn,
+            aid=("txn", event.txn),
+            start=event.tick,
+            wall_start=self._wall_now(),
+        )
+        self.roots[event.txn] = root
+        self.order.append(root)
+        self._stacks[event.txn] = [root]
+
+    def _stack(self, txn: str) -> list[Span]:
+        stack = self._stacks.get(txn)
+        if stack is None:
+            # Events for a transaction whose begin predates the tracer's
+            # attachment: synthesize a root so nothing is dropped.
+            self._on_begin(TxnBegin(txn=txn, tick=0))
+            stack = self._stacks[txn]
+        return stack
+
+    def _on_dispatch(self, event: MethodDispatch) -> None:
+        stack = self._stack(event.txn)
+        span = Span(
+            txn=event.txn,
+            obj=event.obj,
+            method=event.method,
+            aid=event.aid,
+            args=event.args,
+            seq=event.seq,
+            start=event.tick,
+            wall_start=self._wall_now(),
+        )
+        stack[-1].children.append(span)
+        stack.append(span)
+
+    def _on_return(self, event: MethodReturn) -> None:
+        stack = self._stack(event.txn)
+        # Pop to (and including) the span this return matches.  Frames
+        # unwound by an exception emit no return of their own; their spans
+        # close here, at the first enclosing frame that did complete.
+        while len(stack) > 1:
+            span = stack.pop()
+            span.end = event.tick
+            span.wall_end = self._wall_now()
+            span.status = "ok"
+            if event.released:
+                span.notes.append("released-early")
+            if span.aid == event.aid:
+                break
+
+    def _on_page(self, event: PageAccess) -> None:
+        stack = self._stack(event.txn)
+        wall = self._wall_now()
+        span = Span(
+            txn=event.txn,
+            obj=event.obj,
+            method=event.method,
+            aid=event.aid,
+            seq=event.seq,
+            start=event.tick,
+            end=event.tick,
+            wall_start=wall,
+            wall_end=wall,
+            status="ok",
+        )
+        stack[-1].children.append(span)
+
+    def _on_block(self, event: LockBlock) -> None:
+        self._blocked[event.txn] = (event.obj, event.tick)
+
+    def _on_grant(self, event: LockGrant) -> None:
+        pending = self._blocked.pop(event.txn, None)
+        if pending is None:
+            return
+        obj, since = pending
+        stack = self._stacks.get(event.txn)
+        if stack:
+            stack[-1].waits.append((obj, since, event.tick))
+
+    def _on_deadlock(self, event: DeadlockVictim) -> None:
+        root = self.roots.get(event.txn)
+        if root is not None:
+            cycle = "→".join(event.cycle)
+            root.notes.append(f"deadlock-victim:{cycle}")
+        self._blocked.pop(event.txn, None)
+
+    def _on_wound(self, event: WoundVictim) -> None:
+        root = self.roots.get(event.txn)
+        if root is not None:
+            root.notes.append(f"wounded-by:{event.by}")
+
+    def _close_all(self, txn: str, tick: int, status: str) -> None:
+        stack = self._stacks.get(txn, [])
+        wall = self._wall_now()
+        while stack:
+            span = stack.pop()
+            span.end = tick
+            span.wall_end = wall
+            if span.status == "open":
+                span.status = status if stack == [] else "unwound"
+        self._stacks.pop(txn, None)
+        self._blocked.pop(txn, None)
+
+    def _on_commit(self, event: TxnCommit) -> None:
+        self._close_all(event.txn, event.tick, "committed")
+
+    def _on_abort(self, event: TxnAbort) -> None:
+        root = self.roots.get(event.txn)
+        if root is not None and event.reason:
+            root.notes.append(f"abort:{event.reason}")
+        self._close_all(event.txn, event.tick, "aborted")
+
+    def _on_restart(self, event: TxnRestart) -> None:
+        root = self.roots.get(event.txn)
+        if root is not None:
+            root.notes.append(f"restarts-as-attempt:{event.attempt + 1}")
+
+    _HANDLERS = {
+        TxnBegin.kind: _on_begin,
+        MethodDispatch.kind: _on_dispatch,
+        MethodReturn.kind: _on_return,
+        PageAccess.kind: _on_page,
+        LockBlock.kind: _on_block,
+        LockGrant.kind: _on_grant,
+        DeadlockVictim.kind: _on_deadlock,
+        WoundVictim.kind: _on_wound,
+        TxnCommit.kind: _on_commit,
+        TxnAbort.kind: _on_abort,
+        TxnRestart.kind: _on_restart,
+    }
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def finish(self, tick: int | None = None) -> None:
+        """Close any still-open spans (a crashed or truncated run)."""
+        for txn in list(self._stacks):
+            stack = self._stacks[txn]
+            end = tick
+            if end is None:
+                end = max((s.start for s in stack), default=0)
+            self._close_all(txn, end, "unfinished")
+
+    def trees(self) -> list[Span]:
+        """All root spans, in begin order."""
+        return list(self.order)
+
+    def tree_for(self, txn: str) -> Span | None:
+        return self.roots.get(txn)
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for root in self.order:
+            lines.extend(root.tree_lines())
+        return "\n".join(lines)

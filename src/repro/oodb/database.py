@@ -33,6 +33,18 @@ from repro.errors import (
     UnknownObjectError,
 )
 from repro.oodb.context import Frame, TransactionContext, TxnStatus
+from repro.obs.events import (
+    AnalysisVerdict,
+    CompensationRegistered,
+    CompensationReplayed,
+    EventBus,
+    MethodDispatch,
+    MethodReturn,
+    PageAccess,
+    TxnAbort,
+    TxnBegin,
+    TxnCommit,
+)
 from repro.oodb.log import (
     DELETED,
     CompensationRecord,
@@ -66,6 +78,10 @@ class ObjectDatabase:
     faults:
         Optional :class:`~repro.faults.FaultPlan` consulted at named crash
         sites and dispatch points.
+    bus:
+        Optional :class:`~repro.obs.events.EventBus`; one is created when
+        omitted.  The scheduler and the WAL adopt it, so subscribing a
+        tracer to ``db.bus`` observes every layer of this database.
     """
 
     def __init__(
@@ -74,17 +90,24 @@ class ObjectDatabase:
         page_capacity: int = DEFAULT_PAGE_CAPACITY,
         wal=None,
         faults=None,
+        bus: EventBus | None = None,
     ):
         from repro.locking.interfaces import NoConcurrencyControl
 
         self.store = PageStore(page_capacity)
         self.system = TransactionSystem()
+        self.bus = bus if bus is not None else EventBus()
         self.scheduler: "Scheduler" = scheduler or NoConcurrencyControl()
         self.scheduler.attach(self)
+        #: the run's metrics registry — owned by the scheduler so its
+        #: uniform stats counters and the substrate's instruments coexist
+        self.metrics = self.scheduler.metrics
         #: optional simulation environment; when set, every action request
         #: is an interleaving checkpoint
         self.env = None
         self.wal = wal
+        if wal is not None:
+            wal.bind(self.bus, self.metrics)
         self.faults = faults
         self._objects: dict[str, DatabaseObject] = {}
         self._oid_counters: dict[str, int] = {}
@@ -199,6 +222,20 @@ class ObjectDatabase:
         self._checkpoint()
         self.scheduler.request(ctx, node, Invocation(obj.oid, "create", args))
         node.seq = self.system._next_seq()
+        bus = self.bus
+        if bus.active:
+            bus.emit(
+                MethodDispatch(
+                    txn=ctx.txn_id,
+                    aid=node.aid,
+                    obj=obj.oid,
+                    method="create",
+                    args=args,
+                    seq=node.seq,
+                    depth=ctx.depth,
+                    tick=bus.now(),
+                )
+            )
         frame = Frame(node=node, receiver=obj, spec=None)
         ctx.push(frame)
         ctx.stats.actions += 1
@@ -211,6 +248,16 @@ class ObjectDatabase:
         ctx.pop()
         # creation is never released early: undo must deallocate the page
         parent_frame.log.merge_child(frame.log)
+        if bus.active:
+            bus.emit(
+                MethodReturn(
+                    txn=ctx.txn_id,
+                    aid=node.aid,
+                    obj=obj.oid,
+                    method="create",
+                    tick=bus.now(),
+                )
+            )
         self.scheduler.end_action(ctx, node, release=False)
 
     def get_object(self, oid: str) -> DatabaseObject:
@@ -236,6 +283,9 @@ class ObjectDatabase:
         txn = self.system.transaction(label)
         ctx = TransactionContext(txn)
         self.scheduler.begin(ctx)
+        bus = self.bus
+        if bus.active:
+            bus.emit(TxnBegin(txn=ctx.txn_id, tick=bus.now()))
         if log and self.wal is not None:
             # Sync: cheap (begins are rare) and it anchors durability of
             # everything before the transaction — bootstrap included.
@@ -376,6 +426,20 @@ class ObjectDatabase:
         # Axiom 1 order must reflect when the action actually ran, not when
         # it was first attempted (the request above may have blocked).
         node.seq = self.system._next_seq()
+        bus = self.bus
+        if bus.active:
+            bus.emit(
+                MethodDispatch(
+                    txn=ctx.txn_id,
+                    aid=node.aid,
+                    obj=oid,
+                    method=method,
+                    args=args,
+                    seq=node.seq,
+                    depth=ctx.depth,
+                    tick=bus.now(),
+                )
+            )
         frame = Frame(
             node=node,
             receiver=obj,
@@ -406,6 +470,7 @@ class ObjectDatabase:
     ) -> None:
         """Apply the open-nesting commit rule to a finished action frame."""
         spec = frame.spec
+        bus = self.bus
         if ctx.runtime_data.get("compensating"):
             # Actions of a rollback are never themselves undone or
             # compensated; their locks release with the frame so that
@@ -415,6 +480,17 @@ class ObjectDatabase:
             # (``UndoRecord.resolve``) keeps both live rollback and crash
             # recovery correct under such interleavings.
             parent_frame.log.merge_child(frame.log)
+            if bus.active:
+                bus.emit(
+                    MethodReturn(
+                        txn=ctx.txn_id,
+                        aid=frame.node.aid,
+                        obj=frame.node.obj,
+                        method=frame.node.method,
+                        released=True,
+                        tick=bus.now(),
+                    )
+                )
             self.scheduler.end_action(ctx, frame.node, release=True)
             return
         compensation = spec.compensation_call(args, result) if spec else None
@@ -448,17 +524,38 @@ class ObjectDatabase:
                     record.oid, record.method, record.args, lsn=lsn
                 )
             parent_frame.log.record(record)
+            if bus.active:
+                bus.emit(
+                    CompensationRegistered(
+                        txn=ctx.txn_id,
+                        obj=record.oid,
+                        method=record.method,
+                        tick=bus.now(),
+                    )
+                )
             # The child journal (undo records and child compensations) is
             # superseded by this single semantic compensation and dropped.
-            self.scheduler.end_action(ctx, frame.node, release=True)
+            release = True
         elif self.scheduler.open_nested and not has_undo:
             # Read-only subtree (possibly carrying child compensations):
             # locks can go, compensations move up.
             parent_frame.log.merge_child(frame.log)
-            self.scheduler.end_action(ctx, frame.node, release=True)
+            release = True
         else:
             parent_frame.log.merge_child(frame.log)
-            self.scheduler.end_action(ctx, frame.node, release=False)
+            release = False
+        if bus.active:
+            bus.emit(
+                MethodReturn(
+                    txn=ctx.txn_id,
+                    aid=frame.node.aid,
+                    obj=frame.node.obj,
+                    method=frame.node.method,
+                    released=release,
+                    tick=bus.now(),
+                )
+            )
+        self.scheduler.end_action(ctx, frame.node, release=release)
 
     def commit(self, ctx: TransactionContext) -> None:
         if not ctx.is_active:
@@ -479,6 +576,9 @@ class ObjectDatabase:
         ctx.status = TxnStatus.COMMITTED
         if self.env is not None:
             ctx.stats.commit_tick = self.env.now
+        bus = self.bus
+        if bus.active:
+            bus.emit(TxnCommit(txn=ctx.txn_id, tick=bus.now()))
 
     def abort(self, ctx: TransactionContext, reason: str = "user abort") -> None:
         """Roll the transaction back: undo and compensate in reverse order."""
@@ -511,6 +611,9 @@ class ObjectDatabase:
         if self.wal is not None:
             self.wal.append({"t": "abort-done", "txn": ctx.txn_id})
             self.wal.sync()
+        bus = self.bus
+        if bus.active:
+            bus.emit(TxnAbort(txn=ctx.txn_id, reason=reason, tick=bus.now()))
 
     def _consume_entry(self, ctx: TransactionContext, entry) -> None:
         """Process one journal entry of a rollback, logging progress.
@@ -520,6 +623,16 @@ class ObjectDatabase:
         crash mid-rollback must never re-send one that already ran.
         """
         if isinstance(entry, CompensationRecord):
+            bus = self.bus
+            if bus.active:
+                bus.emit(
+                    CompensationReplayed(
+                        txn=ctx.txn_id,
+                        obj=entry.oid,
+                        method=entry.method,
+                        tick=bus.now(),
+                    )
+                )
             self._dispatch(ctx, entry.oid, entry.method, entry.args)
             if self.wal is not None and entry.lsn is not None:
                 self.wal.append(
@@ -741,6 +854,20 @@ class ObjectDatabase:
         lock_mode = "write" if exclusive else method
         self.scheduler.request(ctx, node, Invocation(obj.page_id, lock_mode))
         node.seq = self.system._next_seq()  # granted: stamp execution order
+        bus = self.bus
+        if bus.active:
+            # the trace records the semantic action (read/write), like the
+            # call tree itself — the lock mode is the scheduler's business
+            bus.emit(
+                PageAccess(
+                    txn=ctx.txn_id,
+                    aid=node.aid,
+                    obj=obj.page_id,
+                    method=method,
+                    seq=node.seq,
+                    tick=bus.now(),
+                )
+            )
         return ctx
 
     # ------------------------------------------------------------------
@@ -810,4 +937,16 @@ class ObjectDatabase:
         """
         from repro.core.serializability import analyze_system
 
-        return analyze_system(self.system, self.commutativity_registry(), **kwargs)
+        verdict, schedules = analyze_system(
+            self.system, self.commutativity_registry(), **kwargs
+        )
+        bus = self.bus
+        if bus.active:
+            bus.emit(
+                AnalysisVerdict(
+                    source="analyze",
+                    ok=bool(verdict.oo_serializable),
+                    tick=bus.now(),
+                )
+            )
+        return verdict, schedules

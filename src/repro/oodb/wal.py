@@ -76,6 +76,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import DatabaseError, SimulatedCrash
+from repro.obs.events import EventBus, WalAppend, WalSync
 from repro.oodb.context import TxnStatus
 from repro.oodb.log import (
     DELETED,
@@ -111,6 +112,28 @@ class WriteAheadLog:
         #: lazily opened, kept across syncs: one buffered write + one flush
         #: per sync point instead of an open/write-per-record cycle
         self._fh = None
+        # Observability (bound by the owning database, see :meth:`bind`):
+        # an inert bus until then, and no metrics at all — the log must
+        # stay usable standalone (recovery rebuilds databases around it).
+        self.bus = EventBus()
+        self._rec_family = None
+        self._n_syncs = None
+        self._n_synced_records = None
+
+    def bind(self, bus, metrics) -> None:
+        """Adopt the owning database's event bus and metrics registry."""
+        self.bus = bus
+        self._rec_family = metrics.counter(
+            "wal_records_total",
+            "WAL records appended, by record type",
+            labelnames=("type",),
+        )
+        self._n_syncs = metrics.counter(
+            "wal_syncs_total", "write barriers forced"
+        )
+        self._n_synced_records = metrics.counter(
+            "wal_synced_records_total", "records made durable by a sync"
+        )
 
     # -- appending ----------------------------------------------------------
 
@@ -123,9 +146,21 @@ class WriteAheadLog:
         if self._crashed:
             return -1
         record = dict(record)
-        record["lsn"] = self.next_lsn
+        lsn = record["lsn"] = self.next_lsn
         self._buffer.append(record)
-        return record["lsn"]
+        if self._rec_family is not None:
+            self._rec_family.labels(type=record.get("t", "?")).value += 1
+        bus = self.bus
+        if bus.active:
+            bus.emit(
+                WalAppend(
+                    txn=record.get("txn") or "",
+                    rec=record.get("t", "?"),
+                    lsn=lsn,
+                    tick=bus.now(),
+                )
+            )
+        return lsn
 
     def sync(self) -> None:
         """Force the buffer to the durable prefix (a write barrier).
@@ -146,8 +181,21 @@ class WriteAheadLog:
                 )
             )
             self._fh.flush()
+        flushed = len(self._buffer)
         self.records.extend(self._buffer)
         self._buffer = []
+        if self._n_syncs is not None:
+            self._n_syncs.value += 1
+            self._n_synced_records.value += flushed
+        bus = self.bus
+        if bus.active:
+            bus.emit(
+                WalSync(
+                    records=flushed,
+                    lsn=len(self.records) - 1,
+                    tick=bus.now(),
+                )
+            )
 
     def close(self) -> None:
         """Release the backing file handle (safe to call repeatedly)."""
@@ -400,6 +448,7 @@ def recover(
     """
     wal.reopen()
     db.wal = wal
+    wal.bind(db.bus, db.metrics)
     records = wal.to_list()
     report = RecoveryReport(records=len(records))
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import SimulatedCrash, SimulationError, TransactionAborted
+from repro.obs.events import TxnRestart
 from repro.runtime.program import ProgramAPI, TransactionProgram
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -132,6 +133,16 @@ class _Worker:
                     db.abort(ctx, "scheduler abort")
                     self.outcome.aborted_ctxs.append(ctx)
                     ctx.stats.restarts += 1
+                    if attempt < self.program.max_restarts:
+                        bus = db.bus
+                        if bus.active:
+                            bus.emit(
+                                TxnRestart(
+                                    txn=ctx.txn_id,
+                                    attempt=attempt + 1,
+                                    tick=bus.now(),
+                                )
+                            )
                     executor._backoff(self, attempt)
                 except BaseException as exc:
                     # A bug in a program or the substrate: record it, but
@@ -176,6 +187,9 @@ class InterleavedExecutor:
         self._current: object = "controller"
         db.env = self
         db.scheduler.bind_environment(self)
+        # The database's event bus tells time in this executor's logical
+        # ticks (clock binding is independent of whether anyone listens).
+        db.bus.clock = self._clock
         if faults is not None and getattr(db, "faults", None) is None:
             db.faults = faults
 
@@ -212,8 +226,14 @@ class InterleavedExecutor:
             crashed=self.crashed,
         )
 
+    def _clock(self) -> int:
+        return self.now
+
     def _scheduler_stats(self) -> dict:
-        return getattr(self.db.scheduler, "stats", {})
+        # Every scheduler guarantees a uniformly-keyed ``stats`` view (the
+        # registry counters of repro.obs.metrics.STAT_KEYS, pre-initialized
+        # at construction) — no silent-empty fallback.
+        return self.db.scheduler.stats
 
     # ------------------------------------------------------------------
     # controller

@@ -1,0 +1,93 @@
+"""The typed event bus: activity flag, clock, and serialization."""
+
+import json
+from dataclasses import fields
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventBus,
+    EventLog,
+    LockGrant,
+    TxnBegin,
+    event_from_dict,
+    event_to_dict,
+)
+
+#: a non-default sample per field type, so round-trips exercise real values
+_SAMPLES = {int: 7, str: "x", bool: False, tuple: ("a", ("b", 2))}
+
+
+def _sample_event(cls):
+    return cls(
+        **{spec.name: _SAMPLES[type(spec.default)] for spec in fields(cls)}
+    )
+
+
+class TestEventBus:
+    def test_inactive_until_subscribed(self):
+        bus = EventBus()
+        assert not bus.active
+        log = EventLog(bus)
+        assert bus.active
+        bus.unsubscribe(log.events.append)
+        assert not bus.active
+
+    def test_active_while_any_subscriber_remains(self):
+        bus = EventBus()
+        first, second = EventLog(bus), EventLog(bus)
+        bus.unsubscribe(first.events.append)
+        assert bus.active
+        bus.unsubscribe(second.events.append)
+        assert not bus.active
+
+    def test_emit_reaches_every_subscriber_in_order(self):
+        bus = EventBus()
+        first, second = EventLog(bus), EventLog(bus)
+        event = TxnBegin(txn="T1", tick=3)
+        bus.emit(event)
+        assert first.events == [event]
+        assert second.events == [event]
+
+    def test_now_is_zero_without_a_clock(self):
+        assert EventBus().now() == 0
+
+    def test_now_reads_the_bound_clock(self):
+        bus = EventBus()
+        ticks = iter((5, 9))
+        bus.clock = lambda: next(ticks)
+        assert bus.now() == 5
+        assert bus.now() == 9
+
+
+class TestSerialization:
+    def test_kinds_are_unique_and_registered(self):
+        assert len(EVENT_TYPES) == 18
+        for kind, cls in EVENT_TYPES.items():
+            assert cls.kind == kind
+
+    def test_every_event_round_trips_through_json(self):
+        for cls in EVENT_TYPES.values():
+            event = _sample_event(cls)
+            payload = json.loads(json.dumps(event_to_dict(event)))
+            assert event_from_dict(payload) == event, cls
+
+    def test_nested_tuples_are_refrozen(self):
+        event = LockGrant(txn="T1", obj="O", method="m", waited=4, tick=2)
+        restored = event_from_dict(event_to_dict(event))
+        assert restored == event
+
+    def test_unknown_fields_are_ignored_on_load(self):
+        payload = event_to_dict(TxnBegin(txn="T1"))
+        payload["added_in_a_future_version"] = 1
+        assert event_from_dict(payload) == TxnBegin(txn="T1")
+
+
+class TestEventLog:
+    def test_collects_in_arrival_order(self):
+        bus = EventBus()
+        log = EventLog(bus)
+        events = [TxnBegin(txn=f"T{i}", tick=i) for i in range(3)]
+        for event in events:
+            bus.emit(event)
+        assert list(log) == events
+        assert len(log) == 3

@@ -1,0 +1,87 @@
+"""The metrics registry, and the uniform scheduler stats keyset."""
+
+import pytest
+
+from repro.analysis.compare import make_scheduler
+from repro.fuzz.driver import FUZZ_PROTOCOLS
+from repro.obs import STAT_KEYS, MetricsRegistry
+
+#: the layer assignment the multilevel protocol needs to instantiate
+_LAYERS = {"BpTree": 2, "TreeLeaf": 1, "Page": 0}
+
+
+def _fresh_scheduler(protocol):
+    return make_scheduler(protocol, _LAYERS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.get("a_total") is registry.counter("a_total")
+        assert registry.get("missing") is None
+
+    def test_counter_inc_and_samples(self):
+        counter = MetricsRegistry().counter("a_total", "help")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert list(counter.samples()) == [("a_total", {}, 5)]
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 2
+        gauge.set(9)
+        assert gauge.value == 9
+
+    def test_family_caches_children_per_label_values(self):
+        registry = MetricsRegistry()
+        family = registry.counter("f_total", "", labelnames=("mode",))
+        child = family.labels(mode="read")
+        assert family.labels(mode="read") is child
+        assert family.labels(mode="write") is not child
+
+    def test_collect_yields_in_name_order(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total")
+        registry.counter("a_total")
+        names = [metric.name for metric, _ in registry.collect()]
+        assert names == ["a_total", "z_total"]
+
+    def test_as_dict_flattens_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("f_total", "", labelnames=("mode",)).labels(
+            mode="read"
+        ).inc()
+        assert registry.as_dict() == {'f_total{mode="read"}': 1}
+
+
+class TestSchedulerStats:
+    @pytest.mark.parametrize("protocol", FUZZ_PROTOCOLS)
+    def test_every_protocol_starts_with_the_uniform_keyset(self, protocol):
+        """No more silent-empty fallbacks: every key exists, pre-zeroed."""
+        stats = _fresh_scheduler(protocol).stats
+        assert set(STAT_KEYS) <= set(stats)
+        assert all(value == 0 for value in stats.values())
+
+    @pytest.mark.parametrize("protocol", FUZZ_PROTOCOLS)
+    def test_stats_mirror_the_registry_counters(self, protocol):
+        scheduler = _fresh_scheduler(protocol)
+        counter = scheduler.metrics.get("scheduler_acquired_total")
+        counter.inc(7)
+        assert scheduler.stats["acquired"] == 7
+
+    def test_protocol_extras_ride_on_the_same_keyset(self):
+        assert "certification_cache_resets" in _fresh_scheduler(
+            "optimistic-oo"
+        ).stats
+        assert "level_consistent_acquires" in _fresh_scheduler(
+            "multilevel"
+        ).stats
+        for protocol in ("page-2pl", "closed-nested", "open-nested-oo"):
+            stats = _fresh_scheduler(protocol).stats
+            assert "lock_inheritances" in stats
+            assert "early_releases" in stats

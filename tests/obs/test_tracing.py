@@ -1,0 +1,195 @@
+"""The span tracer: the paper's Example 1 call tree, pinned.
+
+Example 1 / Figure 4 of the paper is the canonical open nested
+transaction: ``T`` sends ``insert`` to the B-tree object ``TA``, which
+sends ``insert`` to a leaf object, which reads and writes its page.  The
+tracer must materialize exactly that tree from the event stream of a real
+executed run under the open-nested protocol.
+"""
+
+from repro.locking.open_nested import OpenNestedLocking
+from repro.obs import SpanTracer
+from repro.obs.events import (
+    EventBus,
+    LockBlock,
+    LockGrant,
+    MethodDispatch,
+    MethodReturn,
+    PageAccess,
+    TxnAbort,
+    TxnBegin,
+    TxnCommit,
+    TxnRestart,
+)
+from repro.oodb import ObjectDatabase
+from repro.structures import build_bptree
+
+
+def _shape(span):
+    return (span.label, [_shape(child) for child in span.children])
+
+
+def _traced_example1():
+    db = ObjectDatabase(scheduler=OpenNestedLocking(), page_capacity=128)
+    tracer = SpanTracer(db.bus)
+    tree = build_bptree(db, 4)
+    for label, key in (("T1", "k1"), ("T2", "k2")):
+        ctx = db.begin(label)
+        db.send(ctx, tree, "insert", key, key.upper())
+        db.commit(ctx)
+    tracer.finish()
+    return tracer
+
+
+class TestExample1CallTree:
+    def test_span_tree_is_the_papers_call_tree(self):
+        tracer = _traced_example1()
+        roots = tracer.trees()
+        assert [root.txn for root in roots] == ["T1", "T2"]
+
+        root = roots[0]
+        assert root.label == "txn.T1"
+        assert root.status == "committed"
+
+        # T -> TA.insert (the B-tree layer)
+        (tree_insert,) = root.children
+        assert tree_insert.label == "BpTree.insert"
+        assert "released-early" in tree_insert.notes  # open nesting
+
+        # TA.insert reads its page to find the leaf, then sends l.insert
+        tree_read, leaf_insert = tree_insert.children
+        assert tree_read.obj.startswith("Page")
+        assert tree_read.method == "read"
+        assert leaf_insert.label == "TreeLeaf1.insert"
+        assert "released-early" in leaf_insert.notes
+
+        # l.insert is a burst of primitive accesses on the leaf's page
+        accesses = leaf_insert.children
+        assert [span.method for span in accesses] == [
+            "read", "read", "write", "read", "read",
+        ]
+        assert len({span.obj for span in accesses}) == 1
+        assert all(span.obj.startswith("Page") for span in accesses)
+        assert {span.obj for span in accesses} != {tree_read.obj}
+        assert all(span.duration == 0 for span in accesses)
+        assert all(span.status == "ok" for span in accesses)
+
+    def test_commuting_inserts_produce_identical_shapes(self):
+        roots = _traced_example1().trees()
+        assert _shape(roots[0].children[0]) == _shape(roots[1].children[0])
+
+    def test_tree_for_and_render(self):
+        tracer = _traced_example1()
+        assert tracer.tree_for("T2") is tracer.trees()[1]
+        assert tracer.tree_for("T9") is None
+        rendered = tracer.render()
+        assert "txn.T1" in rendered
+        assert "  BpTree.insert" in rendered
+        assert "<released-early>" in rendered
+
+
+class TestTracerMechanics:
+    """Deterministic event sequences exercise the edge cases directly."""
+
+    def test_lock_wait_is_bracketed_onto_the_blocked_span(self):
+        bus = EventBus()
+        tracer = SpanTracer(bus)
+        bus.emit(TxnBegin(txn="T1", tick=0))
+        bus.emit(
+            MethodDispatch(txn="T1", aid=("T1", 1), obj="O", method="m", tick=1)
+        )
+        bus.emit(LockBlock(txn="T1", obj="P", method="w", tick=3))
+        bus.emit(LockGrant(txn="T1", obj="P", method="w", waited=6, tick=9))
+        bus.emit(
+            MethodReturn(txn="T1", aid=("T1", 1), obj="O", method="m", tick=10)
+        )
+        bus.emit(TxnCommit(txn="T1", tick=11))
+        (root,) = tracer.trees()
+        (span,) = root.children
+        assert span.waits == [("P", 3, 9)]
+        assert "waited=6" in span.tree_lines()[0]
+
+    def test_grant_without_block_records_no_wait(self):
+        bus = EventBus()
+        tracer = SpanTracer(bus)
+        bus.emit(TxnBegin(txn="T1", tick=0))
+        bus.emit(LockGrant(txn="T1", obj="P", method="w", tick=2))
+        bus.emit(TxnCommit(txn="T1", tick=3))
+        (root,) = tracer.trees()
+        assert root.waits == []
+
+    def test_exception_unwound_frames_close_at_enclosing_return(self):
+        bus = EventBus()
+        tracer = SpanTracer(bus)
+        bus.emit(TxnBegin(txn="T1", tick=0))
+        bus.emit(
+            MethodDispatch(txn="T1", aid=("T1", 1), obj="A", method="a", tick=1)
+        )
+        bus.emit(
+            MethodDispatch(txn="T1", aid=("T1", 2), obj="B", method="b", tick=2)
+        )
+        # B.b dies by exception: no return of its own; A.a's return closes it
+        bus.emit(
+            MethodReturn(txn="T1", aid=("T1", 1), obj="A", method="a", tick=5)
+        )
+        bus.emit(TxnCommit(txn="T1", tick=6))
+        (root,) = tracer.trees()
+        (outer,) = root.children
+        (inner,) = outer.children
+        assert outer.end == inner.end == 5
+
+    def test_abort_marks_root_and_unwinds_open_frames(self):
+        bus = EventBus()
+        tracer = SpanTracer(bus)
+        bus.emit(TxnBegin(txn="T1", tick=0))
+        bus.emit(
+            MethodDispatch(txn="T1", aid=("T1", 1), obj="A", method="a", tick=1)
+        )
+        bus.emit(TxnAbort(txn="T1", reason="deadlock", tick=4))
+        (root,) = tracer.trees()
+        assert root.status == "aborted"
+        assert "abort:deadlock" in root.notes
+        (inner,) = root.children
+        assert inner.status == "unwound"
+        assert inner.end == 4
+
+    def test_restart_annotates_the_aborted_attempt(self):
+        bus = EventBus()
+        tracer = SpanTracer(bus)
+        bus.emit(TxnBegin(txn="T1", tick=0))
+        bus.emit(TxnAbort(txn="T1", reason="deadlock", tick=2))
+        bus.emit(TxnRestart(txn="T1", attempt=1, tick=2))
+        (root,) = tracer.trees()
+        assert "restarts-as-attempt:2" in root.notes
+
+    def test_finish_closes_crashed_runs(self):
+        bus = EventBus()
+        tracer = SpanTracer(bus)
+        bus.emit(TxnBegin(txn="T1", tick=0))
+        bus.emit(
+            MethodDispatch(txn="T1", aid=("T1", 1), obj="A", method="a", tick=1)
+        )
+        tracer.finish(7)
+        (root,) = tracer.trees()
+        assert root.status == "unfinished"
+        assert root.end == 7
+        assert root.children[0].status == "unwound"
+
+    def test_events_before_begin_synthesize_a_root(self):
+        bus = EventBus()
+        tracer = SpanTracer(bus)
+        bus.emit(
+            PageAccess(txn="T1", aid=("T1", 1), obj="P", method="read", tick=4)
+        )
+        bus.emit(TxnCommit(txn="T1", tick=5))
+        (root,) = tracer.trees()
+        assert root.txn == "T1"
+        assert root.children[0].label == "P.read"
+
+    def test_detach_stops_observing(self):
+        bus = EventBus()
+        tracer = SpanTracer(bus)
+        tracer.detach()
+        assert not bus.active
+        bus.emit(TxnBegin(txn="T1", tick=0))
+        assert tracer.trees() == []
