@@ -1,0 +1,162 @@
+"""Experiment C13 — the service under load: admission keeps latency bounded.
+
+The sweep runs the full wire path (JSONL sockets, threaded sessions, the
+batched engine) for ``clients x protocol`` cells at two operating points:
+
+- **nominal** — client fleet within the per-tenant admission limit
+  (``max_inflight + max_queue_depth`` concurrent submitters per tenant);
+- **overload** — 2x the admission limit, where a service without
+  backpressure would grow its queue (and its p99) without bound.
+
+The claim under test is the robustness story, not absolute speed: at 2x
+overload the admission controller sheds the excess **explicitly**
+(rejections with retry hints, counted per reason) and the p99 latency of
+the requests it *does* accept stays bounded, while every cell still
+certifies against the Definition 10-16 oracle with a clean ledger audit
+(no lost admitted commits).
+
+Results go to ``benchmarks/results/C13_service.txt`` and a labelled entry
+(``$BENCH_PERF_LABEL``, default ``pr6``) in ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import emit, write_trajectory
+
+from repro.service.admission import TenantQuota
+from repro.service.client import run_load
+from repro.service.server import ServiceServer
+from repro.service.service import ServiceConfig, TransactionService
+
+PROTOCOLS = ("page-2pl", "open-nested-oo")
+TENANTS = ("alpha", "beta")
+QUOTA = TenantQuota(max_inflight=2, rate=0.0, burst=8, max_queue_depth=2)
+#: concurrent submitters per tenant at which admission starts shedding
+ADMISSION_LIMIT = QUOTA.max_inflight + QUOTA.max_queue_depth
+REQUESTS_PER_CLIENT = 8
+SEED = 13
+#: "bounded" operationalized: overload p99 must stay under this ceiling
+#: (a queue growing without bound blows through it immediately)
+P99_CEILING_MS = 10_000.0
+
+
+def _run_cell(protocol: str, clients_per_tenant: int) -> dict:
+    service = TransactionService(
+        ServiceConfig(
+            protocol=protocol,
+            seed=SEED,
+            default_quota=QUOTA,
+            queue_capacity=4 * ADMISSION_LIMIT * len(TENANTS),
+        ),
+        quotas={tenant: QUOTA for tenant in TENANTS},
+    )
+    with ServiceServer(service, session_read_timeout=5.0) as server:
+        started = time.perf_counter()
+        report = run_load(
+            "127.0.0.1",
+            server.port,
+            tenants=list(TENANTS),
+            clients_per_tenant=clients_per_tenant,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            seed=SEED,
+            max_backpressure_retries=2,
+        )
+        elapsed = time.perf_counter() - started
+    audit = service.audit()
+    oracle = service.certify()
+
+    answered = (
+        report.committed
+        + report.gave_up
+        + report.errors
+        + report.invalid
+        + report.rejected_final
+    )
+    assert answered == report.requests, (protocol, clients_per_tenant)
+    assert audit["ok"], audit
+    assert not oracle.violation, oracle.description
+
+    summary = report.summary()
+    return {
+        "protocol": protocol,
+        "clients_per_tenant": clients_per_tenant,
+        "overload_x": round(clients_per_tenant / ADMISSION_LIMIT, 2),
+        "requests": report.requests,
+        "committed": report.committed,
+        "gave_up": report.gave_up,
+        "rejections": report.total_rejections,
+        "rejected_final": report.rejected_final,
+        "abort_rate": round(report.gave_up / max(1, report.requests), 3),
+        "reject_rate": round(
+            report.total_rejections
+            / max(1, report.requests + report.total_rejections),
+            3,
+        ),
+        "throughput_commits_per_s": round(report.committed / elapsed, 1),
+        "p50_ms": summary["latency_ms"]["p50"],
+        "p90_ms": summary["latency_ms"]["p90"],
+        "p99_ms": summary["latency_ms"]["p99"],
+        "audit_ok": True,
+        "oracle_ok": True,
+    }
+
+
+def test_service_load_sweep(benchmark) -> None:
+    cells = [
+        _run_cell(protocol, clients)
+        for protocol in PROTOCOLS
+        for clients in (ADMISSION_LIMIT, 2 * ADMISSION_LIMIT)
+    ]
+
+    for cell in cells:
+        # bounded tail latency at every operating point, including 2x
+        assert cell["p99_ms"] < P99_CEILING_MS, cell
+    overloaded = [c for c in cells if c["overload_x"] >= 2.0]
+    assert overloaded
+    for cell in overloaded:
+        # overload must be shed explicitly, not absorbed silently
+        assert cell["rejections"] > 0, cell
+
+    header = (
+        f"{'protocol':<16} {'clients':>7} {'load':>5} {'commit':>6} "
+        f"{'reject':>6} {'tput/s':>7} {'p50ms':>7} {'p99ms':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for cell in cells:
+        lines.append(
+            f"{cell['protocol']:<16} {cell['clients_per_tenant']:>7} "
+            f"{cell['overload_x']:>4.1f}x {cell['committed']:>6} "
+            f"{cell['rejections']:>6} {cell['throughput_commits_per_s']:>7} "
+            f"{cell['p50_ms']:>7.1f} {cell['p99_ms']:>8.1f}"
+        )
+    lines.append(
+        f"\nadmission limit = {ADMISSION_LIMIT} submitters/tenant "
+        f"(max_inflight={QUOTA.max_inflight} + queue={QUOTA.max_queue_depth}); "
+        f"p99 ceiling {P99_CEILING_MS:.0f} ms held at 2x overload; "
+        "all cells oracle-clean with audited ledgers"
+    )
+    emit("C13_service", "\n".join(lines))
+
+    write_trajectory(
+        {
+            "label": os.environ.get("BENCH_PERF_LABEL", "pr6"),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "service_sweep": {
+                "admission_limit": ADMISSION_LIMIT,
+                "p99_ceiling_ms": P99_CEILING_MS,
+                "cells": cells,
+            },
+        }
+    )
+
+
+if __name__ == "__main__":
+    test_service_load_sweep(lambda fn, *a, **k: fn(*a, **k))

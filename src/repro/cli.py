@@ -15,17 +15,71 @@ code:
 - ``trace`` — re-run any fuzz cell with the span tracer attached and emit
   its open-nested call trees as Chrome trace-event JSON (C12);
 - ``stats`` — re-run any fuzz cell and print its metrics registry, as a
-  table or in Prometheus text exposition format.
+  table or in Prometheus text exposition format;
+- ``serve`` — run the multi-tenant transaction service: a JSONL-over-TCP
+  request port plus a live Prometheus metrics port;
+- ``load`` — drive a client fleet against a running service and report
+  throughput, latency percentiles and backpressure tallies.
+
+Exit codes are uniform across commands: **0** success, **1** the command
+ran but found a failure (an oracle violation, a failed audit, unanswered
+requests), **2** an operational error (bad input file, unreachable
+server), **124** the shared ``--timeout`` budget expired.
 """
 
 from __future__ import annotations
 
 import argparse
 import functools
+import signal
 import sys
+import threading
+import time
 
 from repro.analysis import RunMetrics, compare_protocols, render_table
 from repro.analysis.compare import PROTOCOLS
+
+#: the uniform exit-code convention (pinned by tests/test_cli.py)
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_OPERATIONAL = 2
+EXIT_TIMEOUT = 124
+
+
+def _add_timeout_flag(parser) -> None:
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="bound the command's runtime; on expiry it stops and exits "
+        f"{EXIT_TIMEOUT}",
+    )
+
+
+def _with_timeout(fn, args) -> int:
+    """Run ``fn(args)`` under the shared ``--timeout`` budget.
+
+    The body runs on a daemon worker; if the budget expires first the
+    process reports timeout (exit 124) and exits, abandoning the worker —
+    the conventional behaviour of ``timeout(1)``.
+    """
+    if getattr(args, "timeout", None) is None:
+        return fn(args)
+    box: dict = {}
+
+    def runner() -> None:
+        try:
+            box["rc"] = fn(args)
+        except BaseException as exc:  # re-raised on the main thread
+            box["exc"] = exc
+
+    worker = threading.Thread(target=runner, daemon=True)
+    worker.start()
+    worker.join(args.timeout)
+    if worker.is_alive():
+        print(f"timed out after {args.timeout:g}s", file=sys.stderr)
+        return EXIT_TIMEOUT
+    if "exc" in box:
+        raise box["exc"]
+    return box.get("rc", EXIT_OK)
 
 
 def _build_compare_parser(subparsers) -> None:
@@ -238,6 +292,29 @@ def _build_fuzz_parser(subparsers) -> None:
         help="dump Chrome traces of violating/gave-up/errored cells here; "
         "tracing only observes, so the campaign report is unchanged",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="service mode: each seed x protocol stands up the full "
+        "multi-tenant socket service, drives a fault-injected client "
+        "fleet, and judges the run with the oracle + ledger audit",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=3, metavar="N",
+        help="service mode: number of tenants in the fleet",
+    )
+    parser.add_argument(
+        "--clients-per-tenant", type=int, default=3, metavar="N",
+        help="service mode: concurrent client connections per tenant",
+    )
+    parser.add_argument(
+        "--requests-per-client", type=int, default=6, metavar="N",
+        help="service mode: requests each client submits",
+    )
+    parser.add_argument(
+        "--no-faults", action="store_true",
+        help="service mode: disable the injected service fault plans",
+    )
+    _add_timeout_flag(parser)
 
 
 def cmd_fuzz(args) -> int:
@@ -277,6 +354,8 @@ def cmd_fuzz(args) -> int:
 
     profile = GeneratorProfile.smoke() if args.smoke else None
     seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
+    if args.service:
+        return _cmd_fuzz_service(args, seeds)
     if args.crash or args.crash_ablate:
         return _cmd_fuzz_crash(args, seeds, profile)
     campaign = run_campaign(
@@ -338,6 +417,45 @@ def cmd_fuzz(args) -> int:
         + f" --protocols {violation.protocol})"
     )
     return 1
+
+
+def _cmd_fuzz_service(args, seeds) -> int:
+    from repro.service.campaign import run_service_campaign
+
+    tenants = tuple(f"tenant{i}" for i in range(max(1, args.tenants)))
+    campaign = run_service_campaign(
+        seeds=seeds,
+        protocols=tuple(args.protocols),
+        tenants=tenants,
+        clients_per_tenant=args.clients_per_tenant,
+        requests_per_client=args.requests_per_client,
+        with_faults=not args.no_faults,
+    )
+    header, rows = campaign.table()
+    print(
+        render_table(
+            header,
+            rows,
+            title=f"service campaign, {len(seeds)} seed(s), "
+            f"{len(tenants)} tenant(s)"
+            + ("" if args.no_faults else ", faults armed"),
+        )
+    )
+    if campaign.ok:
+        print(
+            "no oracle violations, no lost admitted commits, "
+            "all requests answered"
+        )
+        return EXIT_OK
+    for cell in campaign.failures:
+        detail = cell.error or (
+            f"violation={cell.report.violation if cell.report else '?'} "
+            f"lost={cell.audit.get('lost_commits')} "
+            f"unsettled={cell.audit.get('unsettled')} "
+            f"unanswered={cell.unanswered}"
+        )
+        print(f"FAIL seed={cell.seed} protocol={cell.protocol}: {detail}")
+    return EXIT_FAILURE
 
 
 def _cmd_fuzz_crash(args, seeds, profile) -> int:
@@ -590,6 +708,215 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _build_serve_parser(subparsers) -> None:
+    from repro.fuzz import FUZZ_PROTOCOLS
+
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the multi-tenant transaction service (JSONL-over-TCP "
+        "requests + Prometheus metrics endpoint)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7411,
+        help="request port (0 = pick a free port)",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=7412,
+        help="Prometheus /metrics port (0 = pick a free port)",
+    )
+    parser.add_argument(
+        "--protocol", default="page-2pl", choices=list(FUZZ_PROTOCOLS),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed of the hosted object graph and the executor",
+    )
+    parser.add_argument(
+        "--deadline-ticks", type=int, default=4000,
+        help="default per-request deadline budget in logical ticks "
+        "(0 = no deadline)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="per-tenant concurrent (queued+executing) transaction quota",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=0.0,
+        help="per-tenant sustained request rate, tokens/second (0 = off)",
+    )
+    parser.add_argument(
+        "--burst", type=int, default=8,
+        help="per-tenant token-bucket burst capacity",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="per-tenant admitted-but-waiting queue bound",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="global engine queue bound across all tenants",
+    )
+    parser.add_argument(
+        "--session-read-timeout", type=float, default=5.0,
+        help="seconds before a stalled client session is dropped",
+    )
+    _add_timeout_flag(parser)
+
+
+def cmd_serve(args) -> int:
+    from repro.runtime.executor import RetryPolicy
+    from repro.service import (
+        ServiceConfig,
+        ServiceServer,
+        TenantQuota,
+        TransactionService,
+    )
+
+    config = ServiceConfig(
+        protocol=args.protocol,
+        seed=args.seed,
+        deadline_ticks=args.deadline_ticks or None,
+        queue_capacity=args.queue_capacity,
+        default_quota=TenantQuota(
+            max_inflight=args.max_inflight,
+            rate=args.rate,
+            burst=args.burst,
+            max_queue_depth=args.queue_depth,
+        ),
+        retry_policy=RetryPolicy(),
+    )
+    service = TransactionService(config)
+    server = ServiceServer(
+        service,
+        host=args.host,
+        port=args.port,
+        metrics_port=args.metrics_port,
+        session_read_timeout=args.session_read_timeout,
+    )
+    server.start()
+    print(
+        f"serving protocol={args.protocol} seed={args.seed} on "
+        f"{args.host}:{server.port} "
+        f"(metrics http://{args.host}:{server.metrics_port}/metrics)",
+        flush=True,
+    )
+    # Graceful shutdown on SIGTERM too: background jobs in non-interactive
+    # shells (CI) start with SIGINT ignored, so ctrl-C semantics must also
+    # be reachable via `kill -TERM`.
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    timed_out = False
+    deadline = (
+        time.monotonic() + args.timeout if args.timeout is not None else None
+    )
+    try:
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                timed_out = True
+                break
+            time.sleep(0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    audit = service.audit()
+    print(f"shutdown: audit={'ok' if audit['ok'] else audit}", flush=True)
+    if timed_out:
+        print(f"timed out after {args.timeout:g}s", file=sys.stderr)
+        return EXIT_TIMEOUT
+    return EXIT_OK if audit["ok"] else EXIT_FAILURE
+
+
+def _build_load_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "load",
+        help="drive a client fleet against a running service and report "
+        "throughput, latency percentiles and backpressure tallies",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7411)
+    parser.add_argument(
+        "--tenants", type=int, default=3, help="tenants in the fleet"
+    )
+    parser.add_argument(
+        "--clients-per-tenant", type=int, default=2,
+        help="concurrent client connections per tenant",
+    )
+    parser.add_argument(
+        "--requests-per-client", type=int, default=10,
+        help="requests each client submits",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="arm a seeded service fault plan per client (slow clients, "
+        "mid-frame stalls, post-submit disconnects, arrival bursts)",
+    )
+    parser.add_argument(
+        "--deadline-ticks", type=int, default=None,
+        help="per-request deadline budget to ask the server for",
+    )
+    parser.add_argument(
+        "--think", type=float, default=0.0, metavar="SECONDS",
+        help="mean client think time between requests",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    _add_timeout_flag(parser)
+
+
+def cmd_load(args) -> int:
+    import json
+
+    from repro.faults.service import ServiceFaultPlan
+    from repro.service.client import run_load
+
+    fault_plan_for = None
+    if args.faults:
+
+        def fault_plan_for(tenant, idx, n_requests):
+            client_seed = hash((args.seed, tenant, idx)) & 0x7FFFFFFF
+            return ServiceFaultPlan.from_seed(client_seed, n_requests)
+
+    report = run_load(
+        args.host,
+        args.port,
+        tenants=[f"tenant{i}" for i in range(max(1, args.tenants))],
+        clients_per_tenant=args.clients_per_tenant,
+        requests_per_client=args.requests_per_client,
+        seed=args.seed,
+        fault_plan_for=fault_plan_for,
+        deadline_ticks=args.deadline_ticks,
+        think_time_s=args.think,
+    )
+    summary = report.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [key, json.dumps(value) if isinstance(value, dict) else value]
+            for key, value in summary.items()
+        ]
+        print(render_table(["measure", "value"], rows, title="load report"))
+    answered = (
+        summary["committed"]
+        + summary["gave_up"]
+        + summary["errors"]
+        + summary["invalid"]
+        + summary["rejected_final"]
+    )
+    if summary["errors"] or answered != summary["requests"]:
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -609,20 +936,32 @@ def main(argv: list[str] | None = None) -> int:
     _build_recover_parser(subparsers)
     _build_trace_parser(subparsers)
     _build_stats_parser(subparsers)
+    _build_serve_parser(subparsers)
+    _build_load_parser(subparsers)
     args = parser.parse_args(argv)
-    if args.command == "compare":
-        return cmd_compare(args)
-    if args.command == "census":
-        return cmd_census(args)
-    if args.command == "fuzz":
-        return cmd_fuzz(args)
-    if args.command == "recover":
-        return cmd_recover(args)
-    if args.command == "trace":
-        return cmd_trace(args)
-    if args.command == "stats":
-        return cmd_stats(args)
-    return cmd_figures(args)
+    try:
+        if args.command == "compare":
+            return cmd_compare(args)
+        if args.command == "census":
+            return cmd_census(args)
+        if args.command == "fuzz":
+            return _with_timeout(cmd_fuzz, args)
+        if args.command == "recover":
+            return cmd_recover(args)
+        if args.command == "trace":
+            return cmd_trace(args)
+        if args.command == "stats":
+            return cmd_stats(args)
+        if args.command == "serve":
+            return cmd_serve(args)
+        if args.command == "load":
+            return _with_timeout(cmd_load, args)
+        return cmd_figures(args)
+    except (OSError, ConnectionError) as exc:
+        # Operational failures (unreachable server, missing file) get the
+        # uniform exit code, distinct from "ran and found a violation".
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_OPERATIONAL
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -63,6 +63,21 @@ class TransactionAborted(ReproError):
         self.reason = reason
 
 
+class DeadlineExceeded(TransactionAborted):
+    """A transaction overran its per-request deadline.
+
+    Raised at an interleaving checkpoint once the executor's logical clock
+    passes the program's ``deadline_tick``.  A subclass of
+    :class:`TransactionAborted`, so the normal abort path rolls the victim
+    back — but the executor never restarts it: the outcome surfaces as the
+    ``gave_up`` liveness signal, exactly like an exhausted restart budget.
+    """
+
+    def __init__(self, txn_id: str, deadline_tick: int):
+        super().__init__(txn_id, reason=f"deadline at tick {deadline_tick} exceeded")
+        self.deadline_tick = deadline_tick
+
+
 class DeadlockError(TransactionAborted):
     """A transaction was chosen as a deadlock victim."""
 

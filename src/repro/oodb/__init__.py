@@ -25,5 +25,13 @@ from repro.oodb.database import ObjectDatabase
 from repro.oodb.method import dbmethod
 from repro.oodb.object_model import DatabaseObject
 from repro.oodb.pages import Page, PageStore
+from repro.oodb.session import DatabaseSession
 
-__all__ = ["DatabaseObject", "ObjectDatabase", "Page", "PageStore", "dbmethod"]
+__all__ = [
+    "DatabaseObject",
+    "DatabaseSession",
+    "ObjectDatabase",
+    "Page",
+    "PageStore",
+    "dbmethod",
+]

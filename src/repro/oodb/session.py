@@ -1,0 +1,91 @@
+"""Session-scoped database handles for multi-tenant front-ends.
+
+A :class:`DatabaseSession` is the narrow waist between a client session and
+the shared :class:`~repro.oodb.database.ObjectDatabase`: it mints unique,
+tenant-scoped transaction labels (``tenant/label#n``), keeps the tenant's
+in-flight and terminal bookkeeping, and never hands out the database
+itself.  The transaction service creates one per tenant; everything the
+service later audits — which transactions a tenant was promised, which of
+them committed — reads from these ledgers rather than from scattered
+response buffers, which is what makes the "no lost admitted commits"
+invariant checkable after the fact.
+
+Sessions only *account*; they take no locks and run no methods.  All
+execution still flows through the executor/scheduler stack, so a session
+adds nothing to the concurrency-control story — by design: the paper's
+protocols must not be bypassable from the front door.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oodb.database import ObjectDatabase
+
+
+class DatabaseSession:
+    """One tenant's scoped handle onto a shared database."""
+
+    def __init__(self, db: "ObjectDatabase", tenant: str):
+        self.db = db
+        self.tenant = tenant
+        self._lock = threading.Lock()
+        self._label_seq = 0
+        #: program label -> terminal status ("committed" / "aborted" /
+        #: "gave_up" / "error"); the tenant's admitted-transaction ledger
+        self.ledger: dict[str, str] = {}
+        #: labels whose outcome is still pending (admitted, not yet terminal)
+        self.in_flight: set[str] = set()
+
+    # -- label minting ------------------------------------------------------
+
+    def next_label(self, base: str) -> str:
+        """A unique, tenant-scoped transaction label.
+
+        Uniqueness matters beyond readability: the oracle's committed
+        projection keys transactions by label, so two requests reusing one
+        label would alias in the audited history.
+        """
+        with self._lock:
+            n = self._label_seq
+            self._label_seq += 1
+        return f"{self.tenant}/{base}#{n}"
+
+    # -- admitted-transaction ledger ---------------------------------------
+
+    def admit(self, label: str) -> None:
+        with self._lock:
+            self.in_flight.add(label)
+
+    def settle(self, label: str, status: str) -> None:
+        """Record a terminal status for an admitted transaction."""
+        with self._lock:
+            self.in_flight.discard(label)
+            self.ledger[label] = status
+
+    @property
+    def committed_labels(self) -> set[str]:
+        with self._lock:
+            return {
+                label
+                for label, status in self.ledger.items()
+                if status == "committed"
+            }
+
+    @property
+    def unsettled(self) -> set[str]:
+        """Admitted transactions that never reached a terminal status —
+        must be empty after a clean shutdown (else a commit could be lost)."""
+        with self._lock:
+            return set(self.in_flight)
+
+    def counts(self) -> dict[str, int]:
+        """Terminal-status tallies (the per-tenant stats surface)."""
+        with self._lock:
+            out: dict[str, int] = {}
+            for status in self.ledger.values():
+                out[status] = out.get(status, 0) + 1
+            out["in_flight"] = len(self.in_flight)
+            return out

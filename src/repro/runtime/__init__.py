@@ -12,13 +12,19 @@ back (undo + compensation) and restarted.
 - :mod:`repro.runtime.executor` — the interleaved executor and results.
 """
 
-from repro.runtime.executor import ExecutionResult, InterleavedExecutor, run_sequential
+from repro.runtime.executor import (
+    ExecutionResult,
+    InterleavedExecutor,
+    RetryPolicy,
+    run_sequential,
+)
 from repro.runtime.program import ProgramAPI, TransactionProgram
 
 __all__ = [
     "ExecutionResult",
     "InterleavedExecutor",
     "ProgramAPI",
+    "RetryPolicy",
     "TransactionProgram",
     "run_sequential",
 ]

@@ -21,7 +21,12 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import SimulatedCrash, SimulationError, TransactionAborted
+from repro.errors import (
+    DeadlineExceeded,
+    SimulatedCrash,
+    SimulationError,
+    TransactionAborted,
+)
 from repro.obs.events import TxnRestart
 from repro.runtime.program import ProgramAPI, TransactionProgram
 
@@ -33,6 +38,43 @@ _READY = "ready"
 _RUNNING = "running"
 _BLOCKED = "blocked"
 _DONE = "done"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """The restart backoff policy: exponential delay ceilings with jitter.
+
+    Simultaneously restarting deadlock/validation victims would re-collide
+    indefinitely (livelock); randomized exponential delays break the
+    symmetry.  The jitter is always drawn from the RNG the caller passes —
+    the executor hands in its own seeded RNG, never a process global — so a
+    replay with the same seed draws the same delays and stays
+    byte-identical, retries included.
+
+    The default values reproduce the historical backoff stream exactly
+    (ceiling ``min(2**(attempt+1), 64)``, delay ``1 + randrange(ceiling)``).
+    """
+
+    #: exponent base of the delay ceiling for attempt ``n``: ``base**(n+1)``
+    base: int = 2
+    #: upper bound on the delay ceiling (ticks)
+    cap: int = 64
+
+    def delay_for(self, attempt: int, rng: random.Random) -> int:
+        """How many ticks the victim of ``attempt`` waits before retrying."""
+        ceiling = max(1, min(self.base ** (attempt + 1), self.cap))
+        return 1 + rng.randrange(ceiling)
+
+    def to_dict(self) -> dict:
+        return {"base": self.base, "cap": self.cap}
+
+    @staticmethod
+    def from_dict(data: dict | None) -> "RetryPolicy":
+        if not data:
+            return RetryPolicy()
+        return RetryPolicy(
+            base=int(data.get("base", 2)), cap=int(data.get("cap", 64))
+        )
 
 
 @dataclass
@@ -50,6 +92,12 @@ class WorkerOutcome:
     #: exhausted max_restarts without committing (every attempt aborted —
     #: distinct from "still aborted because the run crashed mid-flight")
     gave_up: bool = False
+    #: the program's deadline passed before it could commit (a ``gave_up``
+    #: sub-case: the liveness failure was imposed, not exhausted)
+    deadline_exceeded: bool = False
+    #: the worker thread failed to stop within the executor's join timeout —
+    #: a liveness failure surfaced in metrics, never a silent drop
+    hung: bool = False
 
     @property
     def label(self) -> str:
@@ -76,6 +124,14 @@ class ExecutionResult:
     @property
     def gave_up(self) -> list[WorkerOutcome]:
         return [o for o in self.outcomes if o.gave_up]
+
+    @property
+    def hung(self) -> list[WorkerOutcome]:
+        return [o for o in self.outcomes if o.hung]
+
+    @property
+    def deadline_exceeded(self) -> list[WorkerOutcome]:
+        return [o for o in self.outcomes if o.deadline_exceeded]
 
     @property
     def committed_labels(self) -> set[str]:
@@ -112,6 +168,11 @@ class _Worker:
         try:
             executor._wait_until_scheduled(self)
             for attempt in range(self.program.max_restarts + 1):
+                if executor._deadline_passed(self.program):
+                    # The deadline ran out between attempts (ticks spent in
+                    # a backoff count against it): no further attempt starts.
+                    self.outcome.deadline_exceeded = True
+                    break
                 self.outcome.attempts = attempt + 1
                 ctx = db.begin(self.program.attempt_label(attempt))
                 ctx.stats.begin_tick = executor.now
@@ -129,6 +190,13 @@ class _Worker:
                     # recovery (from the WAL) owns everything else.
                     executor._note_crash()
                     return
+                except DeadlineExceeded:
+                    # Mapped onto the gave_up liveness signal: the victim
+                    # rolls back like any abort, but never restarts.
+                    db.abort(ctx, "deadline exceeded")
+                    self.outcome.aborted_ctxs.append(ctx)
+                    self.outcome.deadline_exceeded = True
+                    break
                 except TransactionAborted:
                     db.abort(ctx, "scheduler abort")
                     self.outcome.aborted_ctxs.append(ctx)
@@ -152,7 +220,10 @@ class _Worker:
                     db.abort(ctx, f"worker crashed: {exc!r}")
                     return
             self.outcome.gave_up = True
-            self.outcome.final_ctx = None  # gave up after max restarts
+            self.outcome.final_ctx = None  # gave up (restarts or deadline)
+            if self.outcome.deadline_exceeded:
+                executor._count("executor_deadline_gave_up_total",
+                                "programs that gave up on a passed deadline")
         except SimulatedCrash:
             # Unwound while the crash propagated (e.g. parked in a lock
             # wait, a backoff, or rolling back when the system died).
@@ -172,6 +243,8 @@ class InterleavedExecutor:
         seed: int = 0,
         max_ticks: int = 1_000_000,
         faults=None,
+        retry_policy: RetryPolicy | None = None,
+        join_timeout: float = 30.0,
     ):
         self.db = db
         self.seed = seed
@@ -179,6 +252,12 @@ class InterleavedExecutor:
         self.max_ticks = max_ticks
         self.now = 0
         self.faults = faults
+        #: restart backoff policy; jitter drawn from this executor's seeded
+        #: RNG so replays (retries included) are byte-identical
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: how long run() waits for each worker thread to stop before
+        #: declaring it hung (a liveness failure, surfaced in metrics)
+        self.join_timeout = join_timeout
         #: a SimulatedCrash fired somewhere; every worker unwinds
         self.crashed = False
         self._wakeups_dropped = 0
@@ -208,14 +287,9 @@ class InterleavedExecutor:
             worker.outcome.seed = self.seed
             worker.thread.start()
         self._controller_loop()
+        self._join_workers()
         for worker in self._workers:
-            worker.thread.join(timeout=30)
-            if worker.thread.is_alive():  # pragma: no cover - defensive
-                raise SimulationError(
-                    f"worker {worker.program.label} did not stop", seed=self.seed
-                )
-        for worker in self._workers:
-            if worker.outcome.error is not None:
+            if worker.outcome.error is not None and not worker.outcome.hung:
                 raise worker.outcome.error
         return ExecutionResult(
             outcomes=[w.outcome for w in self._workers],
@@ -225,6 +299,41 @@ class InterleavedExecutor:
             seed=self.seed,
             crashed=self.crashed,
         )
+
+    def _join_workers(self) -> list[_Worker]:
+        """Join every worker thread, detecting (not swallowing) hangs.
+
+        A thread still alive after ``join_timeout`` is a liveness failure:
+        the outcome is marked ``hung`` + ``gave_up`` (its commit never
+        happened, so this cannot misreport a success), the failure is
+        counted in ``executor_hung_workers_total``, and its recorded error —
+        a :class:`SimulationError` naming the worker and seed — is kept on
+        the outcome for the caller instead of being raised, so the other
+        workers' results survive.
+        """
+        hung: list[_Worker] = []
+        for worker in self._workers:
+            worker.thread.join(timeout=self.join_timeout)
+            if worker.thread.is_alive():
+                worker.outcome.hung = True
+                worker.outcome.gave_up = True
+                worker.outcome.committed = False
+                worker.outcome.final_ctx = None
+                worker.outcome.error = SimulationError(
+                    f"worker {worker.program.label} did not stop within "
+                    f"{self.join_timeout}s (hung thread)",
+                    seed=self.seed,
+                )
+                self._count(
+                    "executor_hung_workers_total",
+                    "worker threads that failed to stop within the join "
+                    "timeout (liveness failures)",
+                )
+                hung.append(worker)
+        return hung
+
+    def _count(self, name: str, help: str) -> None:
+        self.db.metrics.counter(name, help).inc()
 
     def _clock(self) -> int:
         return self.now
@@ -327,21 +436,41 @@ class InterleavedExecutor:
         return current if isinstance(current, _Worker) else None
 
     def checkpoint(self) -> None:
-        """Interleaving point: give the controller a chance to switch."""
+        """Interleaving point: give the controller a chance to switch.
+
+        Doubles as the deadline watchdog: a program whose ``deadline_tick``
+        has passed is aborted here with :class:`DeadlineExceeded` — except
+        while it is compensating, because an interrupted rollback would
+        leave effects nothing ever removes.  Every action request passes
+        through a checkpoint before reaching the scheduler, so enforcement
+        lags a blocking lock wait by at most one action.
+        """
         worker = self._current_worker()
         if worker is None or threading.current_thread() is not worker.thread:
             return  # bootstrap / non-simulated caller
         self._yield_to_controller(worker, _READY)
+        if self._deadline_passed(worker.program):
+            ctx = self.db._current_ctx()
+            if ctx is None or not ctx.runtime_data.get("compensating"):
+                raise DeadlineExceeded(
+                    worker.program.label, worker.program.deadline_tick
+                )
+
+    def _deadline_passed(self, program: TransactionProgram) -> bool:
+        deadline = program.deadline_tick
+        return deadline is not None and self.now >= deadline
 
     def _backoff(self, worker: _Worker, attempt: int) -> None:
-        """Exponential backoff with jitter before restarting a victim.
-
-        Simultaneously restarting victims would re-collide indefinitely
-        (livelock); randomized exponential delays break the symmetry.
+        """Policy-driven backoff before restarting a victim (see
+        :class:`RetryPolicy`); jitter comes from this executor's seeded RNG,
+        never a process global, so replays with retries are byte-identical.
+        A passed deadline cuts the wait short — the pre-attempt check then
+        turns the outcome into ``gave_up``.
         """
-        ceiling = min(2 ** (attempt + 1), 64)
-        delay = 1 + self.rng.randrange(ceiling)
+        delay = self.retry_policy.delay_for(attempt, self.rng)
         for _ in range(delay):
+            if self._deadline_passed(worker.program):
+                return
             self._yield_to_controller(worker, _READY)
 
     def _worker_done(self, worker: _Worker) -> None:

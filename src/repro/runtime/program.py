@@ -64,6 +64,11 @@ class TransactionProgram:
     max_restarts: int = 20
     #: opaque tag for workload bookkeeping (e.g. "reader"/"writer")
     kind: str = ""
+    #: absolute logical tick by which the program must commit; once the
+    #: executor's clock passes it the current attempt is aborted, no
+    #: further attempt starts, and the outcome surfaces as ``gave_up``
+    #: (None = no deadline)
+    deadline_tick: int | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
 
     def attempt_label(self, attempt: int) -> str:

@@ -1,0 +1,269 @@
+"""Admission control: per-tenant quotas, rate tokens, queue-depth limits.
+
+The service never buffers unboundedly.  Every request passes the
+:class:`AdmissionController` before it touches the executor, and the
+controller has exactly three answers:
+
+- **admit** — the tenant holds a free in-flight slot, a rate token, and a
+  queue slot; the request proceeds to the engine;
+- **reject (backpressure)** — some bound is exhausted; the caller gets an
+  explicit ``rejected`` response carrying a ``retry_after_ms`` hint.  The
+  request is never silently parked;
+- **reject (unknown tenant)** — tenants must be provisioned (or the
+  controller runs open, registering first-seen tenants with the default
+  quota).
+
+Rate limiting is a per-tenant token bucket over an injectable clock, so
+tests (and deterministic campaigns) can drive time by hand while the live
+server uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+#: rejection reasons the controller can return (the backpressure alphabet)
+REJECT_QUEUE_FULL = "queue-full"
+REJECT_RATE_LIMITED = "rate-limited"
+REJECT_UNKNOWN_TENANT = "unknown-tenant"
+REJECT_SHUTTING_DOWN = "shutting-down"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission limits."""
+
+    #: transactions this tenant may have queued-or-executing at once
+    max_inflight: int = 4
+    #: sustained request rate (tokens/second); 0 disables rate limiting
+    rate: float = 0.0
+    #: token-bucket burst capacity (>=1 when rate limiting is on)
+    burst: int = 8
+    #: queued (admitted, not yet executing) requests allowed on top of the
+    #: executing ones before the tenant sees queue-full backpressure
+    max_queue_depth: int = 8
+
+    def to_dict(self) -> dict:
+        return {
+            "max_inflight": self.max_inflight,
+            "rate": self.rate,
+            "burst": self.burst,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+    @staticmethod
+    def from_dict(data: dict | None) -> "TenantQuota":
+        if not data:
+            return TenantQuota()
+        return TenantQuota(
+            max_inflight=int(data.get("max_inflight", 4)),
+            rate=float(data.get("rate", 0.0)),
+            burst=int(data.get("burst", 8)),
+            max_queue_depth=int(data.get("max_queue_depth", 8)),
+        )
+
+
+class TokenBucket:
+    """A standard token bucket over an injectable monotonic clock."""
+
+    def __init__(self, rate: float, burst: int, clock=time.monotonic):
+        self.rate = rate
+        self.capacity = max(1, burst)
+        self.clock = clock
+        self.tokens = float(self.capacity)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+
+    def try_take(self) -> bool:
+        if self.rate <= 0:
+            return True
+        self._refill()
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def seconds_until_token(self) -> float:
+        """How long until one token is available (the retry-after hint)."""
+        if self.rate <= 0:
+            return 0.0
+        self._refill()
+        missing = max(0.0, 1.0 - self.tokens)
+        return missing / self.rate
+
+
+@dataclass
+class Admission:
+    """A granted admission ticket; must be settled exactly once."""
+
+    tenant: str
+    admitted: bool = True
+    reason: str | None = None
+    retry_after_ms: int = 0
+
+
+@dataclass
+class Rejection:
+    """An explicit backpressure answer — the opposite of silent buffering."""
+
+    tenant: str
+    reason: str
+    retry_after_ms: int
+    admitted: bool = False
+
+
+class _TenantState:
+    __slots__ = ("quota", "bucket", "queued", "executing")
+
+    def __init__(self, quota: TenantQuota, clock):
+        self.quota = quota
+        self.bucket = TokenBucket(quota.rate, quota.burst, clock)
+        self.queued = 0
+        self.executing = 0
+
+
+class AdmissionController:
+    """Thread-safe per-tenant admission bookkeeping."""
+
+    def __init__(
+        self,
+        default_quota: TenantQuota | None = None,
+        *,
+        open_registration: bool = True,
+        clock=time.monotonic,
+        retry_after_ms: int = 50,
+        metrics=None,
+    ):
+        self.default_quota = default_quota or TenantQuota()
+        self.open_registration = open_registration
+        self.clock = clock
+        #: base queue-full retry hint; scaled by how overfull the queue is
+        self.retry_after_ms = retry_after_ms
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantState] = {}
+        self._draining = False
+        self._metrics = metrics
+        if metrics is not None:
+            self._admitted = metrics.counter(
+                "service_admitted_total",
+                "requests admitted past quotas and queues",
+                labelnames=("tenant",),
+            )
+            self._rejected = metrics.counter(
+                "service_rejected_total",
+                "requests rejected with explicit backpressure",
+                labelnames=("tenant", "reason"),
+            )
+            self._queue_depth = metrics.gauge(
+                "service_queue_depth",
+                "admitted requests waiting for the engine",
+                labelnames=("tenant",),
+            )
+
+    # -- provisioning -------------------------------------------------------
+
+    def register(self, tenant: str, quota: TenantQuota | None = None) -> None:
+        with self._lock:
+            self._tenants[tenant] = _TenantState(
+                quota or self.default_quota, self.clock
+            )
+
+    def quota_for(self, tenant: str) -> TenantQuota | None:
+        with self._lock:
+            state = self._tenants.get(tenant)
+            return state.quota if state else None
+
+    @property
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def drain(self) -> None:
+        """Stop admitting (shutdown): every new request is rejected."""
+        with self._lock:
+            self._draining = True
+
+    # -- the admission decision --------------------------------------------
+
+    def admit(self, tenant: str) -> Admission | Rejection:
+        with self._lock:
+            if self._draining:
+                return self._reject(tenant, REJECT_SHUTTING_DOWN, 0)
+            state = self._tenants.get(tenant)
+            if state is None:
+                if not self.open_registration:
+                    return self._reject(tenant, REJECT_UNKNOWN_TENANT, 0)
+                state = _TenantState(self.default_quota, self.clock)
+                self._tenants[tenant] = state
+            quota = state.quota
+            inflight = state.queued + state.executing
+            if state.queued >= quota.max_queue_depth or (
+                inflight >= quota.max_inflight + quota.max_queue_depth
+            ):
+                # Scale the hint with overfull-ness so stampedes spread out.
+                hint = self.retry_after_ms * max(1, state.queued)
+                return self._reject(tenant, REJECT_QUEUE_FULL, hint)
+            if not state.bucket.try_take():
+                wait_s = state.bucket.seconds_until_token()
+                return self._reject(
+                    tenant, REJECT_RATE_LIMITED, max(1, int(wait_s * 1000))
+                )
+            state.queued += 1
+            if self._metrics is not None:
+                self._admitted.labels(tenant=tenant).inc()
+                self._queue_depth.labels(tenant=tenant).set(state.queued)
+            return Admission(tenant=tenant)
+
+    def _reject(self, tenant: str, reason: str, retry_after_ms: int) -> Rejection:
+        if self._metrics is not None:
+            self._rejected.labels(tenant=tenant, reason=reason).inc()
+        return Rejection(
+            tenant=tenant, reason=reason, retry_after_ms=retry_after_ms
+        )
+
+    # -- lifecycle of an admitted request ----------------------------------
+
+    def started(self, tenant: str) -> None:
+        """An admitted request moved from the queue into the executor."""
+        with self._lock:
+            state = self._tenants[tenant]
+            state.queued = max(0, state.queued - 1)
+            state.executing += 1
+            if self._metrics is not None:
+                self._queue_depth.labels(tenant=tenant).set(state.queued)
+
+    def finished(self, tenant: str, *, executed: bool = True) -> None:
+        """A request reached a terminal state (committed/aborted/failed).
+
+        ``executed=False`` releases a request that left the queue without
+        ever reaching the engine (queue-deadline expiry, shutdown drain).
+        """
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:  # pragma: no cover - defensive
+                return
+            if executed:
+                state.executing = max(0, state.executing - 1)
+            else:
+                state.queued = max(0, state.queued - 1)
+                if self._metrics is not None:
+                    self._queue_depth.labels(tenant=tenant).set(state.queued)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-tenant admission state (the ``stats`` RPC's admission half)."""
+        with self._lock:
+            return {
+                tenant: {
+                    "queued": state.queued,
+                    "executing": state.executing,
+                    "quota": state.quota.to_dict(),
+                }
+                for tenant, state in sorted(self._tenants.items())
+            }

@@ -1,0 +1,381 @@
+"""Service clients and the load driver behind ``repro load``.
+
+:class:`ServiceClient` is a thin JSONL-over-TCP client with the misbehaving
+variants the fault plane needs: :meth:`ServiceClient.stall` writes half a
+frame and stops (forcing the server's session read timeout), and
+:meth:`ServiceClient.submit_and_vanish` drops the connection after
+submitting, before reading the response.
+
+:func:`run_load` drives a fleet of client threads — ``tenants x
+clients_per_tenant``, each submitting ``requests_per_client`` generated
+method-call programs — against a running server, optionally injecting a
+seeded :class:`~repro.faults.service.ServiceFaultPlan` per client.  Every
+client derives its own RNG and fault plan from ``(seed, tenant, client)``,
+so the generated traffic is deterministic per client no matter how the
+threads interleave.  Rejections are retried with the client-side
+exponential backoff the server's ``retry_after_ms`` hints seed; final
+statuses and wall-clock latencies aggregate into a :class:`LoadReport`
+with throughput and p50/p90/p99 percentiles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.faults.service import ServiceFaultPlan
+
+ENCODING = "utf-8"
+
+
+class ServiceClient:
+    """One JSONL connection to a service server (not thread-safe)."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        #: sockets deliberately left open mid-frame by :meth:`stall` — kept
+        #: referenced so the server, not client-side GC, ends the session
+        self._abandoned: list[socket.socket] = []
+
+    def _ensure(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rb")
+        return self._sock
+
+    def close(self) -> None:
+        for sock in (*self._abandoned, self._sock):
+            if sock is None:
+                continue
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._abandoned = []
+        self._sock = None
+        self._file = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the honest path ----------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        sock = self._ensure()
+        sock.sendall((json.dumps(payload) + "\n").encode(ENCODING))
+        line = self._file.readline()
+        if not line:
+            self.close()
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode(ENCODING))
+
+    def submit(
+        self,
+        tenant: str,
+        ops: list,
+        *,
+        label: str = "txn",
+        deadline_ticks: int | None = None,
+        max_restarts: int = 20,
+    ) -> dict:
+        payload = {
+            "op": "submit",
+            "tenant": tenant,
+            "ops": ops,
+            "label": label,
+            "max_restarts": max_restarts,
+        }
+        if deadline_ticks is not None:
+            payload["deadline_ticks"] = deadline_ticks
+        return self.request(payload)
+
+    def catalog(self) -> dict:
+        return self.request({"op": "catalog"})["catalog"]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"}).get("status") == "ok"
+
+    # -- the misbehaving paths (fault injection) ----------------------------
+
+    def stall(self, partial: bytes = b'{"op": "subm') -> None:
+        """Write half a frame and go silent, leaving the connection OPEN.
+
+        Closing would just hand the server a clean EOF; a real stalled
+        session holds its socket mid-frame, so the server's session read
+        timeout has to fire and drop it.  The abandoned socket stays
+        referenced (closed later by :meth:`close`) and the client
+        reconnects on its next honest request.
+        """
+        sock = self._ensure()
+        sock.sendall(partial)
+        self._abandoned.append(sock)
+        self._sock = None
+        self._file = None
+
+    def submit_and_vanish(self, tenant: str, ops: list, *, label: str = "txn") -> None:
+        """Submit, then drop the connection without reading the response.
+
+        Whatever the outcome, the service's ledger keeps it; the audit
+        (not this client) decides whether a commit was lost.
+        """
+        sock = self._ensure()
+        payload = {"op": "submit", "tenant": tenant, "ops": ops, "label": label}
+        sock.sendall((json.dumps(payload) + "\n").encode(ENCODING))
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# the load driver
+# ---------------------------------------------------------------------------
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one load run."""
+
+    requests: int = 0
+    committed: int = 0
+    gave_up: int = 0
+    errors: int = 0
+    invalid: int = 0
+    #: requests whose *final* answer (retries exhausted) was a rejection —
+    #: together with the terminal counters this balances ``requests``, the
+    #: "every request got an explicit answer" accounting check
+    rejected_final: int = 0
+    #: rejection tallies by reason (explicit backpressure answers)
+    rejected: dict = field(default_factory=dict)
+    #: injected-fault tallies by site
+    faults: dict = field(default_factory=dict)
+    #: seconds per *settled* request (submit -> terminal response)
+    latencies: list = field(default_factory=list)
+    duration_s: float = 0.0
+
+    def note_rejection(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def note_fault(self, site: str) -> None:
+        self.faults[site] = self.faults.get(site, 0) + 1
+
+    @property
+    def total_rejections(self) -> int:
+        return sum(self.rejected.values())
+
+    def merge(self, other: "LoadReport") -> None:
+        self.requests += other.requests
+        self.committed += other.committed
+        self.gave_up += other.gave_up
+        self.errors += other.errors
+        self.invalid += other.invalid
+        self.rejected_final += other.rejected_final
+        for reason, count in other.rejected.items():
+            self.rejected[reason] = self.rejected.get(reason, 0) + count
+        for site, count in other.faults.items():
+            self.faults[site] = self.faults.get(site, 0) + count
+        self.latencies.extend(other.latencies)
+
+    def summary(self) -> dict:
+        throughput = self.committed / self.duration_s if self.duration_s else 0.0
+        return {
+            "requests": self.requests,
+            "committed": self.committed,
+            "gave_up": self.gave_up,
+            "errors": self.errors,
+            "invalid": self.invalid,
+            "rejected_final": self.rejected_final,
+            "rejected": dict(sorted(self.rejected.items())),
+            "faults": dict(sorted(self.faults.items())),
+            "duration_s": round(self.duration_s, 3),
+            "throughput_commits_per_s": round(throughput, 1),
+            "latency_ms": {
+                "p50": round(percentile(self.latencies, 50) * 1000, 2),
+                "p90": round(percentile(self.latencies, 90) * 1000, 2),
+                "p99": round(percentile(self.latencies, 99) * 1000, 2),
+            },
+        }
+
+
+def generate_ops(rng: random.Random, catalog: dict, *, max_sends: int = 3) -> list:
+    """A small random method-call program over the hosted catalog."""
+    oids = sorted(catalog)
+    ops: list = []
+    for _ in range(rng.randint(1, max_sends)):
+        oid = rng.choice(oids)
+        method = rng.choice(catalog[oid]["methods"])
+        ops.append(["send", oid, method, rng.randrange(8), rng.randint(1, 3)])
+        if rng.random() < 0.3:
+            ops.append(["work", rng.randint(1, 3)])
+    return ops
+
+
+def _client_worker(
+    host: str,
+    port: int,
+    tenant: str,
+    client_idx: int,
+    *,
+    seed: int,
+    n_requests: int,
+    catalog: dict,
+    plan: ServiceFaultPlan | None,
+    deadline_ticks: int | None,
+    max_backpressure_retries: int,
+    think_time_s: float,
+    report: LoadReport,
+) -> None:
+    rng = random.Random((seed, tenant, client_idx, "load").__repr__())
+    client = ServiceClient(host, port)
+    burst_left = 0
+    try:
+        for i in range(n_requests):
+            ops = generate_ops(rng, catalog)
+            if plan is not None and plan.burst():
+                burst_left = plan.burst_size
+                report.note_fault("arrival.burst")
+            if burst_left > 0:
+                burst_left -= 1
+            elif think_time_s > 0:
+                time.sleep(think_time_s * (0.5 + rng.random()))
+            if plan is not None and plan.slow_client():
+                report.note_fault("client.slow")
+                time.sleep(plan.slow_delay_s)
+            if plan is not None and plan.stall_session():
+                report.note_fault("client.stall")
+                try:
+                    client.stall()
+                except OSError:
+                    pass
+            if plan is not None and plan.drop_connection():
+                report.note_fault("client.disconnect")
+                try:
+                    client.submit_and_vanish(tenant, ops, label=f"c{client_idx}")
+                except OSError:
+                    pass
+                continue
+            self_label = f"c{client_idx}"
+            report.requests += 1
+            response = None
+            for attempt in range(max_backpressure_retries + 1):
+                started = time.monotonic()
+                try:
+                    response = client.submit(
+                        tenant,
+                        ops,
+                        label=self_label,
+                        deadline_ticks=deadline_ticks,
+                    )
+                except (OSError, ConnectionError):
+                    client.close()
+                    response = {"status": "error", "error": "connection lost"}
+                    break
+                if response.get("status") != "rejected":
+                    report.latencies.append(time.monotonic() - started)
+                    break
+                report.note_rejection(response.get("reason", "unknown"))
+                if attempt >= max_backpressure_retries:
+                    break
+                # Honor the server's hint, with client-side seeded jitter on
+                # top of exponential growth so retry stampedes decorrelate.
+                hint_s = response.get("retry_after_ms", 0) / 1000.0
+                backoff = min(0.002 * (2**attempt), 0.1)
+                time.sleep(hint_s + backoff * rng.random())
+            status = (response or {}).get("status")
+            if status == "committed":
+                report.committed += 1
+            elif status == "gave_up":
+                report.gave_up += 1
+            elif status == "invalid":
+                report.invalid += 1
+            elif status == "rejected":
+                report.rejected_final += 1
+            else:
+                report.errors += 1
+    finally:
+        client.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    tenants: list[str],
+    clients_per_tenant: int = 2,
+    requests_per_client: int = 10,
+    seed: int = 0,
+    fault_plan_for=None,
+    deadline_ticks: int | None = None,
+    max_backpressure_retries: int = 5,
+    think_time_s: float = 0.0,
+) -> LoadReport:
+    """Drive a client fleet against a running server; aggregate a report.
+
+    ``fault_plan_for(tenant, client_idx, n_requests)`` may return a
+    :class:`ServiceFaultPlan` per client (or None); each client also gets
+    its own RNG, so traffic is deterministic per client thread.
+    """
+    with ServiceClient(host, port) as probe:
+        catalog = probe.catalog()
+    reports: list[LoadReport] = []
+    threads: list[threading.Thread] = []
+    started = time.monotonic()
+    for tenant in tenants:
+        for idx in range(clients_per_tenant):
+            plan = (
+                fault_plan_for(tenant, idx, requests_per_client)
+                if fault_plan_for is not None
+                else None
+            )
+            report = LoadReport()
+            reports.append(report)
+            threads.append(
+                threading.Thread(
+                    target=_client_worker,
+                    args=(host, port, tenant, idx),
+                    kwargs={
+                        "seed": seed,
+                        "n_requests": requests_per_client,
+                        "catalog": catalog,
+                        "plan": plan,
+                        "deadline_ticks": deadline_ticks,
+                        "max_backpressure_retries": max_backpressure_retries,
+                        "think_time_s": think_time_s,
+                        "report": report,
+                    },
+                    name=f"load-{tenant}-{idx}",
+                    daemon=True,
+                )
+            )
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = LoadReport()
+    for report in reports:
+        total.merge(report)
+    total.duration_s = time.monotonic() - started
+    return total

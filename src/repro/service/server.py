@@ -1,0 +1,220 @@
+"""The wire front-end: JSONL-over-TCP requests, HTTP Prometheus metrics.
+
+:class:`ServiceServer` wraps a running :class:`TransactionService` with two
+listeners:
+
+- a **request port** speaking newline-delimited JSON: one request object
+  per line, one response object per line, many requests per connection.
+  Each connection is served by its own thread (``ThreadingTCPServer``), but
+  handler threads only *submit* — execution stays on the service's engine
+  thread, so a slow or stalled client holds a socket and its own admission
+  slots, never the database;
+- a **metrics port** serving ``GET /metrics`` in the Prometheus text
+  exposition format (rendered live from the service's registry) and
+  ``GET /healthz``.
+
+Stalled sessions are bounded by ``session_read_timeout``: a client that
+stops mid-frame (the ``client.stall`` fault) is disconnected when the
+timeout fires, freeing the handler thread.  A client that disconnects after
+submitting (the ``client.disconnect`` fault) costs nothing: its admitted
+transaction settles on the engine as usual; only the response write fails,
+and the ledger — not the socket — is the source of truth for the audit.
+
+Request protocol (one JSON object per line)::
+
+    {"op": "submit", "tenant": "a", "ops": [["send","L2O4","m0",1,1]],
+     "label": "txn", "deadline_ticks": 4000, "max_restarts": 20}
+    {"op": "catalog"} | {"op": "stats"} | {"op": "config"} | {"op": "ping"}
+
+Responses mirror :meth:`TransactionService.submit`: ``status`` is one of
+``committed | gave_up | error | rejected | invalid``, with ``reason`` and
+``retry_after_ms`` on rejections (explicit backpressure, never silence).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.export import prometheus_text
+from repro.service.service import TransactionService
+
+#: newline-delimited JSON frames; one line is one request or response
+ENCODING = "utf-8"
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One client connection: read JSONL requests, write JSONL responses."""
+
+    def handle(self) -> None:
+        server: "_TCPServer" = self.server  # type: ignore[assignment]
+        service = server.service
+        self.connection.settimeout(server.session_read_timeout)
+        while True:
+            try:
+                line = self.rfile.readline()
+            except (socket.timeout, TimeoutError):
+                # A stalled session (mid-frame or idle past the deadline):
+                # drop it so the handler thread is not held hostage.
+                service.db.metrics.counter(
+                    "service_sessions_timed_out_total",
+                    "connections dropped by the session read timeout",
+                ).inc()
+                return
+            except OSError:
+                return
+            if not line:
+                return  # clean EOF
+            try:
+                request = json.loads(line.decode(ENCODING))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                if not self._reply({"status": "invalid", "error": str(exc)}):
+                    return
+                continue
+            response = self._dispatch(service, request)
+            if not self._reply(response):
+                return
+
+    def _dispatch(self, service: TransactionService, request) -> dict:
+        if not isinstance(request, dict):
+            return {"status": "invalid", "error": "request must be an object"}
+        op = request.get("op", "submit")
+        if op == "submit":
+            return service.submit(
+                str(request.get("tenant", "default")),
+                request.get("ops") or [],
+                label=str(request.get("label", "txn")),
+                deadline_ticks=request.get("deadline_ticks"),
+                max_restarts=int(request.get("max_restarts", 20)),
+            )
+        if op == "catalog":
+            return {"status": "ok", "catalog": service.catalog()}
+        if op == "stats":
+            return {"status": "ok", "stats": service.stats()}
+        if op == "config":
+            return {"status": "ok", "config": service.config.to_dict()}
+        if op == "ping":
+            return {"status": "ok"}
+        return {"status": "invalid", "error": f"unknown op {op!r}"}
+
+    def _reply(self, response: dict) -> bool:
+        try:
+            self.wfile.write(
+                (json.dumps(response, sort_keys=True) + "\n").encode(ENCODING)
+            )
+            self.wfile.flush()
+            return True
+        except OSError:
+            # The client vanished before reading its response (the
+            # client.disconnect fault).  The outcome is already settled in
+            # the ledger; nothing to unwind here.
+            return False
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, addr, service: TransactionService, timeout: float):
+        self.service = service
+        self.session_read_timeout = timeout
+        super().__init__(addr, _RequestHandler)
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        registry = self.server.registry  # type: ignore[attr-defined]
+        if self.path in ("/metrics", "/"):
+            body = prometheus_text(registry).encode(ENCODING)
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif self.path == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = b"not found\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # silence per-request stderr spam
+        pass
+
+
+class ServiceServer:
+    """The network shell around a :class:`TransactionService`."""
+
+    def __init__(
+        self,
+        service: TransactionService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics_port: int = 0,
+        session_read_timeout: float = 5.0,
+    ):
+        self.service = service
+        self.host = host
+        self._tcp = _TCPServer((host, port), service, session_read_timeout)
+        self._metrics = ThreadingHTTPServer((host, metrics_port), _MetricsHandler)
+        self._metrics.daemon_threads = True
+        self._metrics.registry = service.db.metrics  # type: ignore[attr-defined]
+        self._threads: list[threading.Thread] = []
+
+    @property
+    def port(self) -> int:
+        return self._tcp.server_address[1]
+
+    @property
+    def metrics_port(self) -> int:
+        return self._metrics.server_address[1]
+
+    def start(self) -> "ServiceServer":
+        self.service.start()
+        for name, srv in (("service-tcp", self._tcp), ("service-metrics", self._metrics)):
+            thread = threading.Thread(
+                target=srv.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name=name,
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Stop listeners first, then drain the service gracefully."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        self._metrics.shutdown()
+        self._metrics.server_close()
+        for thread in self._threads:
+            thread.join(10.0)
+        self._threads = []
+        self.service.stop()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Foreground mode for ``repro serve``: block until interrupted."""
+        self.start()
+        try:
+            while True:
+                for thread in self._threads:
+                    thread.join(0.5)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            self.stop()

@@ -1,0 +1,541 @@
+"""The transaction service: concurrent client sessions, one shared database.
+
+:class:`TransactionService` is the in-process core behind both the socket
+server (:mod:`repro.service.server`) and the embedded clients the tests and
+campaigns use.  Many threads submit method-call programs concurrently; the
+service admits or rejects each one (:mod:`repro.service.admission`), queues
+admitted requests into a bounded engine queue, and a single **engine
+thread** drains them in batches onto one persistent
+:class:`~repro.runtime.executor.InterleavedExecutor` over the shared
+:class:`~repro.oodb.database.ObjectDatabase`.
+
+Why batches on one deterministic executor rather than a thread per client
+transaction: the paper's schedulers assume the simulator's one-runnable-
+worker discipline, and the oracle needs the executed history.  Batching
+keeps both — concurrency *within* a batch is real (the executor interleaves
+the batch's transactions under the chosen protocol), while the service adds
+arrival concurrency, admission control and deadlines around it.  Every
+outcome is accumulated, so at shutdown the whole service run replays
+through :func:`repro.fuzz.oracle.check_history` like any fuzz cell.
+
+Deadlines ride the executor's logical clock: a request admitted with a
+``deadline_ticks`` budget gets ``deadline_tick = executor.now + budget``
+when its batch starts, and the executor maps expiry onto the existing
+``gave_up`` liveness signal (never a silent hang, never a lost response).
+
+The ledger discipline (see :class:`~repro.oodb.session.DatabaseSession`):
+every admitted request is ``admit()``-ed before it is queued and
+``settle()``-d exactly once with its terminal status.  ``audit()`` checks
+the two service invariants — no admitted transaction left unsettled, and
+every transaction the service answered "committed" for actually committed
+in the executed history (no lost admitted commits).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.compare import make_scheduler
+from repro.fuzz.generator import GeneratorProfile, build_workload, generate
+from repro.fuzz.oracle import check_history, strictness_for
+from repro.oodb.database import ObjectDatabase
+from repro.oodb.session import DatabaseSession
+from repro.runtime.executor import (
+    ExecutionResult,
+    InterleavedExecutor,
+    RetryPolicy,
+)
+from repro.runtime.program import TransactionProgram
+from repro.service.admission import (
+    REJECT_QUEUE_FULL,
+    REJECT_SHUTTING_DOWN,
+    AdmissionController,
+    Rejection,
+    TenantQuota,
+)
+
+#: ops a client program may contain (the workload generator's alphabet)
+OP_SEND = "send"
+OP_WORK = "work"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything that parameterizes one service instance."""
+
+    #: concurrency-control protocol for the shared database
+    protocol: str = "page-2pl"
+    #: seed for the hosted workload's object graph AND the executor
+    seed: int = 0
+    #: default per-request deadline budget in logical ticks (None = none)
+    deadline_ticks: int | None = 4000
+    #: requests the engine pulls into one executor batch at most
+    batch_max: int = 8
+    #: global bound on the engine queue (admitted-but-unexecuted requests)
+    queue_capacity: int = 64
+    #: per-tenant default quota (overridable per tenant at registration)
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    #: restart backoff policy handed to the executor
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: executor tick budget per batch
+    max_ticks: int = 500_000
+    #: worker join timeout (seconds) before a hang is declared
+    join_timeout: float = 30.0
+    #: how long the engine sleeps on an empty queue before re-checking stop
+    idle_wait_s: float = 0.02
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "deadline_ticks": self.deadline_ticks,
+            "batch_max": self.batch_max,
+            "queue_capacity": self.queue_capacity,
+            "default_quota": self.default_quota.to_dict(),
+            "retry_policy": self.retry_policy.to_dict(),
+        }
+
+
+class _Pending:
+    """One submitted request's future response."""
+
+    __slots__ = ("event", "response")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.response: dict | None = None
+
+    def resolve(self, response: dict) -> None:
+        self.response = response
+        self.event.set()
+
+    def wait(self, timeout: float | None = None) -> dict:
+        if not self.event.wait(timeout):
+            return {"status": "pending"}
+        return self.response or {"status": "error", "error": "no response"}
+
+
+@dataclass
+class _Request:
+    tenant: str
+    label: str
+    ops: list
+    deadline_ticks: int | None
+    max_restarts: int
+    pending: _Pending
+    enqueued_at: float
+
+
+class InvalidRequest(ValueError):
+    """A request that can never execute (unknown op/object/method)."""
+
+
+class TransactionService:
+    """The multi-tenant front half: admission, batching, settlement."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        quotas: dict[str, TenantQuota] | None = None,
+        profile: GeneratorProfile | None = None,
+        clock=time.monotonic,
+    ):
+        self.config = config or ServiceConfig()
+        spec = generate(self.config.seed, profile)
+        self.spec = spec
+        self.db = ObjectDatabase(
+            scheduler=make_scheduler(self.config.protocol, spec.layers()),
+            page_capacity=4 * spec.key_space + 16,
+        )
+        # Materialize the object graph only; the spec's canned programs are
+        # discarded — clients author the programs here.
+        self.oids, _ = build_workload(self.db, spec)
+        self.executor = InterleavedExecutor(
+            self.db,
+            seed=self.config.seed,
+            max_ticks=self.config.max_ticks,
+            retry_policy=self.config.retry_policy,
+            join_timeout=self.config.join_timeout,
+        )
+        self.admission = AdmissionController(
+            self.config.default_quota,
+            clock=clock,
+            metrics=self.db.metrics,
+        )
+        for tenant, quota in (quotas or {}).items():
+            self.admission.register(tenant, quota)
+        self._sessions: dict[str, DatabaseSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._queue: queue.Queue[_Request] = queue.Queue()
+        # Serializes admit→enqueue so stop() can fence out submitters that
+        # passed admission but have not reached the queue yet.
+        self._submit_gate = threading.Lock()
+        self._outcomes: list = []
+        self._outcome_by_label: dict[str, object] = {}
+        self._outcome_lock = threading.Lock()
+        self._stopping = False
+        self._engine: threading.Thread | None = None
+        m = self.db.metrics
+        self._batches = m.counter(
+            "service_batches_total", "executor batches the engine ran"
+        )
+        self._batch_size = m.histogram(
+            "service_batch_size",
+            "requests per executor batch",
+            bounds=(1, 2, 4, 8, 16, 32),
+        )
+        self._settled = m.counter(
+            "service_settled_total",
+            "admitted requests settled, by terminal status",
+            labelnames=("tenant", "status"),
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "TransactionService":
+        self._engine = threading.Thread(
+            target=self._engine_loop, name="service-engine", daemon=True
+        )
+        self._engine.start()
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Graceful stop: refuse new work, drain everything admitted."""
+        self.admission.drain()
+        # Fence: once the gate is acquired, every submitter has either
+        # enqueued its admitted request or will see the drained controller.
+        with self._submit_gate:
+            self._stopping = True
+        if self._engine is not None:
+            self._engine.join(timeout)
+            if self._engine.is_alive():  # pragma: no cover - liveness guard
+                raise RuntimeError("service engine failed to stop")
+            self._engine = None
+        # The engine drains the queue before exiting; anything still here
+        # (abrupt paths only) is settled explicitly, never dropped.
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self._cancel(request)  # pragma: no cover - defensive
+
+    def _cancel(self, request: _Request) -> None:
+        """Settle an admitted request that will never execute."""
+        self.session(request.tenant).settle(request.label, "cancelled")
+        self.admission.finished(request.tenant, executed=False)
+        with self._outcome_lock:
+            self._settled.labels(
+                tenant=request.tenant, status="cancelled"
+            ).inc()
+        request.pending.resolve(
+            {
+                "status": "rejected",
+                "reason": REJECT_SHUTTING_DOWN,
+                "retry_after_ms": 0,
+                "label": request.label,
+            }
+        )
+
+    def __enter__(self) -> "TransactionService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- catalog / sessions -------------------------------------------------
+
+    def catalog(self) -> dict:
+        """What clients may call: objects, their layer, their methods."""
+        return {
+            ospec.name: {
+                "layer": ospec.layer,
+                "methods": [plan.name for plan in ospec.methods],
+            }
+            for ospec in self.spec.objects
+        }
+
+    def session(self, tenant: str) -> DatabaseSession:
+        with self._sessions_lock:
+            sess = self._sessions.get(tenant)
+            if sess is None:
+                sess = DatabaseSession(self.db, tenant)
+                self._sessions[tenant] = sess
+            return sess
+
+    # -- submission (called from any thread) --------------------------------
+
+    def validate_ops(self, ops: list) -> None:
+        """Reject malformed programs before they cost an admission slot."""
+        if not isinstance(ops, list) or not ops:
+            raise InvalidRequest("ops must be a non-empty list")
+        for op in ops:
+            if not isinstance(op, (list, tuple)) or not op:
+                raise InvalidRequest(f"malformed op {op!r}")
+            if op[0] == OP_SEND:
+                if len(op) != 5:
+                    raise InvalidRequest(f"send op wants 5 fields: {op!r}")
+                _, oid, method, key, amount = op
+                if not self.db.has_object(oid):
+                    raise InvalidRequest(f"unknown object {oid!r}")
+                if not hasattr(self.db.get_object(oid), str(method)):
+                    raise InvalidRequest(f"unknown method {oid}.{method}")
+                int(key), int(amount)
+            elif op[0] == OP_WORK:
+                if len(op) != 2:
+                    raise InvalidRequest(f"work op wants 2 fields: {op!r}")
+                int(op[1])
+            else:
+                raise InvalidRequest(f"unknown op kind {op[0]!r}")
+
+    def submit_async(
+        self,
+        tenant: str,
+        ops: list,
+        *,
+        label: str = "txn",
+        deadline_ticks: int | None = None,
+        max_restarts: int = 20,
+    ) -> tuple[dict | None, _Pending | None]:
+        """Admit-or-reject; on admission returns the pending response.
+
+        Returns ``(rejection_response, None)`` or ``(None, pending)``.
+        Rejections are always explicit: the dict carries ``status:
+        "rejected"``, a reason, and a ``retry_after_ms`` hint.
+        """
+        try:
+            self.validate_ops(ops)
+        except InvalidRequest as exc:
+            return {"status": "invalid", "error": str(exc)}, None
+        with self._submit_gate:
+            # Global queue bound first: per-tenant quotas cannot defend the
+            # engine when many tenants are each within their own limits.
+            if self._queue.qsize() >= self.config.queue_capacity:
+                rejection = self.admission._reject(
+                    tenant, REJECT_QUEUE_FULL, self.admission.retry_after_ms
+                )
+                return self._rejection_response(rejection), None
+            ticket = self.admission.admit(tenant)
+            if isinstance(ticket, Rejection):
+                return self._rejection_response(ticket), None
+            sess = self.session(tenant)
+            txn_label = sess.next_label(label)
+            sess.admit(txn_label)
+            pending = _Pending()
+            budget = (
+                deadline_ticks
+                if deadline_ticks is not None
+                else self.config.deadline_ticks
+            )
+            self._queue.put(
+                _Request(
+                    tenant=tenant,
+                    label=txn_label,
+                    ops=list(ops),
+                    deadline_ticks=budget,
+                    max_restarts=max_restarts,
+                    pending=pending,
+                    enqueued_at=time.monotonic(),
+                )
+            )
+            return None, pending
+
+    def submit(
+        self,
+        tenant: str,
+        ops: list,
+        *,
+        label: str = "txn",
+        deadline_ticks: int | None = None,
+        max_restarts: int = 20,
+        timeout: float | None = 120.0,
+    ) -> dict:
+        """Blocking submit: admit, execute, return the terminal response."""
+        rejected, pending = self.submit_async(
+            tenant,
+            ops,
+            label=label,
+            deadline_ticks=deadline_ticks,
+            max_restarts=max_restarts,
+        )
+        if rejected is not None:
+            return rejected
+        return pending.wait(timeout)
+
+    @staticmethod
+    def _rejection_response(rejection: Rejection) -> dict:
+        return {
+            "status": "rejected",
+            "reason": rejection.reason,
+            "retry_after_ms": rejection.retry_after_ms,
+        }
+
+    # -- the engine thread --------------------------------------------------
+
+    def _engine_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=self.config.idle_wait_s)
+            except queue.Empty:
+                if self._stopping:
+                    return
+                continue
+            batch = [first]
+            while len(batch) < self.config.batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            self._run_batch(batch)
+
+    def _program_for(self, request: _Request) -> TransactionProgram:
+        def body(api, ops=tuple(tuple(op) for op in request.ops)):
+            for op in ops:
+                if op[0] == OP_SEND:
+                    _, oid, method, key, amount = op
+                    api.send(oid, method, int(key), int(amount))
+                else:
+                    api.work(int(op[1]))
+
+        deadline = None
+        if request.deadline_ticks is not None:
+            deadline = self.executor.now + int(request.deadline_ticks)
+        return TransactionProgram(
+            request.label,
+            body,
+            max_restarts=request.max_restarts,
+            kind="service",
+            deadline_tick=deadline,
+        )
+
+    def _run_batch(self, batch: list[_Request]) -> None:
+        for request in batch:
+            self.admission.started(request.tenant)
+        programs = [self._program_for(request) for request in batch]
+        try:
+            result = self.executor.run(programs)
+        except BaseException as exc:
+            # A worker error (validated requests make this rare).  Recover
+            # the per-worker outcomes the executor already joined so no
+            # admitted request goes unsettled, then fail the stragglers.
+            outcomes = [w.outcome for w in self.executor._workers]
+            by_label = {o.program.label: o for o in outcomes}
+            for request in batch:
+                outcome = by_label.get(request.label)
+                if outcome is not None:
+                    self._settle(request, outcome)
+                else:  # pragma: no cover - defensive
+                    self._settle_error(request, exc)
+            return
+        self._batches.inc()
+        self._batch_size.observe(len(batch))
+        by_label = {o.program.label: o for o in result.outcomes}
+        for request in batch:
+            self._settle(request, by_label[request.label])
+
+    def _settle(self, request: _Request, outcome) -> None:
+        if outcome.committed:
+            status, reason = "committed", None
+        elif outcome.error is not None:
+            status, reason = "error", repr(outcome.error)
+        elif outcome.deadline_exceeded:
+            status, reason = "gave_up", "deadline"
+        elif outcome.hung:
+            status, reason = "gave_up", "hung"
+        else:
+            status, reason = "gave_up", "restarts-exhausted"
+        self.session(request.tenant).settle(request.label, status)
+        self.admission.finished(request.tenant)
+        with self._outcome_lock:
+            self._outcomes.append(outcome)
+            self._outcome_by_label[request.label] = outcome
+            self._settled.labels(tenant=request.tenant, status=status).inc()
+        response = {
+            "status": status,
+            "label": request.label,
+            "attempts": outcome.attempts,
+        }
+        if reason is not None:
+            response["reason"] = reason
+        if status == "committed" and outcome.final_ctx is not None:
+            response["txn"] = outcome.final_ctx.txn_id
+        request.pending.resolve(response)
+
+    def _settle_error(self, request: _Request, exc: BaseException) -> None:
+        self.session(request.tenant).settle(request.label, "error")
+        self.admission.finished(request.tenant)
+        with self._outcome_lock:
+            self._settled.labels(tenant=request.tenant, status="error").inc()
+        request.pending.resolve(
+            {"status": "error", "label": request.label, "error": repr(exc)}
+        )
+
+    # -- audit & certification ---------------------------------------------
+
+    def history_result(self) -> ExecutionResult:
+        """The whole service run as one oracle-checkable result."""
+        with self._outcome_lock:
+            outcomes = list(self._outcomes)
+        return ExecutionResult(
+            outcomes=outcomes,
+            makespan=self.executor.now,
+            scheduler_stats=dict(self.executor._scheduler_stats()),
+            db=self.db,
+            seed=self.config.seed,
+        )
+
+    def audit(self) -> dict:
+        """The two service invariants, checked from the ledgers outward.
+
+        - ``unsettled``: admitted transactions with no terminal status
+          (must be empty after :meth:`stop`);
+        - ``lost_commits``: labels the service answered "committed" for
+          whose executed outcome does not show a commit — the one answer a
+          transaction service must never get wrong.
+        """
+        unsettled: list[str] = []
+        lost: list[str] = []
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        with self._outcome_lock:
+            by_label = dict(self._outcome_by_label)
+        for sess in sessions:
+            unsettled.extend(sorted(sess.unsettled))
+            for label in sorted(sess.committed_labels):
+                outcome = by_label.get(label)
+                if (
+                    outcome is None
+                    or not outcome.committed
+                    or outcome.final_ctx is None
+                ):
+                    lost.append(label)
+        return {
+            "unsettled": unsettled,
+            "lost_commits": lost,
+            "ok": not unsettled and not lost,
+        }
+
+    def certify(self, ablation=None):
+        """Judge the service's committed history with the paper's oracle."""
+        return check_history(
+            self.history_result(),
+            ablation,
+            strict_cross_object=strictness_for(self.config.protocol),
+        )
+
+    def stats(self) -> dict:
+        """Per-tenant stats: admission state + terminal-status tallies."""
+        admission = self.admission.snapshot()
+        with self._sessions_lock:
+            sessions = {t: s.counts() for t, s in self._sessions.items()}
+        out: dict[str, dict] = {}
+        for tenant in sorted(set(admission) | set(sessions)):
+            out[tenant] = {
+                "admission": admission.get(tenant, {}),
+                "outcomes": sessions.get(tenant, {}),
+            }
+        return out

@@ -1,0 +1,164 @@
+"""Admission control in isolation: quotas, token buckets, explicit
+rejections, and the request lifecycle bookkeeping."""
+
+from repro.obs import MetricsRegistry
+from repro.service.admission import (
+    REJECT_QUEUE_FULL,
+    REJECT_RATE_LIMITED,
+    REJECT_SHUTTING_DOWN,
+    REJECT_UNKNOWN_TENANT,
+    Admission,
+    AdmissionController,
+    Rejection,
+    TenantQuota,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_zero_rate_disables_limiting(self):
+        bucket = TokenBucket(0.0, 1, clock=FakeClock())
+        assert all(bucket.try_take() for _ in range(100))
+        assert bucket.seconds_until_token() == 0.0
+
+    def test_burst_then_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        clock.advance(0.5)  # one token at 2/s
+        assert bucket.try_take() is True
+        assert bucket.try_take() is False
+
+    def test_retry_hint_is_time_to_next_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+        assert bucket.try_take()
+        assert abs(bucket.seconds_until_token() - 0.25) < 1e-9
+        clock.advance(0.1)
+        assert abs(bucket.seconds_until_token() - 0.15) < 1e-9
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        taken = sum(bucket.try_take() for _ in range(5))
+        assert taken == 2
+
+
+class TestAdmissionDecisions:
+    def test_admits_within_quota(self):
+        controller = AdmissionController(clock=FakeClock())
+        ticket = controller.admit("a")
+        assert isinstance(ticket, Admission) and ticket.admitted
+
+    def test_queue_full_is_an_explicit_rejection_with_a_hint(self):
+        quota = TenantQuota(max_inflight=2, max_queue_depth=2)
+        controller = AdmissionController(quota, clock=FakeClock())
+        assert isinstance(controller.admit("a"), Admission)
+        assert isinstance(controller.admit("a"), Admission)
+        rejection = controller.admit("a")
+        assert isinstance(rejection, Rejection)
+        assert rejection.reason == REJECT_QUEUE_FULL
+        assert rejection.retry_after_ms > 0
+        assert not rejection.admitted
+
+    def test_rate_limit_rejects_with_time_to_next_token(self):
+        clock = FakeClock()
+        quota = TenantQuota(
+            max_inflight=100, max_queue_depth=100, rate=2.0, burst=1
+        )
+        controller = AdmissionController(quota, clock=clock)
+        assert isinstance(controller.admit("a"), Admission)
+        rejection = controller.admit("a")
+        assert isinstance(rejection, Rejection)
+        assert rejection.reason == REJECT_RATE_LIMITED
+        assert rejection.retry_after_ms == 500  # 1 token at 2/s
+        clock.advance(0.5)
+        assert isinstance(controller.admit("a"), Admission)
+
+    def test_closed_registration_rejects_unknown_tenants(self):
+        controller = AdmissionController(
+            open_registration=False, clock=FakeClock()
+        )
+        controller.register("known")
+        assert isinstance(controller.admit("known"), Admission)
+        rejection = controller.admit("stranger")
+        assert isinstance(rejection, Rejection)
+        assert rejection.reason == REJECT_UNKNOWN_TENANT
+
+    def test_open_registration_applies_the_default_quota(self):
+        quota = TenantQuota(max_inflight=1, max_queue_depth=1)
+        controller = AdmissionController(quota, clock=FakeClock())
+        assert isinstance(controller.admit("fresh"), Admission)
+        assert isinstance(controller.admit("fresh"), Rejection)
+        assert controller.quota_for("fresh") == quota
+
+    def test_drain_rejects_everything(self):
+        controller = AdmissionController(clock=FakeClock())
+        controller.drain()
+        rejection = controller.admit("a")
+        assert isinstance(rejection, Rejection)
+        assert rejection.reason == REJECT_SHUTTING_DOWN
+
+    def test_tenants_are_isolated(self):
+        quota = TenantQuota(max_inflight=1, max_queue_depth=1)
+        controller = AdmissionController(quota, clock=FakeClock())
+        assert isinstance(controller.admit("a"), Admission)
+        assert isinstance(controller.admit("a"), Rejection)
+        # Tenant b's budget is untouched by a's overload.
+        assert isinstance(controller.admit("b"), Admission)
+
+
+class TestLifecycle:
+    def test_started_and_finished_release_slots(self):
+        quota = TenantQuota(max_inflight=1, max_queue_depth=1)
+        controller = AdmissionController(quota, clock=FakeClock())
+        assert isinstance(controller.admit("a"), Admission)
+        assert isinstance(controller.admit("a"), Rejection)
+        controller.started("a")
+        # queued freed but executing holds the inflight budget
+        snap = controller.snapshot()["a"]
+        assert (snap["queued"], snap["executing"]) == (0, 1)
+        controller.finished("a")
+        assert isinstance(controller.admit("a"), Admission)
+
+    def test_finished_without_execution_releases_the_queue_slot(self):
+        quota = TenantQuota(max_inflight=1, max_queue_depth=1)
+        controller = AdmissionController(quota, clock=FakeClock())
+        assert isinstance(controller.admit("a"), Admission)
+        controller.finished("a", executed=False)
+        snap = controller.snapshot()["a"]
+        assert (snap["queued"], snap["executing"]) == (0, 0)
+
+    def test_metrics_count_admissions_and_rejections_per_tenant(self):
+        registry = MetricsRegistry()
+        quota = TenantQuota(max_inflight=1, max_queue_depth=1)
+        controller = AdmissionController(
+            quota, clock=FakeClock(), metrics=registry
+        )
+        controller.admit("a")
+        controller.admit("a")
+        flat = registry.as_dict()
+        assert flat['service_admitted_total{tenant="a"}'] == 1
+        assert (
+            flat['service_rejected_total{reason="queue-full",tenant="a"}'] == 1
+        )
+        assert flat['service_queue_depth{tenant="a"}'] == 1
+
+    def test_quota_round_trip(self):
+        quota = TenantQuota(max_inflight=7, rate=2.5, burst=9, max_queue_depth=3)
+        assert TenantQuota.from_dict(quota.to_dict()) == quota
+        assert TenantQuota.from_dict(None) == TenantQuota()

@@ -1,0 +1,161 @@
+"""The wire layer: JSONL sessions over real sockets, the session read
+timeout against stalled clients, disconnect tolerance, and the live
+Prometheus endpoint."""
+
+import json
+import socket
+import time
+import urllib.request
+
+import pytest
+
+from repro.service.admission import TenantQuota
+from repro.service.client import LoadReport, ServiceClient, percentile, run_load
+from repro.service.server import ServiceServer
+from repro.service.service import ServiceConfig, TransactionService
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = TransactionService(
+        ServiceConfig(protocol="closed-nested", seed=5),
+        quotas={"acme": TenantQuota(max_inflight=2, max_queue_depth=2)},
+    )
+    with ServiceServer(service, session_read_timeout=0.4) as srv:
+        yield srv
+
+
+def _ops(server):
+    catalog = server.service.catalog()
+    oid = sorted(catalog)[0]
+    return [["send", oid, catalog[oid]["methods"][0], 0, 1]]
+
+
+class TestProtocol:
+    def test_control_ops_roundtrip(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            assert client.ping()
+            catalog = client.catalog()
+            assert catalog and all("methods" in o for o in catalog.values())
+            config = client.request({"op": "config"})["config"]
+            assert config["protocol"] == "closed-nested"
+            assert isinstance(client.stats(), dict)
+
+    def test_submit_commits_over_the_wire(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            response = client.submit("acme", _ops(server), label="wire")
+            assert response["status"] == "committed"
+            assert response["label"].startswith("acme/wire#")
+
+    def test_many_requests_share_one_connection(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            statuses = [
+                client.submit("acme", _ops(server))["status"] for _ in range(3)
+            ]
+            assert statuses == ["committed"] * 3
+
+    def test_malformed_json_line_is_answered_not_fatal(self, server):
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5
+        ) as sock:
+            sock.sendall(b"this is not json\n")
+            reply = json.loads(sock.makefile("rb").readline())
+            assert reply["status"] == "invalid"
+            # and the session survives to serve a well-formed request
+            sock.sendall(b'{"op": "ping"}\n')
+            assert json.loads(sock.makefile("rb").readline())["status"] == "ok"
+
+    def test_non_object_and_unknown_op_are_invalid(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            assert client.request({"op": "frobnicate"})["status"] == "invalid"
+            assert client.request([1, 2, 3])["status"] == "invalid"
+
+
+class TestFaultTolerance:
+    def test_stalled_session_is_dropped_by_the_read_timeout(self, server):
+        metric = 'service_sessions_timed_out_total'
+        before = server.service.db.metrics.as_dict().get(metric, 0)
+        client = ServiceClient("127.0.0.1", server.port)
+        client.stall()  # half a frame, then silence
+        deadline = 50
+        while deadline:
+            if server.service.db.metrics.as_dict().get(metric, 0) > before:
+                break
+            deadline -= 1
+            time.sleep(0.05)
+        assert server.service.db.metrics.as_dict().get(metric, 0) > before
+        # The client recovers by reconnecting on its next honest request.
+        assert client.submit("acme", _ops(server))["status"] == "committed"
+        client.close()
+
+    def test_disconnect_after_submit_loses_no_commit(self, server):
+        session = server.service.session("vanisher")
+        before = len(session.committed_labels)
+        client = ServiceClient("127.0.0.1", server.port)
+        client.submit_and_vanish("vanisher", _ops(server), label="gone")
+        # The transaction settles on the engine even though nobody read
+        # the response; the ledger, not the socket, is the truth.
+        deadline = 100
+        while deadline and len(session.committed_labels) == before:
+            deadline -= 1
+            time.sleep(0.05)
+        assert len(session.committed_labels) == before + 1
+        assert server.service.audit()["ok"]
+
+
+class TestMetricsEndpoint:
+    def test_metrics_exposition_is_live(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client.submit("acme", _ops(server))
+        url = f"http://127.0.0.1:{server.metrics_port}/metrics"
+        body = urllib.request.urlopen(url, timeout=5).read().decode()
+        assert "# TYPE service_batches_total counter" in body
+        assert 'service_admitted_total{tenant="acme"}' in body
+
+    def test_healthz_and_404(self, server):
+        base = f"http://127.0.0.1:{server.metrics_port}"
+        assert urllib.request.urlopen(f"{base}/healthz", timeout=5).read() == b"ok\n"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/nope", timeout=5)
+        assert excinfo.value.code == 404
+
+
+class TestLoadDriver:
+    def test_percentile_is_nearest_rank(self):
+        values = [float(n) for n in range(1, 11)]
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 90) == 9.0
+        assert percentile(values, 99) == 10.0
+        assert percentile([], 99) == 0.0
+
+    def test_report_merge_accumulates(self):
+        a = LoadReport(requests=2, committed=1, rejected={"queue-full": 1})
+        b = LoadReport(requests=3, committed=3, faults={"client.slow": 2})
+        a.merge(b)
+        assert (a.requests, a.committed) == (5, 4)
+        assert a.rejected == {"queue-full": 1}
+        assert a.faults == {"client.slow": 2}
+        assert a.total_rejections == 1
+
+    def test_run_load_accounts_for_every_request(self, server):
+        report = run_load(
+            "127.0.0.1",
+            server.port,
+            tenants=["lt-a", "lt-b"],
+            clients_per_tenant=2,
+            requests_per_client=4,
+            seed=9,
+        )
+        assert report.requests == 16
+        answered = (
+            report.committed
+            + report.gave_up
+            + report.errors
+            + report.invalid
+            + report.rejected_final
+        )
+        assert answered == report.requests
+        assert report.errors == 0
+        assert report.committed > 0
+        summary = report.summary()
+        assert summary["latency_ms"]["p99"] >= summary["latency_ms"]["p50"]

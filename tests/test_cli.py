@@ -216,3 +216,98 @@ def test_fuzz_trace_dir_dumps_traces_without_perturbing_report(tmp_path):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# -- the service commands and the uniform exit-code convention --------------
+
+
+def test_exit_code_constants_pinned():
+    from repro.cli import EXIT_FAILURE, EXIT_OK, EXIT_OPERATIONAL, EXIT_TIMEOUT
+
+    assert (EXIT_OK, EXIT_FAILURE, EXIT_OPERATIONAL, EXIT_TIMEOUT) == (
+        0, 1, 2, 124,
+    )
+
+
+def test_fuzz_service_smoke_campaign():
+    code, output = run_cli(
+        "fuzz", "--service", "--seeds", "1",
+        "--protocols", "page-2pl", "open-nested-oo",
+        "--requests-per-client", "3",
+    )
+    assert code == 0
+    assert "service campaign" in output
+    assert "no oracle violations, no lost admitted commits" in output
+
+
+def test_serve_timeout_exits_124(capsys):
+    code, output = run_cli(
+        "serve", "--port", "0", "--metrics-port", "0", "--timeout", "0.3",
+    )
+    assert code == 124
+    assert "serving protocol=page-2pl" in output
+    assert "audit=ok" in output
+    assert "timed out after" in capsys.readouterr().err
+
+
+def test_load_against_unreachable_server_exits_2(capsys):
+    # Port 1 is never listening; the failure is operational, not a verdict.
+    code, _ = run_cli("load", "--port", "1", "--tenants", "1")
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_fuzz_timeout_flag_exits_124(capsys):
+    code, _ = run_cli("fuzz", "--smoke", "--seeds", "4", "--timeout", "0.01")
+    assert code == 124
+    assert "timed out after" in capsys.readouterr().err
+
+
+def test_serve_fuzz_load_share_a_timeout_flag():
+    # The shared flag is documented on every long-running command.
+    for command in ("serve", "fuzz", "load"):
+        buffer = io.StringIO()
+        with pytest.raises(SystemExit), redirect_stdout(buffer):
+            main([command, "--help"])
+        assert "--timeout" in buffer.getvalue(), command
+
+
+def test_serve_load_roundtrip_over_sockets():
+    """End-to-end through real sockets: serve, load with faults, metrics."""
+    import threading
+    import urllib.request
+
+    from repro.service import (
+        ServiceConfig,
+        ServiceServer,
+        TenantQuota,
+        TransactionService,
+    )
+
+    service = TransactionService(
+        ServiceConfig(seed=2, protocol="closed-nested"),
+        quotas={"t0": TenantQuota(max_inflight=2, max_queue_depth=3)},
+    )
+    server = ServiceServer(service, session_read_timeout=0.5)
+    server.start()
+    try:
+        code, output = run_cli(
+            "load", "--port", str(server.port), "--tenants", "2",
+            "--clients-per-tenant", "2", "--requests-per-client", "3",
+            "--faults", "--json",
+        )
+        assert code == 0
+        import json
+
+        summary = json.loads(output)
+        assert summary["requests"] > 0
+        assert summary["committed"] > 0
+        metrics = urllib.request.urlopen(
+            f"http://127.0.0.1:{server.metrics_port}/metrics", timeout=5
+        ).read().decode()
+        assert "service_admitted_total" in metrics
+        assert "# TYPE service_batches_total counter" in metrics
+    finally:
+        server.stop()
+    assert service.audit()["ok"]
+    assert not service.certify().violation
