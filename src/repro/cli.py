@@ -11,6 +11,9 @@ code:
 - ``fuzz`` — the randomized schedule fuzzer: generated workloads under all
   five protocols, judged by the oo-serializability oracle, with greedy
   shrinking of any failure into a seed-reproducible counterexample file;
+- ``certify`` — fast Vbox-style certification of one fuzz cell's history
+  (near-linear on conflict-sparse stretches, exact-engine fallback on
+  suspicion), with a ``--diff`` mode that cross-checks the exact oracle;
 - ``recover`` — replay a WAL file through crash recovery;
 - ``trace`` — re-run any fuzz cell with the span tracer attached and emit
   its open-nested call trees as Chrome trace-event JSON (C12);
@@ -314,6 +317,12 @@ def _build_fuzz_parser(subparsers) -> None:
         "--no-faults", action="store_true",
         help="service mode: disable the injected service fault plans",
     )
+    parser.add_argument(
+        "--certify", action="store_true",
+        help="judge histories with the fast certifier instead of the full "
+        "oracle replay (same verdicts; the oo-only column reads zero "
+        "because fast acceptances skip the conventional baseline)",
+    )
     _add_timeout_flag(parser)
 
 
@@ -341,6 +350,7 @@ def cmd_fuzz(args) -> int:
             data["protocol"],
             exec_seed=data["exec_seed"],
             ablation=Ablation.from_dict(data.get("ablation")),
+            certify=args.certify,
         )
         print(
             f"replay {args.replay}: protocol={data['protocol']} "
@@ -366,6 +376,7 @@ def cmd_fuzz(args) -> int:
         max_violations=args.max_violations,
         jobs=args.jobs,
         trace_dir=args.trace_dir,
+        certify=args.certify,
     )
     header, rows = campaign.table()
     print(
@@ -373,7 +384,8 @@ def cmd_fuzz(args) -> int:
             header,
             rows,
             title=f"fuzz campaign, {campaign.seeds_run} seed(s)"
-            + (" [ablated oracle]" if args.ablate else ""),
+            + (" [ablated oracle]" if args.ablate else "")
+            + (" [certified]" if args.certify else ""),
         )
     )
     for seed, protocol, error in campaign.errors:
@@ -537,6 +549,135 @@ def _replay_crash(path: str, data: dict) -> int:
     for line in outcome.violations:
         print(f"violation: {line}")
     return 1 if outcome.violations else 0
+
+
+def _build_certify_parser(subparsers) -> None:
+    from repro.fuzz import FUZZ_PROTOCOLS
+
+    parser = subparsers.add_parser(
+        "certify",
+        help="fast black-box certification of one fuzz cell's history: "
+        "near-linear on conflict-sparse stretches, exact-engine fallback "
+        "on suspicion, byte-identical witnesses on failure",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="generator seed (doubles as the executor seed); required "
+        "unless --replay is given",
+    )
+    parser.add_argument(
+        "--protocol", default=None, choices=list(FUZZ_PROTOCOLS),
+        help="scheduler protocol for the cell; required unless --replay",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="use the small/fast smoke generator profile",
+    )
+    parser.add_argument(
+        "--long", type=int, default=None, metavar="N",
+        help="use the long conflict-sparse generator profile with N "
+        "top-level programs (the C14 regime; overrides --smoke)",
+    )
+    parser.add_argument(
+        "--ablate", action="store_true",
+        help="break the first leaf object's commutativity entries in the "
+        "judge only — the self-test that must produce a violation",
+    )
+    parser.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="certify the history of a fuzz counterexample file instead "
+        "of a (seed, protocol) cell",
+    )
+    parser.add_argument(
+        "--diff", action="store_true",
+        help="also run the exact oracle and compare verdict and witness; "
+        f"any divergence exits {EXIT_OPERATIONAL}",
+    )
+    _add_timeout_flag(parser)
+
+
+def cmd_certify(args) -> int:
+    import json
+
+    from repro.core.certify import certify_history
+    from repro.fuzz import Ablation, GeneratorProfile
+    from repro.fuzz.driver import execute_cell
+    from repro.fuzz.generator import WorkloadSpec, generate
+    from repro.fuzz.oracle import check_history, strictness_for
+
+    ablation = None
+    if args.replay is not None:
+        with open(args.replay) as fh:
+            data = json.load(fh)
+        if data.get("kind") == "crash":
+            print(
+                "error: crash counterexamples have no committed history to "
+                "certify; use `repro fuzz --replay`",
+                file=sys.stderr,
+            )
+            return EXIT_OPERATIONAL
+        spec = WorkloadSpec.from_dict(data["workload"])
+        protocol = data["protocol"]
+        exec_seed = data["exec_seed"]
+        ablation = Ablation.from_dict(data.get("ablation"))
+        label = args.replay
+    else:
+        if args.seed is None or args.protocol is None:
+            print(
+                "error: --seed and --protocol are required without --replay",
+                file=sys.stderr,
+            )
+            return EXIT_OPERATIONAL
+        profile = None
+        if args.long is not None:
+            profile = GeneratorProfile.long(args.long)
+        elif args.smoke:
+            profile = GeneratorProfile.smoke()
+        spec = generate(args.seed, profile)
+        protocol = args.protocol
+        exec_seed = None
+        if args.ablate:
+            ablation = Ablation(object_name=spec.leaf_objects[0].name)
+        label = f"seed {args.seed}"
+
+    strict = strictness_for(protocol)
+    result = execute_cell(spec, protocol, exec_seed=exec_seed)
+    report = certify_history(result, ablation, strict_cross_object=strict)
+    print(
+        f"certify {label} under {protocol}: "
+        f"{'VIOLATION' if report.violation else 'ok'} "
+        f"({report.committed} committed, {report.actions} actions; "
+        f"{report.fast_commits} fast / {report.escalated_commits} exact, "
+        f"{report.stragglers_scanned} stragglers scanned"
+        + (
+            f"; escalated: {report.escalation_reason}"
+            if report.escalated
+            else ""
+        )
+        + ")"
+    )
+    if report.violation:
+        print(report.description)
+    if args.diff:
+        exact = check_history(result, ablation, strict_cross_object=strict)
+        diverged = exact.violation != report.violation or (
+            report.violation
+            and exact.description != report.as_oracle_report().description
+        )
+        if diverged:
+            print(
+                "DIVERGENCE: certifier and exact oracle disagree",
+                file=sys.stderr,
+            )
+            print(
+                f"  certifier: violation={report.violation}", file=sys.stderr
+            )
+            print(f"  exact:     violation={exact.violation}", file=sys.stderr)
+            if exact.violation:
+                print(f"  exact witness: {exact.description}", file=sys.stderr)
+            return EXIT_OPERATIONAL
+        print("diff: certifier verdict and witness match the exact oracle")
+    return EXIT_FAILURE if report.violation else EXIT_OK
 
 
 def _build_recover_parser(subparsers) -> None:
@@ -933,6 +1074,7 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true", help="show dependency provenance"
     )
     _build_fuzz_parser(subparsers)
+    _build_certify_parser(subparsers)
     _build_recover_parser(subparsers)
     _build_trace_parser(subparsers)
     _build_stats_parser(subparsers)
@@ -946,6 +1088,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_census(args)
         if args.command == "fuzz":
             return _with_timeout(cmd_fuzz, args)
+        if args.command == "certify":
+            return _with_timeout(cmd_certify, args)
         if args.command == "recover":
             return cmd_recover(args)
         if args.command == "trace":

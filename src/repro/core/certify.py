@@ -1,0 +1,529 @@
+"""Vbox-style black-box certification of long committed histories.
+
+The exact oracle (:mod:`repro.core.dependency`) re-derives the Definition
+10-16 fixpoint from the committed projection; even incrementally that pays
+a pairwise Axiom 1 / Definition 7 scan per object, which caps fuzz
+histories at hundreds of actions.  Following Vbox (arXiv 2503.05163), the
+certifier here exploits two facts the executor already knows:
+
+1. **The commit order is known.**  Transactions are fed to the certifier
+   in the order they committed, so any dependency pointing from a later
+   commit to an earlier one is the only way a cycle can ever close.
+
+2. **Per-object effect orders are known.**  After
+   :func:`~repro.core.dependency.linearize_effects`, every action's
+   ``seq`` stamp is its object-schedule position.  If each newly committed
+   transaction only *appends* to every object timeline it touches — its
+   stamps are larger than everything already certified on that object —
+   then every Axiom 1 bootstrap edge points forward in commit order.
+
+Under those two facts acceptance is sound without running the engine at
+all: Definition 10 lifts an action edge to the two endpoint *callers*
+(same transactions), Definition 11 and the cross-object closure move a
+constraint between objects without changing its endpoint transactions,
+and Definition 15 records it redundantly — no derivation rule ever flips
+an edge's direction or its endpoint tops.  Forward-only bootstrap edges
+therefore derive forward-only transaction dependencies: every watched
+relation is acyclic and the exact engine would certify the same history.
+Inside one transaction the certifier additionally checks that every
+sibling group is totally ordered by program precedence, which makes every
+same-tree pair a ``same_process`` pair — exempt from conflict by
+Definition 9 — so intra-transaction edges reduce to the Definition 7
+partial order.
+
+Everything else is *suspicious* and **escalates**: a straggler stamp that
+lands inside an already-certified timeline next to a conflicting action,
+an unordered sibling pair, a non-monotone stamp inside one tree, or a
+Definition 5 extension that manufactures virtual duplicates.  Escalation
+is sticky — the certifier replays the full fed history through the exact
+:class:`~repro.core.dependency.IncrementalDependencyEngine` (same
+strictness, online cycle watchers) and routes every later commit through
+it, so verdicts are exactly the engine's.  On violation the caller
+obtains the canonical report (witness strings included) from
+:func:`repro.fuzz.oracle.check_history`, which re-analyzes the same
+already-linearized, already-extended trees — byte-identical to judging
+the history without a certifier in the loop.
+
+Conflict-sparse stretches — the common case in long histories — therefore
+certify in near-linear time: one tree walk plus an O(1) append per action,
+with a bounded ``bisect`` window scan only when stamps interleave.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.actions import ActionNode
+from repro.core.commutativity import CommutativityRegistry
+from repro.core.dependency import IncrementalDependencyEngine, linearize_effects
+from repro.core.extension import extend_system
+from repro.core.identifiers import SYSTEM_OBJECT, ObjectId, is_virtual
+from repro.core.transactions import OOTransaction, TransactionSystem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fuzz.oracle import Ablation, OracleReport
+    from repro.runtime.executor import ExecutionResult
+
+#: escalation reasons (stable strings: tests and metrics key off them)
+ESCALATE_EXTENSION = "extension"
+ESCALATE_UNORDERED_SIBLINGS = "unordered-siblings"
+ESCALATE_NONMONOTONE = "nonmonotone-seq"
+ESCALATE_WINDOW = "straggler-window"
+ESCALATE_CONFLICT = "conflicting-straggler"
+
+
+@dataclass
+class CertificationReport:
+    """Outcome of certifying one committed history.
+
+    Mirrors the :class:`~repro.fuzz.oracle.OracleReport` consumer surface
+    (``violation``, ``oo_serializable``, ``description``) so existing
+    tooling can take either; :meth:`as_oracle_report` converts outright.
+    """
+
+    ok: bool
+    committed: int
+    actions: int
+    fast_commits: int
+    escalated_commits: int
+    stragglers_scanned: int
+    escalated: bool
+    escalation_reason: str | None
+    gave_up: int = 0
+    #: canonical exact-engine report, attached whenever ``ok`` is False
+    #: (and on demand for consumers that need the conventional baseline)
+    oracle: "OracleReport | None" = field(default=None, repr=False)
+
+    @property
+    def violation(self) -> bool:
+        return not self.ok
+
+    @property
+    def oo_serializable(self) -> bool:
+        return self.ok
+
+    @property
+    def description(self) -> str:
+        if self.oracle is not None:
+            return self.oracle.description
+        mode = (
+            f"escalated to exact engine ({self.escalation_reason})"
+            if self.escalated
+            else "fast path"
+        )
+        verdict = "oo-serializable" if self.ok else "NOT oo-serializable"
+        return (
+            f"certified {verdict}: {self.committed} committed / "
+            f"{self.actions} actions via {mode} "
+            f"({self.fast_commits} fast, {self.escalated_commits} exact)"
+        )
+
+    def as_oracle_report(self) -> "OracleReport":
+        """This verdict in :class:`OracleReport` shape.
+
+        A fast-path acceptance never computed the conventional baseline or
+        constraint counts; they are reported as the verdict itself / zero,
+        which keeps every boolean consumer correct (``oo_only`` is then
+        simply False — the fast path does not measure the admission delta).
+        """
+        if self.oracle is not None:
+            return self.oracle
+        from repro.fuzz.oracle import OracleReport
+
+        return OracleReport(
+            oo_serializable=self.ok,
+            conventional_serializable=self.ok,
+            oo_constraints=0,
+            conventional_constraints=0,
+            committed=self.committed,
+            description=self.description,
+            gave_up=self.gave_up,
+        )
+
+
+class _Timeline:
+    """One object's certified effect order: parallel (seqs, actions) lists."""
+
+    __slots__ = ("seqs", "actions")
+
+    def __init__(self) -> None:
+        self.seqs: list[int] = []
+        self.actions: list[ActionNode] = []
+
+
+class OnlineCertifier:
+    """Certify committed transactions one at a time against a growing history.
+
+    Parameters
+    ----------
+    system:
+        The transaction system holding (or receiving) the committed trees.
+        The certifier mutates it exactly like the exact oracle would:
+        re-stamping (:func:`linearize_effects`) and the Definition 5
+        extension — both idempotent — unless ``pre_extended`` says the
+        caller already ran them globally.
+    commutativity:
+        Registry used for the straggler conflict screen *and* by the
+        escalation engine.  Pass a private copy when another analysis
+        shares the source registry concurrently.
+    strict_cross_object:
+        Oracle strictness for the protocol under test
+        (:func:`repro.fuzz.oracle.strictness_for`).
+    pre_extended:
+        The caller linearized and extended the whole system up front (the
+        offline :func:`certify_history` path); per-commit passes are
+        skipped and virtual duplicates are expected to sit inside the
+        trees they were attached to.
+    straggler_scan_limit:
+        Longest already-certified suffix of one object timeline the fast
+        path will scan for conflicts before escalating instead.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; certification
+        counters are registered on it.
+    """
+
+    def __init__(
+        self,
+        system: TransactionSystem,
+        commutativity: CommutativityRegistry,
+        *,
+        strict_cross_object: bool = True,
+        pre_extended: bool = False,
+        straggler_scan_limit: int = 64,
+        metrics=None,
+    ):
+        self.system = system
+        self.commutativity = commutativity
+        self.strict_cross_object = strict_cross_object
+        self.pre_extended = pre_extended
+        self.straggler_scan_limit = straggler_scan_limit
+        self.committed = 0
+        self.actions = 0
+        self.fast_commits = 0
+        self.escalated_commits = 0
+        self.stragglers_scanned = 0
+        self.escalated = False
+        self.escalation_reason: str | None = None
+        #: flips at the first commit whose integration closes a cycle
+        self.violated = False
+        self._engine: IncrementalDependencyEngine | None = None
+        #: (txn, extras) in fed order — the escalation catch-up replay
+        self._log: list[tuple[OOTransaction, tuple[ActionNode, ...]]] = []
+        self._timelines: dict[ObjectId, _Timeline] = {}
+        self._top_ids = {id(txn) for txn in system._tops}
+        if metrics is not None:
+            self._m_fast = metrics.counter(
+                "certify_fast_commits_total",
+                "commits certified on the fast path",
+            )
+            self._m_exact = metrics.counter(
+                "certify_escalated_commits_total",
+                "commits routed through the exact engine",
+            )
+            self._m_stragglers = metrics.counter(
+                "certify_stragglers_scanned_total",
+                "timeline entries scanned for straggler conflicts",
+            )
+        else:
+            self._m_fast = self._m_exact = self._m_stragglers = None
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def oo_serializable(self) -> bool:
+        return not self.violated
+
+    def observe_commit(self, txn: OOTransaction) -> bool:
+        """Certify one more committed transaction.
+
+        Returns True while the history so far is certified
+        oo-serializable; the first False is final (violations are monotone
+        — later commits cannot undo a closed cycle), matching
+        ``run_per_transaction(stop_on_violation=True)``.
+        """
+        if self.violated:
+            return False
+        self.committed += 1
+        if id(txn) not in self._top_ids:
+            self.system._tops.append(txn)
+            self._top_ids.add(id(txn))
+        if self._engine is not None:
+            return self._feed_engine(txn)
+        extras: tuple[ActionNode, ...] = ()
+        if not self.pre_extended:
+            linearize_effects(self.system, tops=[txn])
+            extras = tuple(extend_system(self.system, tops=[txn]).duplicates)
+        self._log.append((txn, extras))
+        # Virtual duplicates break the fast path's premise that every
+        # same-tree pair is program-ordered (duplicates are appended to
+        # their peer's children without precedence edges) — exact territory.
+        reason = ESCALATE_EXTENSION if extras else self._screen(txn)
+        if reason is None:
+            self.fast_commits += 1
+            if self._m_fast is not None:
+                self._m_fast.value += 1
+            return True
+        self.escalate(reason)
+        self.escalated_commits += 1
+        if self._m_exact is not None:
+            self._m_exact.value += 1
+        return not self.violated
+
+    def escalate(self, reason: str) -> None:
+        """Switch to the exact engine (sticky), replaying the fed history.
+
+        Public so callers that *know* the fast path cannot apply — e.g.
+        the offline path when the global extension produced duplicates —
+        can route everything through the engine from the start.
+        """
+        if self._engine is not None:
+            return
+        self.escalated = True
+        self.escalation_reason = reason
+        engine = IncrementalDependencyEngine(
+            self.system,
+            self.commutativity,
+            propagate_cross_object=self.strict_cross_object,
+            track_cycles=True,
+            linearize=not self.pre_extended,
+            extend=not self.pre_extended,
+        )
+        self._engine = engine
+        for txn, extras in self._log:
+            if engine.violated:
+                break
+            # Logged trees are already re-stamped and extended; hand the
+            # recorded duplicates over instead of re-deriving them.
+            engine.append_transaction(txn, extras=extras)
+        self._log.clear()
+        self.violated = engine.violated
+
+    def report(self, *, gave_up: int = 0) -> CertificationReport:
+        return CertificationReport(
+            ok=not self.violated,
+            committed=self.committed,
+            actions=self.actions,
+            fast_commits=self.fast_commits,
+            escalated_commits=self.escalated_commits,
+            stragglers_scanned=self.stragglers_scanned,
+            escalated=self.escalated,
+            escalation_reason=self.escalation_reason,
+            gave_up=gave_up,
+        )
+
+    # -- the fast path --------------------------------------------------------
+
+    def _screen(self, txn: OOTransaction) -> str | None:
+        """One tree walk deciding fast acceptance; a reason string escalates.
+
+        The walk checks, in order: (a) every sibling group is totally
+        program-ordered, (b) per object, the tree's own stamps appear in
+        call (DFS) order, (c) per object, the tree's stamps land after
+        everything already certified — or, for stragglers, inside a short
+        window free of conflicting actions from other transactions.
+        """
+        groups: dict[ObjectId, list[ActionNode]] = {}
+        last_seq: dict[ObjectId, int] = {}
+        for action in txn.actions():
+            children = action.children
+            if children:
+                real = [c for c in children if not c.virtual]
+                for i in range(len(real) - 1):
+                    if not real[i].precedes_sibling(real[i + 1]):
+                        return ESCALATE_UNORDERED_SIBLINGS
+            obj = action.obj
+            if obj == SYSTEM_OBJECT:
+                continue
+            if not self.pre_extended and (action.virtual or is_virtual(obj)):
+                # Another analysis (the optimistic protocol's certifier
+                # extends committed trees during validation) moved an
+                # offender onto a virtual object; its duplicate peers hang
+                # off *earlier* trees the timelines never saw.  Exact
+                # territory.  (Offline, the up-front global extension
+                # pre-escalated any history with duplicates, and a moved
+                # offender without peers is a singleton timeline — safe.)
+                return ESCALATE_EXTENSION
+            if action.virtual:
+                continue
+            self.actions += 1
+            prev = last_seq.get(obj)
+            if prev is not None and action.seq < prev:
+                return ESCALATE_NONMONOTONE
+            last_seq[obj] = action.seq
+            groups.setdefault(obj, []).append(action)
+
+        in_conflict = self.commutativity.in_conflict
+        limit = self.straggler_scan_limit
+        for obj, group in groups.items():
+            group.sort(key=lambda a: (a.seq, a.aid))
+            timeline = self._timelines.get(obj)
+            if timeline is None:
+                timeline = self._timelines[obj] = _Timeline()
+            seqs, certified = timeline.seqs, timeline.actions
+            for action in group:
+                if not seqs or action.seq > seqs[-1]:
+                    seqs.append(action.seq)
+                    certified.append(action)
+                    continue
+                # Straggler: the stamp lands inside the certified timeline.
+                # Only actions stamped *after* it can receive a backward
+                # Axiom 1 edge, so scanning the suffix window suffices
+                # (bisect_left keeps equal stamps inside the window: a tie
+                # with a conflicting action is order-ambiguous → exact).
+                idx = bisect_left(seqs, action.seq)
+                window = certified[idx:]
+                if len(window) > limit:
+                    return ESCALATE_WINDOW
+                self.stragglers_scanned += len(window)
+                if self._m_stragglers is not None:
+                    self._m_stragglers.value += len(window)
+                for other in window:
+                    if other.top is action.top:
+                        continue  # same-tree pairs are program-ordered here
+                    if not (action.is_primitive or other.is_primitive):
+                        continue  # Axiom 1 needs a primitive member
+                    if in_conflict(action, other):
+                        return ESCALATE_CONFLICT
+                seqs.insert(idx, action.seq)
+                certified.insert(idx, action)
+        return None
+
+    # -- the exact path -------------------------------------------------------
+
+    def _feed_engine(self, txn: OOTransaction) -> bool:
+        engine = self._engine
+        assert engine is not None
+        for action in txn.actions():
+            if action.obj != SYSTEM_OBJECT and not action.virtual:
+                self.actions += 1
+        self.escalated_commits += 1
+        if self._m_exact is not None:
+            self._m_exact.value += 1
+        if not engine.violated:
+            if self.pre_extended:
+                engine.append_transaction(txn, extras=())
+            else:
+                linearize_effects(self.system, tops=[txn])
+                extras = list(extend_system(self.system, tops=[txn]).duplicates)
+                extras.extend(self._foreign_duplicates(txn))
+                engine.append_transaction(txn, extras=tuple(extras))
+        self.violated = engine.violated
+        return not self.violated
+
+    def _foreign_duplicates(self, txn: OOTransaction) -> list[ActionNode]:
+        """Duplicates another analysis attached for this tree's offenders.
+
+        If an external certifier already extended ``txn`` (optimistic
+        validation), our own extension pass is an idempotent no-op and the
+        virtual duplicates it created hang off earlier trees.  A virtual
+        object's action set is fixed at break time — the offender plus a
+        snapshot of its peers — so sweeping the virtual objects mentioned
+        by this tree recovers exactly the duplicates the engine must
+        integrate alongside it (already-seen ones are deduplicated there).
+        """
+        swept: list[ActionNode] = []
+        seen_objects: set[ObjectId] = set()
+        for action in txn.actions():
+            obj = action.obj
+            if action.virtual or not is_virtual(obj) or obj in seen_objects:
+                continue
+            seen_objects.add(obj)
+            swept.extend(
+                other
+                for other in self.system.actions_on(obj)
+                if other.virtual
+            )
+        return swept
+
+
+def certified_base(source: TransactionSystem) -> TransactionSystem:
+    """An empty system sharing ``source``'s stamp clock and object universe.
+
+    The online service feeds committed trees into a certifier-private
+    system so the certifier's top list is exactly the commit order, while
+    stamps and declared objects stay those of the live database.
+    """
+    base = TransactionSystem()
+    base._seq_counter = source._seq_counter
+    for oid in sorted(source._declared_objects):
+        base.declare_object(oid)
+    return base
+
+
+def _committed_in_commit_order(result: "ExecutionResult", projection):
+    """The projection's trees sorted by (commit tick, label)."""
+    ticks = {
+        o.final_ctx.txn_id: o.final_ctx.stats.commit_tick
+        for o in result.outcomes
+        if o.committed and o.final_ctx is not None
+    }
+    return sorted(
+        projection._tops,
+        key=lambda txn: (ticks.get(txn.label, 0), txn.label),
+    )
+
+
+def certify_history(
+    result: "ExecutionResult",
+    ablation: "Ablation | None" = None,
+    *,
+    strict_cross_object: bool = True,
+    straggler_scan_limit: int = 64,
+    with_oracle: bool = True,
+) -> CertificationReport:
+    """Certify one run's committed history, cheaply when possible.
+
+    Performs the exact oracle's tree mutations — committed projection,
+    global re-stamping, global Definition 5 extension — then feeds the
+    committed trees through an :class:`OnlineCertifier` in commit order.
+    The verdict equals :func:`repro.fuzz.oracle.check_history`'s
+    ``oo_serializable`` bit; on violation (with ``with_oracle``) the
+    canonical report, witnesses included, is attached as ``.oracle`` so
+    shrinker and replay tooling see the exact engine's bytes.
+    """
+    from repro.oodb.trace import committed_projection
+
+    db = result.db
+    registry = db.commutativity_registry()
+    if ablation is not None:
+        registry = ablation.apply(registry)
+    projection = committed_projection(db.system, result.committed_labels)
+    linearize_effects(projection)
+    extension = extend_system(projection)
+    certifier = OnlineCertifier(
+        projection,
+        registry,
+        strict_cross_object=strict_cross_object,
+        pre_extended=True,
+        straggler_scan_limit=straggler_scan_limit,
+    )
+    if extension.duplicates:
+        certifier.escalate(ESCALATE_EXTENSION)
+    for txn in _committed_in_commit_order(result, projection):
+        if not certifier.observe_commit(txn):
+            break
+    report = certifier.report(gave_up=len(result.gave_up))
+    if report.violation and with_oracle:
+        from repro.fuzz.oracle import check_history
+
+        report.oracle = check_history(
+            result, ablation, strict_cross_object=strict_cross_object
+        )
+    return report
+
+
+def judge_history(
+    result: "ExecutionResult",
+    ablation: "Ablation | None" = None,
+    *,
+    strict_cross_object: bool = True,
+) -> bool:
+    """``certify_history(...).violation``, skipping the canonical report."""
+    return certify_history(
+        result,
+        ablation,
+        strict_cross_object=strict_cross_object,
+        with_oracle=False,
+    ).violation

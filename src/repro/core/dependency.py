@@ -561,7 +561,9 @@ class IncrementalDependencyEngine:
             self._drain()
         return self.violated
 
-    def append_transaction(self, txn: OOTransaction) -> None:
+    def append_transaction(
+        self, txn: OOTransaction, *, extras: Iterable[ActionNode] | None = None
+    ) -> None:
         """Extend the analysis with one more executed transaction.
 
         The transaction is added to the engine's system if missing; only
@@ -569,17 +571,23 @@ class IncrementalDependencyEngine:
         extension-free), and only dependency deltas involving its actions
         (plus any virtual duplicates the extension hangs off committed
         trees) are derived.
+
+        When ``extras`` is given (any sequence, including an empty one) the
+        tree is taken as already re-stamped and extended — the caller did
+        the linearize/extend pass itself, e.g. globally up front — and the
+        given duplicates are integrated alongside the tree's own actions.
         """
         if all(existing is not txn for existing in self.system._tops):
             self.system._tops.append(txn)
         if self._m_appends is not None:
             self._m_appends.value += 1
-        if self.linearize:
-            linearize_effects(self.system, tops=[txn])
-        extras: list[ActionNode] = []
-        if self.extend:
-            extension = extend_system(self.system, tops=[txn])
-            extras = extension.duplicates
+        if extras is None:
+            if self.linearize:
+                linearize_effects(self.system, tops=[txn])
+            extras = []
+            if self.extend:
+                extension = extend_system(self.system, tops=[txn])
+                extras = extension.duplicates
         self._integrate_tree(txn, extras=extras)
         self._drain()
 

@@ -89,14 +89,31 @@ def run_cell(
     ablation: Ablation | None = None,
     max_ticks: int = 200_000,
     bus=None,
+    certify: bool = False,
 ) -> tuple[ExecutionResult, OracleReport]:
-    """One (workload, protocol) cell: build, execute, judge."""
+    """One (workload, protocol) cell: build, execute, judge.
+
+    ``certify=True`` judges with the Vbox-style fast certifier
+    (:func:`repro.core.certify.certify_history`) instead of the full
+    oracle replay — same verdict, and on violation the canonical exact
+    report; a fast-path acceptance skips the conventional baseline, so
+    the campaign's ``oo-only`` admission-delta column reads zero.  This
+    is what makes long-history campaigns (``GeneratorProfile.long``)
+    affordable.
+    """
     result = execute_cell(
         spec, protocol, exec_seed=exec_seed, max_ticks=max_ticks, bus=bus
     )
-    report = check_history(
-        result, ablation, strict_cross_object=strictness_for(protocol)
-    )
+    if certify:
+        from repro.core.certify import certify_history
+
+        report = certify_history(
+            result, ablation, strict_cross_object=strictness_for(protocol)
+        ).as_oracle_report()
+    else:
+        report = check_history(
+            result, ablation, strict_cross_object=strictness_for(protocol)
+        )
     return result, report
 
 
@@ -209,6 +226,7 @@ def run_seed_cells(
     ablation: Ablation | None = None,
     ablate_first_leaf: bool = False,
     trace_dir: str | None = None,
+    certify: bool = False,
 ) -> list[CellOutcome]:
     """The per-seed campaign worker: one seed under every protocol.
 
@@ -238,7 +256,8 @@ def run_seed_cells(
             tracer = SpanTracer(bus)
         try:
             result, report = run_cell(
-                spec, protocol, ablation=cell_ablation, bus=bus
+                spec, protocol, ablation=cell_ablation, bus=bus,
+                certify=certify,
             )
         except ReproError as exc:
             cells.append(CellOutcome(protocol=protocol, error=repr(exc)))
@@ -337,6 +356,7 @@ def run_campaign(
     jobs: int = 1,
     progress=None,
     trace_dir: str | None = None,
+    certify: bool = False,
 ) -> CampaignResult:
     """Run every seed under every protocol; stop after ``max_violations``.
 
@@ -354,6 +374,7 @@ def run_campaign(
         ablation=ablation,
         ablate_first_leaf=ablate_first_leaf,
         trace_dir=trace_dir,
+        certify=certify,
     )
     for seed, cells in iter_seed_results(worker, seeds, jobs):
         stopped = _fold_seed(

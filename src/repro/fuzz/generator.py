@@ -329,6 +329,29 @@ class GeneratorProfile:
             max_think=1,
         )
 
+    @staticmethod
+    def long(n_programs: int = 200) -> "GeneratorProfile":
+        """Long, conflict-sparse histories for the certification mode.
+
+        Many objects and programs over a wide key space with shallow call
+        structure and no Definition 5 self/up calls: the workload the fast
+        certifier is built for (cooperative-editing-style sessions where
+        conflicts are rare and histories run to 100k+ actions), and the
+        shape ``repro certify --long`` and the C14 bench generate.
+        """
+        return GeneratorProfile(
+            n_objects=40,
+            n_layers=2,
+            updates_per_object=2,
+            n_programs=n_programs,
+            ops_per_program=4,
+            key_space=64,
+            max_think=1,
+            p_call=0.35,
+            p_self_call=0.0,
+            p_up_call=0.0,
+        )
+
 
 def generate(seed: int, profile: GeneratorProfile | None = None) -> WorkloadSpec:
     """Derive a complete workload spec from a seed (deterministically)."""

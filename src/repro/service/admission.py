@@ -44,6 +44,10 @@ class TenantQuota:
     #: queued (admitted, not yet executing) requests allowed on top of the
     #: executing ones before the tenant sees queue-full backpressure
     max_queue_depth: int = 8
+    #: share of the engine's batch capacity under contention: the deficit
+    #: round-robin scheduler grants each tenant batch slots proportional to
+    #: its weight (non-positive values are treated as 1.0)
+    weight: float = 1.0
 
     def to_dict(self) -> dict:
         return {
@@ -51,6 +55,7 @@ class TenantQuota:
             "rate": self.rate,
             "burst": self.burst,
             "max_queue_depth": self.max_queue_depth,
+            "weight": self.weight,
         }
 
     @staticmethod
@@ -62,6 +67,7 @@ class TenantQuota:
             rate=float(data.get("rate", 0.0)),
             burst=int(data.get("burst", 8)),
             max_queue_depth=int(data.get("max_queue_depth", 8)),
+            weight=float(data.get("weight", 1.0)),
         )
 
 

@@ -38,7 +38,10 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from collections import deque
+
 from repro.analysis.compare import make_scheduler
+from repro.core.certify import OnlineCertifier, certified_base
 from repro.fuzz.generator import GeneratorProfile, build_workload, generate
 from repro.fuzz.oracle import check_history, strictness_for
 from repro.oodb.database import ObjectDatabase
@@ -86,6 +89,9 @@ class ServiceConfig:
     join_timeout: float = 30.0
     #: how long the engine sleeps on an empty queue before re-checking stop
     idle_wait_s: float = 0.02
+    #: certify each settled batch incrementally (the online audit); off,
+    #: the history is only judged by an explicit :meth:`certify` call
+    online_certify: bool = True
 
     def to_dict(self) -> dict:
         return {
@@ -96,6 +102,7 @@ class ServiceConfig:
             "queue_capacity": self.queue_capacity,
             "default_quota": self.default_quota.to_dict(),
             "retry_policy": self.retry_policy.to_dict(),
+            "online_certify": self.online_certify,
         }
 
 
@@ -127,6 +134,72 @@ class _Request:
     max_restarts: int
     pending: _Pending
     enqueued_at: float
+
+
+class DeficitRoundRobin:
+    """Weighted-fair request scheduling across tenants (deficit round-robin).
+
+    The engine used to drain its queue FIFO, so one chatty tenant could
+    fill every batch.  Here admitted requests are buffered per tenant and
+    batches are assembled by cycling the tenants in sorted order with a
+    persistent cursor: each visit adds the tenant's ``weight`` to its
+    deficit and takes one buffered request per whole unit of deficit.
+    Under contention a tenant therefore receives batch slots proportional
+    to its quota weight; an idle visit resets the deficit so credit never
+    accumulates while a tenant has nothing queued.  Everything is plain
+    arithmetic over sorted tenants — byte-deterministic for a fixed
+    arrival order, which the service campaigns rely on.
+
+    Single-threaded by design: only the engine thread touches it.
+    """
+
+    def __init__(self, weight_for):
+        #: tenant -> scheduling weight (non-positive values count as 1.0)
+        self._weight_for = weight_for
+        self._buffers: dict[str, deque] = {}
+        self._deficits: dict[str, float] = {}
+        self._order: list[str] = []
+        self._cursor = 0
+        #: buffered requests across all tenants (read by submitters for the
+        #: global capacity bound; a stale read only shifts *when* the
+        #: queue-full answer arrives, never whether work is lost)
+        self.buffered = 0
+
+    def offer(self, request: _Request) -> None:
+        buffer = self._buffers.get(request.tenant)
+        if buffer is None:
+            buffer = self._buffers[request.tenant] = deque()
+            self._deficits[request.tenant] = 0.0
+            index = 0
+            while index < len(self._order) and self._order[index] < request.tenant:
+                index += 1
+            self._order.insert(index, request.tenant)
+            if index <= self._cursor and len(self._order) > 1:
+                self._cursor += 1  # keep pointing at the same tenant
+        buffer.append(request)
+        self.buffered += 1
+
+    def next_batch(self, limit: int) -> list[_Request]:
+        batch: list[_Request] = []
+        while self.buffered and len(batch) < limit:
+            tenant = self._order[self._cursor % len(self._order)]
+            buffer = self._buffers[tenant]
+            if not buffer:
+                self._deficits[tenant] = 0.0
+                self._cursor = (self._cursor + 1) % len(self._order)
+                continue
+            weight = self._weight_for(tenant)
+            self._deficits[tenant] += weight if weight > 0 else 1.0
+            while (
+                self._deficits[tenant] >= 1.0 and buffer and len(batch) < limit
+            ):
+                batch.append(buffer.popleft())
+                self.buffered -= 1
+                self._deficits[tenant] -= 1.0
+            if not buffer:
+                self._deficits[tenant] = 0.0
+            self._cursor = (self._cursor + 1) % len(self._order)
+        return batch
 
 
 class InvalidRequest(ValueError):
@@ -179,6 +252,9 @@ class TransactionService:
         self._outcome_lock = threading.Lock()
         self._stopping = False
         self._engine: threading.Thread | None = None
+        #: requests buffered by the engine's fair scheduler (engine thread
+        #: writes, submitters read for the global capacity bound)
+        self._buffered = 0
         m = self.db.metrics
         self._batches = m.counter(
             "service_batches_total", "executor batches the engine ran"
@@ -193,6 +269,26 @@ class TransactionService:
             "admitted requests settled, by terminal status",
             labelnames=("tenant", "status"),
         )
+        # The online audit: every settled batch's commits are certified
+        # against the growing history, in the engine thread (the executor
+        # is idle between batches, so the trees are quiescent).
+        self._certify_lag = m.gauge(
+            "service_certify_lag",
+            "committed transactions settled but not yet certified",
+        )
+        self._certified = m.counter(
+            "service_certified_total",
+            "committed transactions certified by the online audit",
+        )
+        self._certifier_lock = threading.Lock()
+        self._certifier: OnlineCertifier | None = None
+        if self.config.online_certify:
+            self._certifier = OnlineCertifier(
+                certified_base(self.db.system),
+                self.db.commutativity_registry().copy(),
+                strict_cross_object=strictness_for(self.config.protocol),
+                metrics=m,
+            )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -314,7 +410,12 @@ class TransactionService:
         with self._submit_gate:
             # Global queue bound first: per-tenant quotas cannot defend the
             # engine when many tenants are each within their own limits.
-            if self._queue.qsize() >= self.config.queue_capacity:
+            # Requests the engine has pulled into its fair-scheduling
+            # buffers still count — they are admitted-but-unexecuted.
+            if (
+                self._queue.qsize() + self._buffered
+                >= self.config.queue_capacity
+            ):
                 rejection = self.admission._reject(
                     tenant, REJECT_QUEUE_FULL, self.admission.retry_after_ms
                 )
@@ -376,21 +477,36 @@ class TransactionService:
 
     # -- the engine thread --------------------------------------------------
 
+    def _weight_for(self, tenant: str) -> float:
+        quota = self.admission.quota_for(tenant)
+        if quota is None:
+            quota = self.config.default_quota
+        return quota.weight
+
     def _engine_loop(self) -> None:
+        scheduler = DeficitRoundRobin(self._weight_for)
         while True:
-            try:
-                first = self._queue.get(timeout=self.config.idle_wait_s)
-            except queue.Empty:
-                if self._stopping:
-                    return
-                continue
-            batch = [first]
-            while len(batch) < self.config.batch_max:
+            if scheduler.buffered == 0:
                 try:
-                    batch.append(self._queue.get_nowait())
+                    scheduler.offer(
+                        self._queue.get(timeout=self.config.idle_wait_s)
+                    )
+                except queue.Empty:
+                    if self._stopping:
+                        return
+                    continue
+            # Sweep everything that has arrived into the fair buffers, then
+            # let deficit round-robin pick the batch across tenants.
+            while True:
+                try:
+                    scheduler.offer(self._queue.get_nowait())
                 except queue.Empty:
                     break
-            self._run_batch(batch)
+            self._buffered = scheduler.buffered
+            batch = scheduler.next_batch(self.config.batch_max)
+            self._buffered = scheduler.buffered
+            if batch:
+                self._run_batch(batch)
 
     def _program_for(self, request: _Request) -> TransactionProgram:
         def body(api, ops=tuple(tuple(op) for op in request.ops)):
@@ -430,12 +546,41 @@ class TransactionService:
                     self._settle(request, outcome)
                 else:  # pragma: no cover - defensive
                     self._settle_error(request, exc)
+            self._certify_batch([o for o in outcomes if o is not None])
             return
         self._batches.inc()
         self._batch_size.observe(len(batch))
         by_label = {o.program.label: o for o in result.outcomes}
         for request in batch:
             self._settle(request, by_label[request.label])
+        self._certify_batch(result.outcomes)
+
+    def _certify_batch(self, outcomes) -> None:
+        """The online audit step: certify this batch's commits incrementally.
+
+        Runs in the engine thread between batches, when the executor is
+        idle and the committed trees are final.  Commits are fed in commit
+        order (the executor's logical clock is monotone across batches, so
+        per-batch feeding preserves the global commit order) and the lag
+        gauge exposes the backlog — it is bounded by ``batch_max`` and
+        returns to zero before the next batch starts.
+        """
+        if self._certifier is None:
+            return
+        committed = [
+            o for o in outcomes if o.committed and o.final_ctx is not None
+        ]
+        if not committed:
+            return
+        committed.sort(
+            key=lambda o: (o.final_ctx.stats.commit_tick, o.final_ctx.txn_id)
+        )
+        self._certify_lag.set(len(committed))
+        with self._certifier_lock:
+            for outcome in committed:
+                self._certifier.observe_commit(outcome.final_ctx.txn)
+                self._certified.inc()
+                self._certify_lag.dec()
 
     def _settle(self, request: _Request, outcome) -> None:
         if outcome.committed:
@@ -519,13 +664,39 @@ class TransactionService:
             "ok": not unsettled and not lost,
         }
 
-    def certify(self, ablation=None):
-        """Judge the service's committed history with the paper's oracle."""
-        return check_history(
-            self.history_result(),
-            ablation,
-            strict_cross_object=strictness_for(self.config.protocol),
-        )
+    def certify(self, ablation=None, *, exact: bool = False):
+        """Judge the service's committed history with the paper's oracle.
+
+        With the online audit enabled (the default) the verdict is the
+        continuously maintained one — no end-of-run replay — converted to
+        the familiar :class:`~repro.fuzz.oracle.OracleReport` shape; on
+        violation the canonical exact report (witnesses included) is
+        computed and returned instead.  ``exact=True`` or an ``ablation``
+        forces the full :func:`check_history` replay.
+        """
+        strict = strictness_for(self.config.protocol)
+        if ablation is not None or exact or self._certifier is None:
+            return check_history(
+                self.history_result(), ablation, strict_cross_object=strict
+            )
+        with self._certifier_lock:
+            report = self._certifier.report(
+                gave_up=len(self.history_result().gave_up)
+            )
+        if report.violation:
+            report.oracle = check_history(
+                self.history_result(), None, strict_cross_object=strict
+            )
+        return report.as_oracle_report()
+
+    def certification(self):
+        """The raw online-audit state (fast/escalated counters), or None."""
+        if self._certifier is None:
+            return None
+        with self._certifier_lock:
+            return self._certifier.report(
+                gave_up=len(self.history_result().gave_up)
+            )
 
     def stats(self) -> dict:
         """Per-tenant stats: admission state + terminal-status tallies."""

@@ -1,0 +1,192 @@
+"""Unit and adversarial tests for the Vbox-style black-box certifier.
+
+The adversarial half mutates executed histories *after* the fact —
+swapping effect stamps so the committed order and the object schedules
+disagree — and demands two things of the certifier: it must never take
+the fast path past a suspicious stamp (escalation), and whatever path it
+takes must reach exactly the exact engine's verdict (parity).
+"""
+
+import random
+
+import pytest
+
+from repro.core.certify import (
+    ESCALATE_CONFLICT,
+    ESCALATE_NONMONOTONE,
+    ESCALATE_WINDOW,
+    CertificationReport,
+    certify_history,
+    judge_history,
+)
+from repro.fuzz.driver import execute_cell
+from repro.fuzz.generator import GeneratorProfile, generate
+from repro.fuzz.oracle import check_history, strictness_for
+
+
+def _fast_report(ok: bool = True) -> CertificationReport:
+    return CertificationReport(
+        ok=ok,
+        committed=7,
+        actions=120,
+        fast_commits=7 if ok else 5,
+        escalated_commits=0 if ok else 2,
+        stragglers_scanned=3,
+        escalated=not ok,
+        escalation_reason=None if ok else ESCALATE_CONFLICT,
+    )
+
+
+class TestReport:
+    def test_fast_acceptance_description(self):
+        report = _fast_report()
+        assert report.oo_serializable and not report.violation
+        assert "certified oo-serializable" in report.description
+        assert "fast path" in report.description
+
+    def test_escalated_description_names_the_reason(self):
+        report = _fast_report(ok=False)
+        assert report.violation
+        assert ESCALATE_CONFLICT in report.description
+        assert "NOT oo-serializable" in report.description
+
+    def test_as_oracle_report_mirrors_the_verdict(self):
+        for ok in (True, False):
+            oracle = _fast_report(ok=ok).as_oracle_report()
+            assert oracle.oo_serializable is ok
+            assert oracle.conventional_serializable is ok
+            assert oracle.committed == 7
+            assert oracle.oo_constraints == 0
+
+
+def _committed_primitive_groups(result):
+    """Non-virtual primitive actions of committed trees, grouped by object."""
+    committed = result.committed_labels
+    groups: dict = {}
+    for txn in result.db.system.tops:
+        if txn.label not in committed:
+            continue
+        for action in txn.actions():
+            if action.is_primitive and not action.virtual:
+                groups.setdefault(action.obj, []).append(action)
+    return groups
+
+
+def _long_cell(seed: int = 0, protocol: str = "page-2pl"):
+    return execute_cell(generate(seed, GeneratorProfile.long(40)), protocol)
+
+
+def _parity(result, protocol) -> CertificationReport:
+    """Certify, then cross-check verdict and witness against the oracle."""
+    strict = strictness_for(protocol)
+    report = certify_history(result, strict_cross_object=strict)
+    exact = check_history(result, strict_cross_object=strict)
+    assert report.oo_serializable == exact.oo_serializable
+    if report.violation:
+        assert report.description == exact.description
+        assert report.as_oracle_report().description == exact.description
+    return report
+
+
+class TestFastPath:
+    def test_long_conflict_sparse_history_certifies_all_fast(self):
+        result = _long_cell()
+        report = certify_history(
+            result, strict_cross_object=strictness_for("page-2pl")
+        )
+        assert report.ok and not report.escalated
+        assert report.committed > 0
+        assert report.fast_commits == report.committed
+        assert report.escalated_commits == 0
+
+    def test_judge_history_agrees_with_oracle(self):
+        for protocol in ("page-2pl", "open-nested-oo"):
+            result = execute_cell(
+                generate(2, GeneratorProfile.smoke()), protocol
+            )
+            strict = strictness_for(protocol)
+            assert judge_history(
+                result, strict_cross_object=strict
+            ) == check_history(
+                result, strict_cross_object=strict
+            ).violation
+
+
+class TestAdversarialMutations:
+    def test_swapped_cross_top_conflicting_stamps_escalate(self):
+        # In an all-fast history every conflicting cross-transaction pair's
+        # stamp order matches commit order; swapping one such pair plants a
+        # backward conflicting straggler the screen must refuse to certify.
+        protocol = "page-2pl"
+        result = _long_cell(protocol=protocol)
+        registry = result.db.commutativity_registry()
+        pair = None
+        for _, actions in sorted(_committed_primitive_groups(result).items()):
+            actions.sort(key=lambda a: a.seq)
+            pair = next(
+                (
+                    (a, b)
+                    for i, a in enumerate(actions)
+                    for b in actions[i + 1 :]
+                    if a.top is not b.top and registry.in_conflict(a, b)
+                ),
+                None,
+            )
+            if pair is not None:
+                break
+        assert pair is not None, "workload has no conflicting cross-top pair"
+        a, b = pair
+        a.seq, b.seq = b.seq, a.seq
+        report = _parity(result, protocol)
+        assert report.escalated
+        assert report.escalation_reason in (
+            ESCALATE_CONFLICT,
+            ESCALATE_WINDOW,
+            ESCALATE_NONMONOTONE,
+        )
+
+    def test_nonmonotone_stamps_inside_one_tree_escalate(self):
+        protocol = "page-2pl"
+        result = _long_cell(seed=1, protocol=protocol)
+        mutated = False
+        for txn in result.db.system.tops:
+            if txn.label not in result.committed_labels:
+                continue
+            per_obj: dict = {}
+            for action in txn.actions():
+                if action.is_primitive and not action.virtual:
+                    per_obj.setdefault(action.obj, []).append(action)
+            pair = next(
+                (acts[:2] for acts in per_obj.values() if len(acts) >= 2
+                 and acts[0].seq != acts[1].seq),
+                None,
+            )
+            if pair is not None:
+                first, second = pair  # DFS order
+                hi, lo = max(first.seq, second.seq), min(first.seq, second.seq)
+                first.seq, second.seq = hi, lo
+                mutated = True
+                break
+        assert mutated, "no tree touches one object twice"
+        report = _parity(result, protocol)
+        assert report.escalated
+
+    @pytest.mark.parametrize("protocol", ["page-2pl", "open-nested-oo"])
+    def test_random_stamp_swaps_never_diverge(self, protocol):
+        # Whatever a mutation does — escalate, violate, or stay benign —
+        # the certifier's verdict must equal the exact engine's, and any
+        # witness must be byte-identical.
+        rng = random.Random(0xC14)
+        for seed in (0, 3):
+            result = execute_cell(
+                generate(seed, GeneratorProfile.smoke()), protocol
+            )
+            pool = [
+                actions
+                for actions in _committed_primitive_groups(result).values()
+                if len(actions) >= 2
+            ]
+            for actions in pool[:2]:
+                a, b = rng.sample(actions, 2)
+                a.seq, b.seq = b.seq, a.seq
+            _parity(result, protocol)

@@ -213,6 +213,72 @@ def test_fuzz_trace_dir_dumps_traces_without_perturbing_report(tmp_path):
         assert validate_chrome_trace(trace) == []
 
 
+def test_certify_clean_cell_with_diff_exits_0():
+    code, output = run_cli(
+        "certify", "--seed", "3", "--protocol", "page-2pl", "--smoke",
+        "--diff",
+    )
+    assert code == 0
+    assert "certify seed 3 under page-2pl: ok" in output
+    assert "diff: certifier verdict and witness match the exact oracle" in output
+
+
+def test_certify_ablated_violation_exits_1():
+    code, output = run_cli(
+        "certify", "--seed", "4", "--protocol", "open-nested-oo", "--smoke",
+        "--ablate", "--diff",
+    )
+    assert code == 1
+    assert "VIOLATION" in output
+    assert "oo-serializable=False" in output  # the exact witness is printed
+    assert "diff: certifier verdict and witness match the exact oracle" in output
+
+
+def test_certify_missing_args_exits_2(capsys):
+    code, _ = run_cli("certify", "--seed", "3")
+    assert code == 2
+    assert "--protocol" in capsys.readouterr().err
+
+
+def test_certify_timeout_exits_124(capsys):
+    code, _ = run_cli(
+        "certify", "--seed", "0", "--protocol", "page-2pl", "--timeout",
+        "0.01",
+    )
+    assert code == 124
+    assert "timed out after" in capsys.readouterr().err
+
+
+def test_certify_replay_counterexample(tmp_path):
+    import json
+
+    from repro.fuzz.generator import GeneratorProfile, generate
+
+    spec = generate(3, GeneratorProfile.smoke())
+    # The fields `repro fuzz --replay` reads; a shrunk counterexample file
+    # is a superset of this.
+    payload = {
+        "workload": spec.to_dict(),
+        "protocol": "page-2pl",
+        "exec_seed": 3,
+        "ablation": None,
+    }
+    path = tmp_path / "cex.json"
+    path.write_text(json.dumps(payload) + "\n")
+    code, output = run_cli("certify", "--replay", str(path), "--diff")
+    assert code == 0
+    assert f"certify {path} under page-2pl" in output
+
+
+def test_fuzz_certify_flag_matches_plain_verdict():
+    argv = ("fuzz", "--smoke", "--seeds", "4")
+    code_plain, plain = run_cli(*argv)
+    code_cert, certified = run_cli(*argv, "--certify")
+    assert code_plain == code_cert == 0
+    assert "[certified]" in certified and "[certified]" not in plain
+    assert "no oracle violations" in certified
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
@@ -265,7 +331,7 @@ def test_fuzz_timeout_flag_exits_124(capsys):
 
 def test_serve_fuzz_load_share_a_timeout_flag():
     # The shared flag is documented on every long-running command.
-    for command in ("serve", "fuzz", "load"):
+    for command in ("serve", "fuzz", "load", "certify"):
         buffer = io.StringIO()
         with pytest.raises(SystemExit), redirect_stdout(buffer):
             main([command, "--help"])
