@@ -14,6 +14,10 @@ Four measurements, one machine-readable artifact:
    vs off, over a predicate-valued matrix spec (the paper's B+-tree leaf).
 4. **WAL append throughput** — append+sync records/sec in file mode
    (one write barrier per sync point) and memory mode.
+5. **Buffer pool** — hit rate and ops/sec with frames at 1/4, 1/2 and 1x
+   of the working set, plus the in-memory hot path's cost for the no-op
+   durability surface (``note_write`` on the plain ``PageStore`` must be
+   within noise of not calling it at all).
 
 Results go to the usual ``benchmarks/results/`` table *and* to
 ``BENCH_perf.json`` at the repo root: a labelled trajectory (label from
@@ -43,6 +47,8 @@ from repro.fuzz.driver import run_campaign
 from repro.fuzz.generator import GeneratorProfile
 from repro.locking.lock_table import Lock, LockTable
 from repro.oodb.context import TransactionContext
+from repro.oodb.pages import PageStore
+from repro.oodb.store import FileBackedPageStore
 from repro.oodb.wal import WriteAheadLog
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -307,6 +313,84 @@ def _wal_section() -> dict:
 
 
 # ---------------------------------------------------------------------------
+# 5. buffer pool: frames vs working set, and the in-memory no-op surface
+# ---------------------------------------------------------------------------
+
+POOL_WORKING_SET = 64
+POOL_OPS = 30_000
+
+
+def _pool_access_pattern():
+    """A seeded 90/10-skewed read/write pattern over the working set."""
+    import random
+
+    rng = random.Random(11)
+    hot = list(range(POOL_WORKING_SET // 8))
+    pattern = []
+    for i in range(POOL_OPS):
+        n = rng.choice(hot) if rng.random() < 0.9 else rng.randrange(POOL_WORKING_SET)
+        pattern.append((f"P{n}", i))
+    return pattern
+
+
+def _run_pool(store, pattern) -> float:
+    start = time.perf_counter()
+    for page_id, i in pattern:
+        page = store.get(page_id)
+        page.write("total", i)
+        store.note_write(page_id, i)
+    return time.perf_counter() - start
+
+
+def _bufferpool_section() -> dict:
+    pattern = _pool_access_pattern()
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for fraction, frames in (
+            ("1/4", POOL_WORKING_SET // 4),
+            ("1/2", POOL_WORKING_SET // 2),
+            ("1x", POOL_WORKING_SET),
+        ):
+            root = Path(tmp) / f"f{frames}"
+            store = FileBackedPageStore(str(root), frames=frames)
+            for n in range(POOL_WORKING_SET):
+                store.allocate(f"P{n}")
+            store.flush_dirty()
+            elapsed = _run_pool(store, pattern)
+            pool = store.pool
+            accesses = pool.hits + pool.misses
+            rows.append(
+                {
+                    "frames": fraction,
+                    "hit_rate": round(pool.hits / accesses, 4),
+                    "evictions": pool.evictions,
+                    "ops_per_s": round(len(pattern) / elapsed, 1),
+                }
+            )
+
+    # the no-op durability surface on the in-memory hot path
+    bare = PageStore(default_capacity=16)
+    surfaced = PageStore(default_capacity=16)
+    for n in range(POOL_WORKING_SET):
+        bare.allocate(f"P{n}")
+        surfaced.allocate(f"P{n}")
+    start = time.perf_counter()
+    for page_id, i in pattern:
+        bare.get(page_id).write("total", i)
+    bare_s = time.perf_counter() - start
+    surfaced_s = _run_pool(surfaced, pattern)
+
+    return {
+        "working_set": POOL_WORKING_SET,
+        "ops": POOL_OPS,
+        "sweep": rows,
+        "memory_bare_s": round(bare_s, 4),
+        "memory_surfaced_s": round(surfaced_s, 4),
+        "memory_overhead": round(surfaced_s / bare_s, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
 # the trajectory artifact
 # ---------------------------------------------------------------------------
 
@@ -325,6 +409,7 @@ def run_perf_bench() -> dict:
         "lock_table": _lock_table_section(),
         "commute_cache": _commute_cache_section(),
         "wal": _wal_section(),
+        "bufferpool": _bufferpool_section(),
     }
 
 
@@ -332,6 +417,7 @@ def _render(entry: dict) -> str:
     campaign = entry["campaign"]
     commute = entry["commute_cache"]
     wal = entry["wal"]
+    pool = entry["bufferpool"]
     rows = [
         [
             "campaign (smoke)",
@@ -365,6 +451,23 @@ def _render(entry: dict) -> str:
             f"{wal['file_records_per_s']}/s file",
             "-",
         ],
+        *[
+            [
+                f"buffer pool ({row['frames']} frames)",
+                f"{pool['ops']} ops / {pool['working_set']} pages",
+                f"hit rate {row['hit_rate']}",
+                f"{row['evictions']} evictions",
+                f"{row['ops_per_s']}/s",
+            ]
+            for row in pool["sweep"]
+        ],
+        [
+            "in-memory durability surface",
+            f"{pool['ops']} ops",
+            f"{pool['memory_bare_s']}s bare",
+            f"{pool['memory_surfaced_s']}s with note_write",
+            f"x{pool['memory_overhead']}",
+        ],
     ]
     return render_table(
         ["hot path", "work", "before / serial", "after / parallel", "speedup"],
@@ -386,6 +489,24 @@ def test_perf_trajectory(benchmark):
         f"at {sizes[-1]['locks']} locks, got x{sizes[-1]['speedup']}"
     )
     assert entry["commute_cache"]["hit_rate"] > 0.5
+    # buffer pool: hit rate climbs with frames, and frames == working set
+    # means no capacity misses after warm-up
+    sweep = entry["bufferpool"]["sweep"]
+    hit_rates = [row["hit_rate"] for row in sweep]
+    assert hit_rates == sorted(hit_rates), (
+        f"hit rate should be monotone in frames, got {hit_rates}"
+    )
+    assert hit_rates[-1] > 0.99, (
+        f"frames == working set should only cold-miss, got {hit_rates[-1]}"
+    )
+    assert sweep[-1]["evictions"] == 0
+    # the skewed pattern keeps even the smallest pool mostly hitting
+    assert hit_rates[0] > 0.8
+    # the no-op durability surface must be noise on the in-memory hot path
+    assert entry["bufferpool"]["memory_overhead"] < 2.0, (
+        "no-op note_write should be within noise of the bare in-memory "
+        f"path, got x{entry['bufferpool']['memory_overhead']}"
+    )
     # the campaign speedup claim needs real cores behind the workers
     if entry["cpus"] >= 4:
         assert entry["campaign"]["speedup"] >= 2.0, (

@@ -274,6 +274,27 @@ def _build_fuzz_parser(subparsers) -> None:
         "the self-test that the crash oracle must catch",
     )
     parser.add_argument(
+        "--durable", action="store_true",
+        help="crash mode: run every cell on the file-backed storage engine "
+        "(throwaway data dirs) and arm the storage crash sites too "
+        "(mid-checkpoint, mid-eviction, torn page image)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=6, metavar="N",
+        help="durable crash mode: buffer-pool frame count (small on "
+        "purpose, to force evictions)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=48, metavar="N",
+        help="durable crash mode: fuzzy-checkpoint interval in WAL records",
+    )
+    parser.add_argument(
+        "--crash-ablate-force", action="store_true",
+        help="durable self-test: skip the log-force-before-flush (WAL "
+        "rule) in the buffer pool and prove the crash oracle catches the "
+        "resulting phantom page effects",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="shard seeds across N worker processes (0 = one per CPU); "
         "the campaign report is byte-identical to a serial run",
@@ -366,7 +387,7 @@ def cmd_fuzz(args) -> int:
     seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
     if args.service:
         return _cmd_fuzz_service(args, seeds)
-    if args.crash or args.crash_ablate:
+    if args.crash or args.crash_ablate or args.crash_ablate_force:
         return _cmd_fuzz_crash(args, seeds, profile)
     campaign = run_campaign(
         seeds=seeds,
@@ -473,14 +494,51 @@ def _cmd_fuzz_service(args, seeds) -> int:
 def _cmd_fuzz_crash(args, seeds, profile) -> int:
     import json
 
-    from repro.fuzz.crash import run_crash_campaign
+    from repro.fuzz.crash import (
+        DurableConfig,
+        find_log_force_ablation,
+        run_crash_campaign,
+    )
 
+    if args.crash_ablate_force:
+        # Self-test: a buffer pool that flushes dirty pages without
+        # forcing the log first must be caught by the crash oracle.
+        found = find_log_force_ablation(seeds=seeds)
+        if found is None:
+            print("log-force ablation NOT detected — the crash oracle is blind")
+            return 1
+        spec, outcome = found
+        print(
+            f"log-force ablation detected (seed {outcome.seed}, "
+            f"{outcome.protocol}, {outcome.site}#{outcome.occurrence}): "
+            "phantom page effects survive recovery"
+        )
+        for line in outcome.violations:
+            print(f"violation: {line}")
+        payload = outcome.to_counterexample(spec)
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(
+            f"wrote {args.out}; reproduce with: "
+            f"python -m repro fuzz --replay {args.out}"
+        )
+        return 0
+
+    durable = (
+        DurableConfig(
+            frames=args.frames, checkpoint_every=args.checkpoint_every
+        )
+        if args.durable
+        else None
+    )
     skip = args.crash_ablate
     campaign = run_crash_campaign(
         seeds=seeds,
         protocols=tuple(args.protocols),
         profile=profile,
         skip_compensation=skip,
+        durable=durable,
         max_violations=args.max_violations,
         jobs=args.jobs,
     )
@@ -491,7 +549,8 @@ def _cmd_fuzz_crash(args, seeds, profile) -> int:
             rows,
             title=f"crash campaign, {campaign.seeds_run} seed(s), "
             f"{campaign.crash_runs} crash run(s)"
-            + (" [compensation replay DISABLED]" if skip else ""),
+            + (" [compensation replay DISABLED]" if skip else "")
+            + (" [durable store]" if durable else ""),
         )
     )
     for seed, protocol, site, error in campaign.errors:
@@ -529,21 +588,34 @@ def _cmd_fuzz_crash(args, seeds, profile) -> int:
 
 def _replay_crash(path: str, data: dict) -> int:
     from repro.faults import FaultPlan
-    from repro.fuzz.crash import run_armed_cell
+    from repro.fuzz.crash import DurableConfig, run_armed_cell
     from repro.fuzz.generator import WorkloadSpec
 
     spec = WorkloadSpec.from_dict(data["spec"])
     plan = FaultPlan.from_dict(data["plan"])
+    durable = (
+        DurableConfig.from_dict(data["durable"])
+        if data.get("durable")
+        else None
+    )
     outcome = run_armed_cell(
         spec,
         data["protocol"],
         plan,
         skip_compensation=data.get("skip_compensation", False),
+        durable=durable,
     )
     print(
         f"replay {path}: protocol={data['protocol']} "
         f"plan=({plan.crash_site}#{plan.crash_at}) "
-        f"crashed={outcome.crashed} winners={outcome.winners} "
+        + (
+            f"durable=(frames={durable.frames}, "
+            f"ckpt={durable.checkpoint_every}, "
+            f"skip_log_force={durable.skip_log_force}) "
+            if durable
+            else ""
+        )
+        + f"crashed={outcome.crashed} winners={outcome.winners} "
         f"losers={outcome.losers}"
     )
     for line in outcome.violations:
@@ -685,7 +757,11 @@ def _build_recover_parser(subparsers) -> None:
         "recover",
         help="recover a database from a WAL file and report what was done",
     )
-    parser.add_argument("wal", help="JSONL write-ahead log file")
+    parser.add_argument(
+        "wal", nargs="?", default=None,
+        help="JSONL write-ahead log file (defaults to "
+        "DATA_DIR/wal.jsonl when --data-dir is given)",
+    )
     parser.add_argument(
         "--seed", type=int, required=True,
         help="generator seed of the workload the log belongs to (recovery "
@@ -699,23 +775,56 @@ def _build_recover_parser(subparsers) -> None:
         "--skip-compensation", action="store_true",
         help="ablation: recover without replaying compensations",
     )
+    parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="recover a file-backed data directory in place: start redo "
+        "from the last complete fuzzy checkpoint, write compensations "
+        "back into DIR/wal.jsonl, and leave DIR clean for reopening",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=256, metavar="N",
+        help="buffer-pool frames for --data-dir recovery",
+    )
 
 
 def cmd_recover(args) -> int:
+    import os
+
     from repro.fuzz.crash import _build_db
     from repro.fuzz.generator import GeneratorProfile, generate
     from repro.oodb.wal import WriteAheadLog, recover, store_digest, verify_log
 
-    wal = WriteAheadLog.load(args.wal)
+    if args.wal is None and args.data_dir is None:
+        print("recover: either a WAL file or --data-dir is required")
+        return EXIT_OPERATIONAL
+    wal_path = args.wal
+    if wal_path is None:
+        wal_path = os.path.join(args.data_dir, "wal.jsonl")
+    wal = WriteAheadLog.load(wal_path)
     verify_log(wal.to_list())
     profile = GeneratorProfile.smoke() if args.smoke else None
     spec = generate(args.seed, profile)
+    store = None
+    if args.data_dir is not None:
+        from repro.oodb.store import FileBackedPageStore
+
+        store = FileBackedPageStore(args.data_dir, frames=args.frames)
+        # In-place recovery: compensations must extend the persistent
+        # log, so re-attach the backing path the loader dropped.
+        wal.path = wal_path
     db, _ = _build_db(spec)
-    # The loaded log has no backing path, so recovery's own records stay
-    # in memory — the input file is never modified.
-    report = recover(wal, db, skip_compensation=args.skip_compensation)
+    # Without --data-dir the loaded log has no backing path, so
+    # recovery's own records stay in memory — the input file is never
+    # modified.
+    report = recover(
+        wal, db, store=store, skip_compensation=args.skip_compensation
+    )
     print(report.describe())
     print(f"page-store digest: {store_digest(db.store)}")
+    if store is not None:
+        db.store.close()
+        wal.close()
+        print(f"data dir {args.data_dir} recovered and checkpointed")
     return 0
 
 
@@ -902,10 +1011,25 @@ def _build_serve_parser(subparsers) -> None:
         "--session-read-timeout", type=float, default=5.0,
         help="seconds before a stalled client session is dropped",
     )
+    parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="run on the durable file-backed storage engine rooted here: "
+        "page images + DIR/wal.jsonl survive restarts (recover with "
+        "`repro recover --data-dir DIR`)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=256,
+        help="buffer-pool frame count for --data-dir",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=512,
+        help="fuzzy-checkpoint interval in WAL records for --data-dir",
+    )
     _add_timeout_flag(parser)
 
 
 def cmd_serve(args) -> int:
+    from repro.errors import DatabaseError
     from repro.runtime.executor import RetryPolicy
     from repro.service import (
         ServiceConfig,
@@ -926,8 +1050,15 @@ def cmd_serve(args) -> int:
             max_queue_depth=args.queue_depth,
         ),
         retry_policy=RetryPolicy(),
+        data_dir=args.data_dir,
+        frames=args.frames,
+        checkpoint_every=args.checkpoint_every,
     )
-    service = TransactionService(config)
+    try:
+        service = TransactionService(config)
+    except DatabaseError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return EXIT_OPERATIONAL
     server = ServiceServer(
         service,
         host=args.host,
@@ -939,7 +1070,8 @@ def cmd_serve(args) -> int:
     print(
         f"serving protocol={args.protocol} seed={args.seed} on "
         f"{args.host}:{server.port} "
-        f"(metrics http://{args.host}:{server.metrics_port}/metrics)",
+        f"(metrics http://{args.host}:{server.metrics_port}/metrics)"
+        + (f" data-dir={args.data_dir}" if args.data_dir else ""),
         flush=True,
     )
     # Graceful shutdown on SIGTERM too: background jobs in non-interactive

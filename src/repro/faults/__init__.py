@@ -10,11 +10,17 @@ site.
 """
 
 from repro.errors import SimulatedCrash
-from repro.faults.plan import CRASH_SITES, RECOVERY_SITES, FaultPlan
+from repro.faults.plan import (
+    CRASH_SITES,
+    DURABLE_CRASH_SITES,
+    RECOVERY_SITES,
+    FaultPlan,
+)
 from repro.faults.service import SERVICE_FAULT_SITES, ServiceFaultPlan
 
 __all__ = [
     "CRASH_SITES",
+    "DURABLE_CRASH_SITES",
     "RECOVERY_SITES",
     "SERVICE_FAULT_SITES",
     "FaultPlan",

@@ -43,6 +43,14 @@ CRASH_SITES = (
 #: sites that only exist once a run is already recovering
 RECOVERY_SITES = ("recovery.step",)
 
+#: sites that only exist with the durable (file-backed) page store; kept
+#: out of CRASH_SITES so the in-memory campaign tables stay byte-identical
+DURABLE_CRASH_SITES = (
+    "checkpoint.mid",      # between ckpt-begin and ckpt-end
+    "eviction.mid",        # log forced, dirty victim not yet written back
+    "writeback.torn",      # mid page-image write (torn .tmp, image intact)
+)
+
 
 @dataclass
 class FaultPlan:

@@ -35,18 +35,27 @@ campaign can actually see a broken recovery.
 from __future__ import annotations
 
 import functools
+import os
 import random
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 
 from repro.analysis.compare import make_scheduler
 from repro.core.serializability import analyze_system
 from repro.errors import ReproError, SimulatedCrash
-from repro.faults import CRASH_SITES, RECOVERY_SITES, FaultPlan
+from repro.faults import (
+    CRASH_SITES,
+    DURABLE_CRASH_SITES,
+    RECOVERY_SITES,
+    FaultPlan,
+)
 from repro.fuzz.driver import FUZZ_PROTOCOLS
 from repro.fuzz.generator import GeneratorProfile, WorkloadSpec, build_workload, generate
 from repro.fuzz.oracle import strictness_for
 from repro.fuzz.parallel import iter_seed_results
 from repro.oodb.database import ObjectDatabase
+from repro.oodb.store import FileBackedPageStore
 from repro.oodb.trace import committed_projection
 from repro.oodb.wal import RecoveryReport, WriteAheadLog, recover, store_digest
 from repro.runtime.executor import InterleavedExecutor, run_sequential
@@ -55,12 +64,69 @@ from repro.runtime.executor import InterleavedExecutor, run_sequential
 #: inside every cell's idempotence check)
 ARMED_SITES = tuple(s for s in CRASH_SITES if s not in RECOVERY_SITES)
 
+#: what durable cells arm: the in-memory sites plus the storage-engine ones
+DURABLE_ARMED_SITES = ARMED_SITES + DURABLE_CRASH_SITES
+
+
+@dataclass(frozen=True)
+class DurableConfig:
+    """How a durable crash cell runs its file-backed storage engine.
+
+    Small defaults on purpose: a handful of frames forces evictions (and
+    thus WAL-rule write-backs) even on smoke workloads, and a short
+    checkpoint interval makes fuzzy checkpoints land mid-workload.
+    ``skip_log_force`` is the ablation: flush dirty pages *without*
+    forcing the log first, which the crash oracle must catch.
+    """
+
+    frames: int = 6
+    checkpoint_every: int = 48
+    skip_log_force: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "frames": self.frames,
+            "checkpoint_every": self.checkpoint_every,
+            "skip_log_force": self.skip_log_force,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "DurableConfig":
+        return DurableConfig(
+            frames=data.get("frames", 6),
+            checkpoint_every=data.get("checkpoint_every", 48),
+            skip_log_force=bool(data.get("skip_log_force", False)),
+        )
+
+
+def _durable_store(
+    spec: WorkloadSpec,
+    data_dir: str,
+    durable: DurableConfig,
+    *,
+    forward: bool = False,
+) -> FileBackedPageStore:
+    """A file-backed store for one leg of a durable cell.
+
+    Only the *forward* (pre-crash) run carries the ``skip_log_force``
+    ablation; recovery legs always honor the WAL rule — the ablation is
+    about planting phantom durable effects, not about breaking recovery.
+    """
+    return FileBackedPageStore(
+        data_dir,
+        frames=durable.frames,
+        default_capacity=4 * spec.key_space + 16,
+        skip_log_force=forward and durable.skip_log_force,
+    )
+
 
 def _build_db(
     spec: WorkloadSpec,
     protocol: str | None = None,
     wal: WriteAheadLog | None = None,
     faults: FaultPlan | None = None,
+    store=None,
+    checkpoint_every: int | None = None,
 ):
     """A fresh database with the spec's objects bootstrapped.
 
@@ -68,14 +134,23 @@ def _build_db(
     assigns identical page ids — which is what lets a *recovery* database
     (no protocol, no faults, WAL attached only after bootstrap) resolve
     the crashed run's object directory.
+
+    The fault plan is armed only *after* bootstrap: the in-memory sites
+    are transaction-guarded and can never fire during object creation, so
+    the durable sites (which a bootstrap-time page eviction would
+    otherwise hit) must stay quiet there too — census and armed pass then
+    agree on occurrence numbering, and a cell's crash always lands inside
+    the executor harness.
     """
     db = ObjectDatabase(
         scheduler=make_scheduler(protocol, spec.layers()) if protocol else None,
         page_capacity=4 * spec.key_space + 16,
         wal=wal,
-        faults=faults,
+        store=store,
+        checkpoint_every=checkpoint_every,
     )
     _, programs = build_workload(db, spec)
+    db.faults = faults
     return db, programs
 
 
@@ -95,13 +170,38 @@ def semantic_state(store) -> dict:
 
 
 def crash_census(
-    spec: WorkloadSpec, protocol: str, *, max_ticks: int = 200_000
+    spec: WorkloadSpec,
+    protocol: str,
+    *,
+    durable: DurableConfig | None = None,
+    max_ticks: int = 200_000,
 ) -> dict:
-    """Pass 1: run the workload unharmed, tallying crash-site hits."""
+    """Pass 1: run the workload unharmed, tallying crash-site hits.
+
+    Durable cells run the census against a real (throwaway) file-backed
+    store: eviction and checkpoint sites only fire there, and the armed
+    pass must see identical occurrence counts.
+    """
     plan = FaultPlan.counting()
-    db, programs = _build_db(spec, protocol, wal=WriteAheadLog(), faults=plan)
-    executor = InterleavedExecutor(db, seed=spec.seed, max_ticks=max_ticks)
-    executor.run(programs)
+    if durable is None:
+        db, programs = _build_db(
+            spec, protocol, wal=WriteAheadLog(), faults=plan
+        )
+        executor = InterleavedExecutor(db, seed=spec.seed, max_ticks=max_ticks)
+        executor.run(programs)
+        return dict(plan.counts)
+    with tempfile.TemporaryDirectory(prefix="repro-census-") as root:
+        store = _durable_store(spec, root, durable, forward=True)
+        db, programs = _build_db(
+            spec,
+            protocol,
+            wal=WriteAheadLog(),
+            faults=plan,
+            store=store,
+            checkpoint_every=durable.checkpoint_every,
+        )
+        executor = InterleavedExecutor(db, seed=spec.seed, max_ticks=max_ticks)
+        executor.run(programs)
     return dict(plan.counts)
 
 
@@ -114,6 +214,7 @@ class CrashOutcome:
     site: str | None = None
     occurrence: int = 0
     plan: dict = field(default_factory=dict)
+    durable: dict | None = None
     skipped: str | None = None
     crashed: bool = False
     winners: list[str] = field(default_factory=list)
@@ -128,13 +229,16 @@ class CrashOutcome:
 
     def to_counterexample(self, spec: WorkloadSpec) -> dict:
         """Everything needed to replay this cell from a JSON file."""
-        return {
+        data = {
             "kind": "crash",
             "protocol": self.protocol,
             "plan": self.plan,
             "spec": spec.to_dict(),
             "violations": self.violations,
         }
+        if self.durable is not None:
+            data["durable"] = self.durable
+        return data
 
 
 def run_armed_cell(
@@ -145,17 +249,64 @@ def run_armed_cell(
     skip_compensation: bool = False,
     check_recovery_crash: bool = True,
     max_ticks: int = 200_000,
+    durable: DurableConfig | None = None,
 ) -> CrashOutcome:
     """Pass 2: execute under the armed plan, recover, judge."""
+    if durable is None:
+        return _run_armed_cell(
+            spec,
+            protocol,
+            plan,
+            skip_compensation=skip_compensation,
+            check_recovery_crash=check_recovery_crash,
+            max_ticks=max_ticks,
+        )
+    with tempfile.TemporaryDirectory(prefix="repro-crash-") as root:
+        return _run_armed_cell(
+            spec,
+            protocol,
+            plan,
+            skip_compensation=skip_compensation,
+            check_recovery_crash=check_recovery_crash,
+            max_ticks=max_ticks,
+            durable=durable,
+            root=root,
+        )
+
+
+def _run_armed_cell(
+    spec: WorkloadSpec,
+    protocol: str,
+    plan: FaultPlan,
+    *,
+    skip_compensation: bool,
+    check_recovery_crash: bool,
+    max_ticks: int,
+    durable: DurableConfig | None = None,
+    root: str | None = None,
+) -> CrashOutcome:
     outcome = CrashOutcome(
         seed=spec.seed,
         protocol=protocol,
         site=plan.crash_site,
         occurrence=plan.crash_at,
         plan=plan.to_dict(),
+        durable=durable.to_dict() if durable is not None else None,
     )
     wal = WriteAheadLog()
-    db, programs = _build_db(spec, protocol, wal=wal, faults=plan)
+    if durable is not None:
+        data_dir = os.path.join(root, "live")
+        db, programs = _build_db(
+            spec,
+            protocol,
+            wal=wal,
+            faults=plan,
+            store=_durable_store(spec, data_dir, durable, forward=True),
+            checkpoint_every=durable.checkpoint_every,
+        )
+    else:
+        data_dir = None
+        db, programs = _build_db(spec, protocol, wal=wal, faults=plan)
     executor = InterleavedExecutor(
         db, seed=spec.seed, max_ticks=max_ticks, faults=plan
     )
@@ -171,7 +322,23 @@ def run_armed_cell(
     # --- recovery -------------------------------------------------------
     pre_crash = wal.to_list()
     recovery_db, _ = _build_db(spec)
-    recovery = recover(wal, recovery_db, skip_compensation=skip_compensation)
+    if durable is not None:
+        # Recovery mutates the data dir (conditional redo installs pages,
+        # the epilogue flushes and checkpoints), so keep a pristine copy of
+        # the crash-instant images for the mid-recovery-crash legs.
+        pristine = os.path.join(root, "pristine")
+        shutil.copytree(data_dir, pristine)
+        recovery = recover(
+            wal,
+            recovery_db,
+            store=_durable_store(spec, data_dir, durable),
+            skip_compensation=skip_compensation,
+        )
+    else:
+        pristine = None
+        recovery = recover(
+            wal, recovery_db, skip_compensation=skip_compensation
+        )
     outcome.recovery = recovery
     outcome.winners = list(recovery.winners)
     outcome.losers = list(recovery.losers)
@@ -220,13 +387,41 @@ def run_armed_cell(
     # --- oracle check 4: recovery is deterministic and idempotent -------
     digest = store_digest(recovery_db.store)
     twice_db, _ = _build_db(spec)
-    recover(wal, twice_db, skip_compensation=skip_compensation)
+    if durable is not None:
+        recover(
+            wal,
+            twice_db,
+            store=_durable_store(spec, data_dir, durable),
+            skip_compensation=skip_compensation,
+        )
+    else:
+        recover(wal, twice_db, skip_compensation=skip_compensation)
     if store_digest(twice_db.store) != digest:
         outcome.violations.append(
             "recovering twice does not yield a byte-identical page store"
         )
+    if durable is not None:
+        # Backend parity: from-genesis recovery over the same durable log
+        # prefix must land on the identical page store — conditional redo
+        # from the checkpoint may not skip anything it still needed.
+        mem_db, _ = _build_db(spec)
+        recover(
+            WriteAheadLog.from_records(pre_crash),
+            mem_db,
+            skip_compensation=skip_compensation,
+        )
+        if store_digest(mem_db.store) != digest:
+            outcome.violations.append(
+                "durable (from-checkpoint) and in-memory (from-genesis) "
+                "recovery digests diverge over the same log prefix"
+            )
     if check_recovery_crash and not skip_compensation:
-        failure = _check_recovery_crash(spec, pre_crash, digest)
+        if durable is not None:
+            failure = _check_recovery_crash_durable(
+                spec, pre_crash, digest, pristine, root, durable
+            )
+        else:
+            failure = _check_recovery_crash(spec, pre_crash, digest)
         if failure:
             outcome.violations.append(failure)
     return outcome
@@ -262,6 +457,130 @@ def _check_recovery_crash(
     return None
 
 
+def _check_recovery_crash_durable(
+    spec: WorkloadSpec,
+    pre_crash: list[dict],
+    clean_digest: str,
+    pristine: str,
+    root: str,
+    durable: DurableConfig,
+) -> str | None:
+    """The durable flavor of the mid-recovery-crash check.
+
+    Every leg starts from its own copy of the crash-instant data dir:
+    recovery mutates the images, so the crashed leg and the resumed leg
+    must share one dir (the resume continues from what the crashed leg
+    durably did) while the counting leg gets a throwaway copy.
+    """
+    counting = FaultPlan.counting()
+    census_dir = os.path.join(root, "rc-census")
+    shutil.copytree(pristine, census_dir)
+    census_db, _ = _build_db(spec)
+    recover(
+        WriteAheadLog.from_records(pre_crash),
+        census_db,
+        store=_durable_store(spec, census_dir, durable),
+        faults=counting,
+    )
+    steps = counting.counts.get("recovery.step", 0)
+    if steps == 0:
+        return None  # nothing to undo: recovery is a pure redo
+    rng = random.Random((spec.seed, "recovery-crash").__repr__())
+    plan = FaultPlan.crash_plan("recovery.step", rng.randrange(steps))
+    crash_dir = os.path.join(root, "rc-crash")
+    shutil.copytree(pristine, crash_dir)
+    wal = WriteAheadLog.from_records(pre_crash)
+    crashed_db, _ = _build_db(spec)
+    try:
+        recover(
+            wal,
+            crashed_db,
+            store=_durable_store(spec, crash_dir, durable),
+            faults=plan,
+        )
+    except SimulatedCrash:
+        pass
+    else:  # pragma: no cover - the plan always fires within `steps`
+        return "mid-recovery crash plan did not fire"
+    resumed_db, _ = _build_db(spec)
+    recover(
+        wal, resumed_db, store=_durable_store(spec, crash_dir, durable)
+    )
+    if store_digest(resumed_db.store) != clean_digest:
+        return (
+            "crash mid-recovery then recovery does not converge to the "
+            "clean-recovery page store"
+        )
+    return None
+
+
+def find_log_force_ablation(
+    *,
+    seeds: list[int],
+    protocol: str = "open-nested-oo",
+    durable: DurableConfig | None = None,
+    marks_per_seed: int = 4,
+    max_ticks: int = 200_000,
+) -> tuple[WorkloadSpec, CrashOutcome] | None:
+    """Hunt for a cell where a skipped log force plants a phantom page.
+
+    A randomly placed crash rarely lands in the short window between a
+    WAL-rule-violating flush and the next sync, so this probe-guided
+    search finds the windows first: an instrumented counting pass records
+    the site census at every write-back whose pageLSN is still volatile
+    (image about to outrun the durable log), and the armed pass then
+    crashes at the *next* hit of a frequent site after one of those
+    flushes.  Returns the first ``(spec, outcome)`` whose 4-part oracle
+    reports a violation — proof the ablation is observable — or None.
+    """
+    durable = durable or DurableConfig(skip_log_force=True)
+    if not durable.skip_log_force:
+        durable = DurableConfig(
+            frames=durable.frames,
+            checkpoint_every=durable.checkpoint_every,
+            skip_log_force=True,
+        )
+    probe_sites = ("page-write.before", "page-write.after", "commit.before")
+    for seed in seeds:
+        spec = generate(seed, None)
+        plan = FaultPlan.counting()
+        marks: list[dict] = []
+        with tempfile.TemporaryDirectory(prefix="repro-ablate-") as root:
+            wal = WriteAheadLog()
+            store = _durable_store(spec, root, durable, forward=True)
+            db, programs = _build_db(
+                spec,
+                protocol,
+                wal=wal,
+                faults=plan,
+                store=store,
+                checkpoint_every=durable.checkpoint_every,
+            )
+            store.pool.write_back_probe = lambda frame: (
+                marks.append(dict(plan.counts))
+                if frame.page_lsn >= len(wal.records)
+                else None
+            )
+            executor = InterleavedExecutor(
+                db, seed=spec.seed, max_ticks=max_ticks
+            )
+            executor.run(programs)
+        for mark in marks[:marks_per_seed]:
+            for site in probe_sites:
+                armed = FaultPlan.crash_plan(site, mark.get(site, 0))
+                outcome = run_armed_cell(
+                    spec,
+                    protocol,
+                    armed,
+                    durable=durable,
+                    check_recovery_crash=False,
+                    max_ticks=max_ticks,
+                )
+                if outcome.crashed and not outcome.ok:
+                    return spec, outcome
+    return None
+
+
 def run_crash_cell(
     spec: WorkloadSpec,
     protocol: str,
@@ -270,10 +589,12 @@ def run_crash_cell(
     skip_compensation: bool = False,
     check_recovery_crash: bool = True,
     max_ticks: int = 200_000,
+    durable: DurableConfig | None = None,
 ) -> CrashOutcome:
     """Census + armed pass for one cell (the single-cell/replay entry)."""
-    census = crash_census(spec, protocol, max_ticks=max_ticks)
-    plan = FaultPlan.from_census(spec.seed, census, site=site)
+    census = crash_census(spec, protocol, durable=durable, max_ticks=max_ticks)
+    sites = DURABLE_ARMED_SITES if durable is not None else ARMED_SITES
+    plan = FaultPlan.from_census(spec.seed, census, site=site, sites=sites)
     if plan is None:
         return CrashOutcome(
             seed=spec.seed,
@@ -288,6 +609,7 @@ def run_crash_cell(
         skip_compensation=skip_compensation,
         check_recovery_crash=check_recovery_crash,
         max_ticks=max_ticks,
+        durable=durable,
     )
 
 
@@ -295,11 +617,17 @@ def replay_crash(data: dict) -> CrashOutcome:
     """Replay a crash counterexample produced by ``to_counterexample``."""
     spec = WorkloadSpec.from_dict(data["spec"])
     plan = FaultPlan.from_dict(data["plan"])
+    durable = (
+        DurableConfig.from_dict(data["durable"])
+        if data.get("durable")
+        else None
+    )
     return run_armed_cell(
         spec,
         data["protocol"],
         plan,
         skip_compensation=bool(data.get("skip_compensation", False)),
+        durable=durable,
     )
 
 
@@ -404,22 +732,29 @@ def run_seed_crash_cells(
     *,
     protocols: tuple[str, ...] = FUZZ_PROTOCOLS,
     profile: GeneratorProfile | None = None,
-    sites: tuple[str, ...] = ARMED_SITES,
+    sites: tuple[str, ...] | None = None,
     skip_compensation: bool = False,
     check_recovery_crash: bool = True,
     max_ticks: int = 200_000,
+    durable: DurableConfig | None = None,
 ) -> list[CrashCell]:
     """The per-seed crash-campaign worker (deterministic in ``seed``)."""
+    if sites is None:
+        sites = DURABLE_ARMED_SITES if durable is not None else ARMED_SITES
     spec = generate(seed, profile)
     cells: list[CrashCell] = []
     for protocol in protocols:
         try:
-            census = crash_census(spec, protocol, max_ticks=max_ticks)
+            census = crash_census(
+                spec, protocol, durable=durable, max_ticks=max_ticks
+            )
         except ReproError as exc:
             cells.append(CrashCell(protocol=protocol, census_error=repr(exc)))
             continue
         for site in sites:
-            plan = FaultPlan.from_census(spec.seed, census, site=site)
+            plan = FaultPlan.from_census(
+                spec.seed, census, site=site, sites=sites
+            )
             if plan is None:
                 cells.append(
                     CrashCell(protocol=protocol, site=site, skipped=True)
@@ -433,6 +768,7 @@ def run_seed_crash_cells(
                     skip_compensation=skip_compensation,
                     check_recovery_crash=check_recovery_crash,
                     max_ticks=max_ticks,
+                    durable=durable,
                 )
             except ReproError as exc:
                 cells.append(
@@ -509,12 +845,13 @@ def run_crash_campaign(
     seeds: list[int],
     protocols: tuple[str, ...] = FUZZ_PROTOCOLS,
     profile: GeneratorProfile | None = None,
-    sites: tuple[str, ...] = ARMED_SITES,
+    sites: tuple[str, ...] | None = None,
     skip_compensation: bool = False,
     check_recovery_crash: bool = True,
     max_violations: int = 1,
     max_ticks: int = 200_000,
     jobs: int = 1,
+    durable: DurableConfig | None = None,
     progress=None,
 ) -> CrashCampaignResult:
     """Sweep ``seeds × protocols × crash sites``; stop after violations.
@@ -523,8 +860,12 @@ def run_crash_campaign(
     own cell, so a single seed contributes up to ``len(sites)`` crash
     runs per protocol.  ``jobs > 1`` shards seeds across worker processes
     with a seed-order fold, so the report matches a serial run byte for
-    byte; ``jobs = 0`` means one worker per CPU.
+    byte; ``jobs = 0`` means one worker per CPU.  ``durable`` switches
+    every cell onto the file-backed storage engine (throwaway data dirs)
+    and adds the storage-engine crash sites to the sweep.
     """
+    if sites is None:
+        sites = DURABLE_ARMED_SITES if durable is not None else ARMED_SITES
     campaign = CrashCampaignResult(
         tallies={p: CrashTally(protocol=p) for p in protocols}
     )
@@ -536,6 +877,7 @@ def run_crash_campaign(
         skip_compensation=skip_compensation,
         check_recovery_crash=check_recovery_crash,
         max_ticks=max_ticks,
+        durable=durable,
     )
     for seed, cells in iter_seed_results(worker, seeds, jobs):
         if _fold_crash_seed(campaign, seed, cells, max_violations):

@@ -1,0 +1,267 @@
+"""The buffer pool: bounded frames, clock eviction, WAL-rule write-back.
+
+The pool sits between :class:`~repro.oodb.store.FileBackedPageStore` and
+the raw image files.  Frames carry ARIES page metadata:
+
+- ``page_lsn`` — highest WAL LSN applied to the page (stamped into the
+  image header on write-back; drives conditional redo),
+- ``rec_lsn`` — the LSN of the *first* record that dirtied the page since
+  its last flush (the dirty-page-table entry; a checkpoint's min(recLSN)
+  is where redo must start),
+- ``dirty`` / ``ref`` — write-back obligation and the clock's second
+  chance bit.
+
+Eviction is the textbook clock: sweep the frames in install order,
+clearing reference bits, and take the first unreferenced frame.  A dirty
+victim is written back first, and *before* the image write the WAL is
+forced up to the victim's ``page_lsn`` — the WAL rule.  The
+``skip_log_force`` knob disables exactly that force: the ablation the
+crash oracle must catch (a flushed page whose log records died with the
+crash is a phantom effect recovery cannot see).
+
+After :meth:`crash` the pool is dead: frames are gone (they were
+volatile), reads fault pages back in from the durable images, and every
+write-back path is inert — post-crash unwinding can no longer touch the
+durable state.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageError
+from repro.oodb.pages import Page
+
+
+class Frame:
+    """One resident page plus its ARIES metadata."""
+
+    __slots__ = ("page", "page_lsn", "rec_lsn", "dirty", "ref")
+
+    def __init__(
+        self,
+        page: Page,
+        page_lsn: int = -1,
+        rec_lsn: int | None = None,
+        dirty: bool = False,
+    ):
+        self.page = page
+        self.page_lsn = page_lsn
+        self.rec_lsn = rec_lsn
+        self.dirty = dirty
+        self.ref = True
+
+
+class BufferPool:
+    """A bounded page cache with deterministic clock replacement."""
+
+    def __init__(self, disk, frames: int = 128, *, skip_log_force: bool = False):
+        self.disk = disk
+        self.capacity = max(1, frames)
+        self.frames: dict[str, Frame] = {}
+        self._clock: list[str] = []  # page ids in install order
+        self._hand = 0
+        self.skip_log_force = skip_log_force
+        self.dead = False
+        self._force_log = None
+        self._fault_hit = None
+        #: optional instrumentation: called with the frame just before a
+        #: dirty write-back (the crash fuzzer's ablation hunt uses this to
+        #: spot flushes whose pageLSN is still volatile)
+        self.write_back_probe = None
+        # plain counters always; mirrored into the metrics registry when
+        # the owning database connects one
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self._m_hits = None
+        self._m_misses = None
+        self._m_evictions = None
+        self._m_writebacks = None
+
+    def connect(self, *, force_log=None, fault_hit=None, metrics=None) -> None:
+        self._force_log = force_log
+        self._fault_hit = fault_hit
+        if metrics is not None:
+            self._m_hits = metrics.counter(
+                "bufferpool_hits_total", "page requests served from a frame"
+            )
+            self._m_misses = metrics.counter(
+                "bufferpool_misses_total", "page requests faulted in from disk"
+            )
+            self._m_evictions = metrics.counter(
+                "bufferpool_evictions_total", "frames reclaimed by the clock"
+            )
+            self._m_writebacks = metrics.counter(
+                "bufferpool_writebacks_total", "dirty pages written back"
+            )
+
+    # -- access -------------------------------------------------------------
+
+    def get(self, page_id: str) -> Page:
+        frame = self.frames.get(page_id)
+        if frame is not None:
+            frame.ref = True
+            self.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.value += 1
+            return frame.page
+        page, page_lsn = self.disk.read_page(page_id)  # raises when unknown
+        self.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.value += 1
+        self._install_frame(page_id, Frame(page, page_lsn=page_lsn))
+        return page
+
+    def contains(self, page_id: str) -> bool:
+        return page_id in self.frames or self.disk.has(page_id)
+
+    def put_new(self, page: Page) -> None:
+        """Adopt a freshly allocated page (dirty; no image yet)."""
+        if self.dead:
+            return
+        self._install_frame(
+            page.page_id, Frame(page, page_lsn=-1, rec_lsn=None, dirty=True)
+        )
+
+    def install(self, page: Page) -> None:
+        """(Re)install a page verbatim — redo or a rollback revert.
+
+        The frame starts dirty with an unknown recLSN; the caller's
+        ``note_write`` immediately after supplies the responsible LSN.
+        """
+        if self.dead:
+            return
+        frame = self.frames.get(page.page_id)
+        if frame is not None:
+            frame.page = page
+            frame.dirty = True
+            frame.rec_lsn = None
+            frame.ref = True
+            return
+        self._install_frame(
+            page.page_id, Frame(page, page_lsn=-1, rec_lsn=None, dirty=True)
+        )
+
+    def note_write(self, page_id: str, lsn: int | None) -> None:
+        """A logged mutation (WAL position ``lsn``) touched ``page_id``."""
+        if self.dead:
+            return
+        frame = self.frames.get(page_id)
+        if frame is None:
+            raise PageError(
+                f"write to non-resident page {page_id} — pages must be "
+                "pinned via get() for the duration of a mutation"
+            )
+        if not frame.dirty or frame.rec_lsn is None:
+            frame.dirty = True
+            frame.rec_lsn = lsn if lsn is not None and lsn >= 0 else 0
+        if lsn is not None and lsn > frame.page_lsn:
+            frame.page_lsn = lsn
+        frame.ref = True
+
+    def deallocate(self, page_id: str) -> None:
+        """Drop the frame and the image (forcing the log first: the
+        ``dealloc`` record must be durable before its file disappears)."""
+        self.frames.pop(page_id, None)
+        if self.dead:
+            return
+        if self.disk.has(page_id):
+            if self._force_log is not None and not self.skip_log_force:
+                self._force_log(None)
+            self.disk.remove_page(page_id)
+
+    # -- replacement --------------------------------------------------------
+
+    def _install_frame(self, page_id: str, frame: Frame) -> None:
+        while len(self.frames) >= self.capacity:
+            if not self._evict_one():
+                break
+        self.frames[page_id] = frame
+        self._clock.append(page_id)
+
+    def _evict_one(self) -> bool:
+        """Clock sweep: give every frame one second chance, then evict."""
+        swept = 0
+        limit = 2 * len(self._clock) + 2
+        while swept <= limit:
+            if self._hand >= len(self._clock):
+                self._hand = 0
+                self._clock = [p for p in self._clock if p in self.frames]
+                if not self._clock:
+                    return False
+                continue
+            page_id = self._clock[self._hand]
+            frame = self.frames.get(page_id)
+            if frame is None:  # lazily dropped (deallocated)
+                self._clock.pop(self._hand)
+                continue
+            if frame.ref:
+                frame.ref = False
+                self._hand += 1
+                swept += 1
+                continue
+            self._write_back(frame)
+            del self.frames[page_id]
+            self._clock.pop(self._hand)
+            self.evictions += 1
+            if self._m_evictions is not None:
+                self._m_evictions.value += 1
+            return True
+        return False  # pragma: no cover - the sweep always terminates
+
+    def _write_back(self, frame: Frame) -> None:
+        if not frame.dirty or self.dead:
+            return
+        if self.write_back_probe is not None:
+            self.write_back_probe(frame)
+        if self._force_log is not None and not self.skip_log_force:
+            # The WAL rule: no page image may hit disk before the log
+            # records that produced it are durable.
+            self._force_log(frame.page_lsn)
+        if self._fault_hit is not None:
+            self._fault_hit("eviction.mid")
+        self.disk.write_page(frame.page, frame.page_lsn, fault_hit=self._fault_hit)
+        frame.dirty = False
+        frame.rec_lsn = None
+        self.writebacks += 1
+        if self._m_writebacks is not None:
+            self._m_writebacks.value += 1
+
+    # -- checkpoints / recovery ---------------------------------------------
+
+    def dirty_table(self) -> dict[str, int]:
+        """The DPT: ``{page_id: recLSN}`` for every dirty frame."""
+        return {
+            page_id: (frame.rec_lsn if frame.rec_lsn is not None else 0)
+            for page_id, frame in self.frames.items()
+            if frame.dirty
+        }
+
+    def flush_dirty(self) -> int:
+        """Write back every dirty frame (frames stay resident)."""
+        flushed = 0
+        for frame in list(self.frames.values()):
+            if frame.dirty:
+                self._write_back(frame)
+                flushed += 1
+        return flushed
+
+    def page_lsn(self, page_id: str) -> int | None:
+        """The page's pageLSN (faulting it in if needed); None when absent."""
+        frame = self.frames.get(page_id)
+        if frame is not None:
+            return frame.page_lsn
+        if not self.disk.has(page_id):
+            return None
+        self.get(page_id)
+        return self.frames[page_id].page_lsn
+
+    def drop_frames(self) -> None:
+        self.frames.clear()
+        self._clock = []
+        self._hand = 0
+
+    def crash(self) -> None:
+        """The system dies: frames are volatile and every write turns inert."""
+        self.drop_frames()
+        self.dead = True

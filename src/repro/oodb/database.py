@@ -20,6 +20,7 @@ Primitive page accesses follow the same path with implicit ``read`` /
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, TYPE_CHECKING
 
 from repro.core.actions import ActionNode, Invocation
@@ -82,6 +83,15 @@ class ObjectDatabase:
         Optional :class:`~repro.obs.events.EventBus`; one is created when
         omitted.  The scheduler and the WAL adopt it, so subscribing a
         tracer to ``db.bus`` observes every layer of this database.
+    store:
+        Optional storage backend implementing the
+        :class:`~repro.oodb.pages.PageStore` interface (e.g.
+        :class:`~repro.oodb.store.FileBackedPageStore`); the in-memory
+        store is built when omitted.
+    checkpoint_every:
+        Take a fuzzy checkpoint whenever this many WAL records accumulated
+        since the last one (checked at commit).  Only meaningful with a
+        durable store and a WAL.
     """
 
     def __init__(
@@ -91,10 +101,12 @@ class ObjectDatabase:
         wal=None,
         faults=None,
         bus: EventBus | None = None,
+        store=None,
+        checkpoint_every: int | None = None,
     ):
         from repro.locking.interfaces import NoConcurrencyControl
 
-        self.store = PageStore(page_capacity)
+        self.store = store if store is not None else PageStore(page_capacity)
         self.system = TransactionSystem()
         self.bus = bus if bus is not None else EventBus()
         self.scheduler: "Scheduler" = scheduler or NoConcurrencyControl()
@@ -109,6 +121,16 @@ class ObjectDatabase:
         if wal is not None:
             wal.bind(self.bus, self.metrics)
         self.faults = faults
+        self.checkpoint_every = checkpoint_every
+        self._last_ckpt_lsn = -1
+        if self.store.durable:
+            self.store.connect(
+                force_log=wal.force_up_to if wal is not None else None,
+                fault_hit=self._fault_hit,
+                metrics=self.metrics,
+            )
+            if wal is not None:
+                wal.enable_analysis()
         self._objects: dict[str, DatabaseObject] = {}
         self._oid_counters: dict[str, int] = {}
         self._registry_cache: CommutativityRegistry | None = None
@@ -119,7 +141,8 @@ class ObjectDatabase:
 
         When the plan fires, the WAL's volatile tail is dropped *before*
         the exception starts to propagate — a real crash gives nothing
-        downstream the chance to sync it on the way out.
+        downstream the chance to sync it on the way out.  The store's
+        volatile frames go with it.
         """
         if self.faults is None:
             return
@@ -128,6 +151,7 @@ class ObjectDatabase:
         except SimulatedCrash:
             if self.wal is not None:
                 self.wal.crash()
+            self.store.crash()
             raise
 
     # ------------------------------------------------------------------
@@ -199,6 +223,7 @@ class ObjectDatabase:
                 }
             )
             self._last_alloc_lsn = lsn if lsn >= 0 else None
+        self.store.note_write(page.page_id, self._last_alloc_lsn)
         obj = cls(self, oid, page.page_id)
         self._objects[oid] = obj
         self._registry_cache = None  # a new object invalidates the registry
@@ -579,6 +604,57 @@ class ObjectDatabase:
         bus = self.bus
         if bus.active:
             bus.emit(TxnCommit(txn=ctx.txn_id, tick=bus.now()))
+        if (
+            self.checkpoint_every is not None
+            and self.wal is not None
+            and self.wal.next_lsn - self._last_ckpt_lsn >= self.checkpoint_every
+        ):
+            self.checkpoint()
+
+    def checkpoint(self) -> int | None:
+        """Take a fuzzy ARIES checkpoint; returns the ``ckpt-end`` LSN.
+
+        Nothing stops: the checkpoint brackets whatever state is in flight.
+        ``ckpt-end`` carries the serialized running analysis (the
+        active-transaction table for the log prefix up to it) and the
+        buffer pool's dirty-page table; recovery resumes analysis from the
+        table and starts redo at the DPT's min(recLSN).  Dirty pages are
+        flushed *after* the checkpoint completes — not required for
+        correctness (the DPT is conservative), but it bounds the next
+        crash's redo tail to roughly one checkpoint interval.
+        """
+        wal = self.wal
+        if (
+            wal is None
+            or wal.crashed
+            or not self.store.durable
+            or wal.analysis is None
+        ):
+            return None
+        t0 = time.perf_counter()
+        begin = wal.append({"t": "ckpt-begin", "txn": None})
+        self._fault_hit("checkpoint.mid")
+        end = wal.append(
+            {
+                "t": "ckpt-end",
+                "txn": None,
+                "begin": begin,
+                "att": wal.analysis.to_dict(),
+                "dpt": self.store.dirty_table(),
+            }
+        )
+        wal.sync()
+        self._last_ckpt_lsn = end
+        self.store.flush_dirty()
+        self.metrics.counter(
+            "checkpoints_total", "fuzzy checkpoints completed"
+        ).value += 1
+        self.metrics.histogram(
+            "checkpoint_duration_ms",
+            "wall-clock time of one fuzzy checkpoint",
+            bounds=(1, 5, 20, 100, 500),
+        ).observe((time.perf_counter() - t0) * 1000.0)
+        return end
 
     def abort(self, ctx: TransactionContext, reason: str = "user abort") -> None:
         """Roll the transaction back: undo and compensate in reverse order."""
@@ -656,6 +732,7 @@ class ObjectDatabase:
         recovery's revert pass never reverts it (its before-image may be
         stale once later writers have touched the slot).
         """
+        lsn = None
         if self.wal is not None:
             consumes = getattr(entry, "lsn", None)
             if isinstance(entry, PageAllocationRecord):
@@ -673,7 +750,7 @@ class ObjectDatabase:
                     }
                     if consumes is not None:
                         rec["consumes"] = consumes
-                    self.wal.append(rec)
+                    lsn = self.wal.append(rec)
             elif entry.page_id in self.store:
                 page = self.store.get(entry.page_id)
                 # Log the *resolved* mutation: delta-undo may write a value
@@ -694,16 +771,21 @@ class ObjectDatabase:
                     rec["value"] = value
                 if consumes is not None:
                     rec["consumes"] = consumes
-                self.wal.append(rec)
+                lsn = self.wal.append(rec)
         entry.apply(self.store)
+        if not isinstance(entry, PageAllocationRecord):
+            self.store.note_write(
+                entry.page_id, lsn if lsn is not None and lsn >= 0 else None
+            )
 
     def restore_page(
         self, txn: str, page_id: str, capacity: int, slots: dict
     ) -> None:
         """Reinstall a deallocated page exactly as a logged snapshot saw it
         (recovery reverting a half-finished rollback's deallocation)."""
+        lsn = None
         if self.wal is not None:
-            self.wal.append(
+            lsn = self.wal.append(
                 {
                     "t": "alloc",
                     "txn": txn,
@@ -713,7 +795,7 @@ class ObjectDatabase:
                 }
             )
             for slot, value in slots.items():
-                self.wal.append(
+                lsn = self.wal.append(
                     {
                         "t": "set",
                         "txn": txn,
@@ -726,6 +808,9 @@ class ObjectDatabase:
                     }
                 )
         self.store.install(Page(page_id, capacity, dict(slots)))
+        self.store.note_write(
+            page_id, lsn if lsn is not None and lsn >= 0 else None
+        )
 
     # ------------------------------------------------------------------
     # page access (called by SlotProxy)
@@ -787,6 +872,9 @@ class ObjectDatabase:
             )
             if undo is not None and lsn >= 0:
                 object.__setattr__(undo, "lsn", lsn)
+            self.store.note_write(page.page_id, lsn if lsn >= 0 else None)
+        else:
+            self.store.note_write(page.page_id, None)
         if ctx is not None:
             self._fault_hit("page-write.after")
 
@@ -824,6 +912,9 @@ class ObjectDatabase:
             )
             if undo is not None and lsn >= 0:
                 object.__setattr__(undo, "lsn", lsn)
+            self.store.note_write(page.page_id, lsn if lsn >= 0 else None)
+        else:
+            self.store.note_write(page.page_id, None)
         if ctx is not None:
             self._fault_hit("page-write.after")
 

@@ -76,7 +76,15 @@ class PageStore:
     The store itself performs no concurrency control and no tracing — that
     is the job of :class:`repro.oodb.database.ObjectDatabase`, which funnels
     every slot access through its primitive-action bookkeeping.
+
+    This in-memory store is also the *interface* every storage backend
+    implements; the durability hooks below are no-ops here and overridden
+    by :class:`repro.oodb.store.FileBackedPageStore`.
     """
+
+    #: does this backend persist pages beyond the process? (the in-memory
+    #: store's truth is whatever redo rebuilds from the WAL)
+    durable = False
 
     def __init__(self, default_capacity: int = DEFAULT_PAGE_CAPACITY):
         self.default_capacity = default_capacity
@@ -143,3 +151,37 @@ class PageStore:
             except ValueError:
                 return
             self._next_page_number = max(self._next_page_number, number)
+
+    # -- durability surface -------------------------------------------------
+    #
+    # The backend protocol the database and recovery talk to.  All of it is
+    # inert for the in-memory store, so the hot path pays exactly one no-op
+    # method call per mutation (``note_write``) and nothing else.
+
+    def connect(self, *, force_log=None, fault_hit=None, metrics=None) -> None:
+        """Wire the owning database's WAL force / fault / metrics hooks."""
+
+    def note_write(self, page_id: str, lsn: int | None) -> None:
+        """A mutation with WAL position ``lsn`` just touched ``page_id``."""
+
+    def dirty_table(self) -> dict[str, int]:
+        """``{page_id: recLSN}`` for pages dirty since their last flush."""
+        return {}
+
+    def page_lsn(self, page_id: str) -> int | None:
+        """Highest LSN known applied to ``page_id`` (None when absent).
+
+        The in-memory store keeps no per-page LSNs — recovery rebuilds it
+        from genesis, never conditionally — so -1 means "always redo".
+        """
+        return -1 if page_id in self._pages else None
+
+    def flush_dirty(self) -> int:
+        """Write every dirty page back to stable storage; returns count."""
+        return 0
+
+    def crash(self) -> None:
+        """The system dies: volatile frames are lost, writes turn no-op."""
+
+    def close(self) -> None:
+        """Release backing resources (flushes nothing by itself)."""

@@ -1,0 +1,265 @@
+"""The file-backed page store: binary page images behind an OID directory.
+
+This is the durable half of the storage engine.  :class:`PageImageStore`
+is the raw file layer — one binary image per page, hashed into prefix
+subdirectories (the ZODB/renku OID-layout idiom) so millions of pages
+never share one directory — and :class:`FileBackedPageStore` is the
+:class:`~repro.oodb.pages.PageStore` implementation the database actually
+talks to, mediating every access through a bounded
+:class:`~repro.oodb.bufferpool.BufferPool`.
+
+Image format
+------------
+
+``RPG1 | page_lsn int64 | capacity uint32 | payload uint32 | crc32 uint32``
+followed by the JSON payload (``{"page_id", "slots": [[k, v], ...]}`` —
+pairs, not an object, so non-string slot keys survive the round trip).
+``page_lsn`` is the highest WAL LSN whose effect the image contains: the
+pageLSN that drives conditional redo and the WAL rule.
+
+Images are written to ``<name>.tmp`` and published with ``os.replace``,
+so a torn write (crash mid-image, exercised by the ``writeback.torn``
+fault site) leaves the previous image intact and at worst a stray ``.tmp``
+file, swept on open.  The checksum guards the read side anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import zlib
+
+from repro.errors import PageError
+from repro.oodb.bufferpool import BufferPool
+from repro.oodb.pages import DEFAULT_PAGE_CAPACITY, Page, PageStore
+
+_MAGIC = b"RPG1"
+#: page_lsn (int64), capacity (uint32), payload length (uint32), crc32
+_HEADER = struct.Struct("<qIII")
+_META_NAME = "directory.json"
+
+
+def _hash_prefix(page_id: str) -> str:
+    return hashlib.sha1(page_id.encode()).hexdigest()[:2]
+
+
+class PageImageStore:
+    """The raw on-disk layer: page images + the store's meta directory."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.pages_dir = os.path.join(root, "pages")
+        os.makedirs(self.pages_dir, exist_ok=True)
+        self.next_page_number = 0
+        self.default_capacity = DEFAULT_PAGE_CAPACITY
+        meta_path = os.path.join(self.root, _META_NAME)
+        if os.path.exists(meta_path):
+            with open(meta_path) as fh:
+                meta = json.load(fh)
+            self.next_page_number = meta.get("next_page_number", 0)
+            self.default_capacity = meta.get(
+                "default_capacity", DEFAULT_PAGE_CAPACITY
+            )
+        # The files are the truth; the meta file only persists counters.
+        # A stray .tmp is a torn write-back from a crash: the published
+        # image (if any) is still the pre-write one, so just sweep it.
+        self._index: dict[str, str] = {}
+        for prefix in sorted(os.listdir(self.pages_dir)):
+            subdir = os.path.join(self.pages_dir, prefix)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                path = os.path.join(subdir, name)
+                if name.endswith(".tmp"):
+                    os.remove(path)
+                elif name.endswith(".pg"):
+                    self._index[name[:-3]] = path
+
+    # -- paths & meta -------------------------------------------------------
+
+    def _path(self, page_id: str) -> str:
+        return os.path.join(
+            self.pages_dir, _hash_prefix(page_id), page_id + ".pg"
+        )
+
+    def write_meta(self, next_page_number: int | None = None) -> None:
+        if next_page_number is not None:
+            self.next_page_number = max(self.next_page_number, next_page_number)
+        meta_path = os.path.join(self.root, _META_NAME)
+        tmp = meta_path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(
+                {
+                    "next_page_number": self.next_page_number,
+                    "default_capacity": self.default_capacity,
+                },
+                fh,
+            )
+        os.replace(tmp, meta_path)
+
+    # -- images -------------------------------------------------------------
+
+    def has(self, page_id: str) -> bool:
+        return page_id in self._index
+
+    @property
+    def page_ids(self) -> list[str]:
+        return sorted(self._index)
+
+    def read_page(self, page_id: str) -> tuple[Page, int]:
+        """Load one image; returns ``(page, page_lsn)``."""
+        path = self._index.get(page_id)
+        if path is None:
+            raise PageError(f"unknown page {page_id}")
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        if blob[: len(_MAGIC)] != _MAGIC:
+            raise PageError(f"corrupt page image {path}: bad magic")
+        header = blob[len(_MAGIC) : len(_MAGIC) + _HEADER.size]
+        if len(header) < _HEADER.size:
+            raise PageError(f"corrupt page image {path}: truncated header")
+        page_lsn, capacity, length, crc = _HEADER.unpack(header)
+        payload = blob[len(_MAGIC) + _HEADER.size :]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            raise PageError(f"corrupt page image {path}: checksum mismatch")
+        data = json.loads(payload)
+        slots = {key: value for key, value in data["slots"]}
+        return Page(page_id, capacity, slots), page_lsn
+
+    def write_page(self, page: Page, page_lsn: int, fault_hit=None) -> None:
+        """Atomically publish one image (torn-write fault site inside)."""
+        final = self._path(page.page_id)
+        os.makedirs(os.path.dirname(final), exist_ok=True)
+        payload = json.dumps(
+            {
+                "page_id": page.page_id,
+                "slots": [[k, v] for k, v in page.slots.items()],
+            }
+        ).encode()
+        header = _MAGIC + _HEADER.pack(
+            page_lsn, page.capacity, len(payload), zlib.crc32(payload)
+        )
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            if fault_hit is not None:
+                # A crash here leaves a torn .tmp; the published image (the
+                # page's pre-write state) is untouched.
+                fault_hit("writeback.torn")
+            fh.write(payload)
+        os.replace(tmp, final)
+        self._index[page.page_id] = final
+
+    def remove_page(self, page_id: str) -> None:
+        path = self._index.pop(page_id, None)
+        if path is not None and os.path.exists(path):
+            os.remove(path)
+
+    def wipe(self) -> None:
+        for page_id in list(self._index):
+            self.remove_page(page_id)
+
+
+class FileBackedPageStore(PageStore):
+    """A durable :class:`PageStore`: buffer pool over binary page files.
+
+    Every access goes through the pool; pages not resident are faulted in
+    from their image, and dirty pages are written back on eviction (under
+    the WAL rule) or by :meth:`flush_dirty` after a checkpoint.
+    """
+
+    durable = True
+
+    def __init__(
+        self,
+        root: str,
+        frames: int = 128,
+        default_capacity: int = DEFAULT_PAGE_CAPACITY,
+        *,
+        skip_log_force: bool = False,
+    ):
+        super().__init__(default_capacity)
+        self.disk = PageImageStore(root)
+        self.pool = BufferPool(
+            self.disk, frames=frames, skip_log_force=skip_log_force
+        )
+        self._next_page_number = max(
+            self._next_page_number, self.disk.next_page_number
+        )
+        for page_id in self.disk.page_ids:
+            self._observe_page_id(page_id)
+
+    # -- PageStore interface ------------------------------------------------
+
+    def allocate(self, page_id: str | None = None, capacity: int | None = None) -> Page:
+        if page_id is None:
+            self._next_page_number += 1
+            page_id = f"Page{self._next_page_number}"
+        if page_id in self:
+            raise PageError(f"page id {page_id} already allocated")
+        page = Page(page_id, capacity or self.default_capacity)
+        self.pool.put_new(page)
+        return page
+
+    def get(self, page_id: str) -> Page:
+        return self.pool.get(page_id)
+
+    def deallocate(self, page_id: str) -> None:
+        if page_id not in self:
+            raise PageError(f"unknown page {page_id}")
+        self.pool.deallocate(page_id)
+
+    def __contains__(self, page_id: str) -> bool:
+        return self.pool.contains(page_id)
+
+    def __len__(self) -> int:
+        return len(set(self.disk.page_ids) | set(self.pool.frames))
+
+    @property
+    def page_ids(self) -> list[str]:
+        return sorted(set(self.disk.page_ids) | set(self.pool.frames))
+
+    # -- recovery surface ---------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop everything, frames and images (in-memory-style redo only)."""
+        self.pool.drop_frames()
+        self.disk.wipe()
+
+    def install(self, page: Page) -> None:
+        self.pool.install(page)
+        self._observe_page_id(page.page_id)
+
+    def remove(self, page_id: str) -> None:
+        if page_id in self:
+            self.pool.deallocate(page_id)
+
+    # -- durability surface -------------------------------------------------
+
+    def connect(self, *, force_log=None, fault_hit=None, metrics=None) -> None:
+        self.pool.connect(
+            force_log=force_log, fault_hit=fault_hit, metrics=metrics
+        )
+
+    def note_write(self, page_id: str, lsn: int | None) -> None:
+        self.pool.note_write(page_id, lsn)
+
+    def dirty_table(self) -> dict[str, int]:
+        return self.pool.dirty_table()
+
+    def page_lsn(self, page_id: str) -> int | None:
+        return self.pool.page_lsn(page_id)
+
+    def flush_dirty(self) -> int:
+        flushed = self.pool.flush_dirty()
+        self.disk.write_meta(self._next_page_number)
+        return flushed
+
+    def crash(self) -> None:
+        self.pool.crash()
+
+    def close(self) -> None:
+        if not self.pool.dead:
+            self.disk.write_meta(self._next_page_number)

@@ -38,6 +38,12 @@ stamped with its ``lsn`` (position in the stream):
 ``commit``              commit record (synced *before* locks release)
 ``abort``               top-level rollback started
 ``abort-done``          top-level rollback finished; the journal is empty
+``ckpt-begin``          a fuzzy checkpoint started
+``ckpt-end``            checkpoint complete: carries the active-transaction
+                        table (the serialized :class:`AnalysisState`) and
+                        the dirty-page table (``{page_id: recLSN}``) so
+                        recovery against a durable page store starts from
+                        here instead of genesis
 ======================  =====================================================
 
 Recovery
@@ -49,10 +55,18 @@ Recovery
    finished rollbacks have ``abort-done``; everything else seen in the log
    is a loser.  Each loser's *effective journal* is reconstructed by
    replaying the journal transitions (``j``-flagged records append,
-   ``subcommit``/``jtrunc`` truncate, ``comp-done`` consumes).
-2. **Redo** — the page store is rebuilt from scratch by replaying every
-   physical record in LSN order ("repeating history": the durable state at
-   the instant of the crash, including any partial rollback work).
+   ``subcommit``/``jtrunc`` truncate, ``comp-done`` consumes).  With a
+   durable page store, analysis resumes from the last complete
+   checkpoint's serialized :class:`AnalysisState` and folds in only the
+   log tail.
+2. **Redo** — against the in-memory store, the pages are rebuilt from
+   scratch by replaying every physical record in LSN order ("repeating
+   history": the durable state at the instant of the crash, including any
+   partial rollback work).  Against a durable store, redo is
+   *conditional*: it starts at the reconstructed dirty-page table's
+   min(recLSN) and applies a record only when its LSN is newer than the
+   page image's pageLSN — recovery cost is proportional to the tail since
+   the last checkpoint, not to all history.
 3. **Revert** — a rollback step interrupted mid-flight (physical records
    after the loser's last ``comp-done``/``jtrunc`` marker) is physically
    reverted using the records' own before-images, so a partially executed
@@ -80,6 +94,7 @@ from repro.obs.events import EventBus, WalAppend, WalSync
 from repro.oodb.context import TxnStatus
 from repro.oodb.log import (
     DELETED,
+    UNKNOWN,
     CompensationRecord,
     PageAllocationRecord,
     UndoRecord,
@@ -112,6 +127,12 @@ class WriteAheadLog:
         #: lazily opened, kept across syncs: one buffered write + one flush
         #: per sync point instead of an open/write-per-record cycle
         self._fh = None
+        #: running analysis state (durable-store mode only; None keeps the
+        #: in-memory hot path free of per-record bookkeeping)
+        self.analysis: "AnalysisState | None" = None
+        #: the last *durable* ``ckpt-end`` record (tracked at sync time, so
+        #: a crash can never leave a pointer at a buffered checkpoint)
+        self._durable_ckpt: dict | None = None
         # Observability (bound by the owning database, see :meth:`bind`):
         # an inert bus until then, and no metrics at all — the log must
         # stay usable standalone (recovery rebuilds databases around it).
@@ -148,6 +169,12 @@ class WriteAheadLog:
         record = dict(record)
         lsn = record["lsn"] = self.next_lsn
         self._buffer.append(record)
+        if self.analysis is not None:
+            # Observing at append (not sync) is safe: a checkpoint's state
+            # is only ever *used* when its ckpt-end record survived, and a
+            # surviving ckpt-end implies every observed record before it
+            # survived too (syncs are global and in append order).
+            self.analysis.observe(record)
         if self._rec_family is not None:
             self._rec_family.labels(type=record.get("t", "?")).value += 1
         bus = self.bus
@@ -182,6 +209,9 @@ class WriteAheadLog:
             )
             self._fh.flush()
         flushed = len(self._buffer)
+        for record in self._buffer:
+            if record.get("t") == "ckpt-end":
+                self._durable_ckpt = record
         self.records.extend(self._buffer)
         self._buffer = []
         if self._n_syncs is not None:
@@ -202,6 +232,34 @@ class WriteAheadLog:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def force_up_to(self, lsn: int | None) -> None:
+        """The WAL rule's force: make everything up to ``lsn`` durable.
+
+        Syncing is all-or-nothing here, so any ``lsn`` beyond the durable
+        prefix forces the whole buffer; ``None`` forces unconditionally.
+        """
+        if self._crashed:
+            return
+        if lsn is None or lsn >= len(self.records):
+            self.sync()
+
+    def enable_analysis(self) -> None:
+        """Start (or catch up) the running analysis state.
+
+        Durable-store databases call this so that every checkpoint can
+        serialize the exact active-transaction table for its prefix.
+        """
+        state = AnalysisState()
+        for record in self.records:
+            state.observe(record)
+        for record in self._buffer:
+            state.observe(record)
+        self.analysis = state
+
+    def durable_checkpoint(self) -> dict | None:
+        """The last complete (durable ``ckpt-end``) checkpoint record."""
+        return self._durable_ckpt
 
     # -- crash surface ------------------------------------------------------
 
@@ -237,13 +295,19 @@ class WriteAheadLog:
             for line in fh:
                 line = line.strip()
                 if line:
-                    wal.records.append(json.loads(line))
+                    record = json.loads(line)
+                    if record.get("t") == "ckpt-end":
+                        wal._durable_ckpt = record
+                    wal.records.append(record)
         return wal
 
     @classmethod
     def from_records(cls, records: list[dict]) -> "WriteAheadLog":
         wal = cls()
         wal.records = [dict(r) for r in records]
+        for record in wal.records:
+            if record.get("t") == "ckpt-end":
+                wal._durable_ckpt = record
         return wal
 
 
@@ -301,55 +365,201 @@ def _journal_entry(rec: dict):
     )
 
 
-def _analyze(records: list[dict]):
-    """Pass 1: winners, losers, effective journals, rollback boundaries."""
-    seen: dict[str, None] = {}  # ordered set of transaction labels
-    committed: set[str] = set()
-    aborted: set[str] = set()
-    journals: dict[str, dict[int, Any]] = {}
-    boundary: dict[str, int] = {}
+def _entry_to_dict(entry) -> dict:
+    """Serialize one journal entry for a checkpoint's transaction table."""
+    if isinstance(entry, PageAllocationRecord):
+        return {"k": "alloc", "page": entry.page_id, "lsn": entry.lsn}
+    if isinstance(entry, CompensationRecord):
+        return {
+            "k": "comp",
+            "oid": entry.oid,
+            "method": entry.method,
+            "args": list(entry.args),
+            "lsn": entry.lsn,
+        }
+    data = {
+        "k": "undo",
+        "page": entry.page_id,
+        "slot": entry.slot,
+        "had": entry.had_slot,
+        "before": entry.before,
+        "lsn": entry.lsn,
+    }
+    if entry.after is DELETED:
+        data["deleted"] = True
+    elif entry.after is not UNKNOWN:
+        data["after"] = entry.after
+    return data
 
-    def journal(txn: str) -> dict[int, Any]:
-        return journals.setdefault(txn, {})
 
-    def truncate(txn: str, from_lsn: int) -> None:
-        j = journal(txn)
-        for lsn in [lsn for lsn in j if lsn >= from_lsn]:
-            del j[lsn]
+def _entry_from_dict(data: dict):
+    kind = data["k"]
+    if kind == "alloc":
+        return PageAllocationRecord(data["page"], lsn=data["lsn"])
+    if kind == "comp":
+        return CompensationRecord(
+            data["oid"], data["method"], tuple(data["args"]), lsn=data["lsn"]
+        )
+    if data.get("deleted"):
+        after = DELETED
+    elif "after" in data:
+        after = data["after"]
+    else:
+        after = UNKNOWN
+    return UndoRecord(
+        page_id=data["page"],
+        slot=data["slot"],
+        had_slot=data["had"],
+        before=data["before"],
+        after=after,
+        lsn=data["lsn"],
+    )
 
-    for rec in records:
+
+class AnalysisState:
+    """The ARIES analysis pass as a record-at-a-time state machine.
+
+    One implementation serves three callers: :func:`recover`'s full-log
+    scan, the WAL's *running* state in durable-store mode (so a fuzzy
+    checkpoint can serialize the exact active-transaction table for its
+    prefix), and recovery-from-checkpoint (deserialize the table, fold in
+    only the tail).  All three are byte-equivalent by construction.
+
+    Beyond winners/losers/journals/boundaries, the state tracks each live
+    transaction's *window*: its non-journaled, non-``consumes`` physical
+    records since its last rollback-progress marker — the writes of a
+    compensation that started but whose ``comp-done`` never became
+    durable.  Reverting them interleaved with the journal's undo entries
+    (reverse global LSN order) walks each slot's history backward;
+    ``consumes``-tagged records are excluded because they are durably
+    applied undo steps whose before-images may be stale.
+    """
+
+    __slots__ = (
+        "seen",
+        "committed",
+        "aborted",
+        "journals",
+        "boundary",
+        "windows",
+        "winner_order",
+    )
+
+    def __init__(self):
+        self.seen: dict[str, None] = {}  # ordered set of transaction labels
+        self.committed: set[str] = set()
+        self.aborted: set[str] = set()
+        self.journals: dict[str, dict[int, Any]] = {}
+        self.boundary: dict[str, int] = {}
+        self.windows: dict[str, list[dict]] = {}
+        self.winner_order: list[str] = []
+
+    def _journal(self, txn: str) -> dict[int, Any]:
+        return self.journals.setdefault(txn, {})
+
+    def _truncate(self, txn: str, from_lsn: int) -> None:
+        journal = self._journal(txn)
+        for lsn in [lsn for lsn in journal if lsn >= from_lsn]:
+            del journal[lsn]
+
+    def observe(self, rec: dict) -> None:
         t = rec["t"]
         txn = rec.get("txn")
         if txn is not None:
-            seen.setdefault(txn)
+            self.seen.setdefault(txn)
         if rec.get("consumes") is not None:
             # A compensation log record: one undo step durably applied
             # during a live rollback (or a prior recovery).  The consumed
             # journal entry must never be replayed — its before-image is
             # stale once later writers touched the slot.
-            journal(txn).pop(rec["consumes"], None)
-        if t in ("set", "del", "alloc") and rec.get("j"):
-            journal(txn)[rec["lsn"]] = _journal_entry(rec)
+            self._journal(txn).pop(rec["consumes"], None)
+        if t in PHYSICAL_TYPES:
+            if rec.get("j"):
+                self._journal(txn)[rec["lsn"]] = _journal_entry(rec)
+            elif txn is not None and rec.get("consumes") is None:
+                self.windows.setdefault(txn, []).append(rec)
         elif t == "subcommit":
-            truncate(txn, rec["from_lsn"])
-            journal(txn)[rec["lsn"]] = CompensationRecord(
+            self._truncate(txn, rec["from_lsn"])
+            self._journal(txn)[rec["lsn"]] = CompensationRecord(
                 rec["oid"], rec["method"], tuple(rec["args"]), lsn=rec["lsn"]
             )
         elif t == "jtrunc":
-            truncate(txn, rec["from_lsn"])
-            boundary[txn] = rec["lsn"]
+            self._truncate(txn, rec["from_lsn"])
+            self.boundary[txn] = rec["lsn"]
+            self.windows.pop(txn, None)
         elif t == "comp-done":
-            journal(txn).pop(rec["target"], None)
-            boundary[txn] = rec["lsn"]
+            self._journal(txn).pop(rec["target"], None)
+            self.boundary[txn] = rec["lsn"]
+            self.windows.pop(txn, None)
         elif t == "commit":
-            committed.add(txn)
+            self.committed.add(txn)
+            self.winner_order.append(txn)
+            self._finish(txn)
         elif t == "abort-done":
-            aborted.add(txn)
-            journals[txn] = {}
-    losers = [
-        txn for txn in seen if txn not in committed and txn not in aborted
-    ]
-    return committed, aborted, losers, journals, boundary
+            self.aborted.add(txn)
+            self._finish(txn)
+
+    def _finish(self, txn: str) -> None:
+        """Prune a finished transaction's recovery state.
+
+        Only *active* transactions can become losers, so their journals,
+        windows and rollback boundaries are dead weight the moment the
+        commit / abort-done record lands.  Pruning keeps the serialized
+        transaction table O(active), which is what makes checkpoint cost —
+        and recovery-from-checkpoint cost — flat in history length.  The
+        winner/abort *orderings* stay cumulative (plain label lists): the
+        crash oracle replays every winner since genesis.
+        """
+        self.seen.pop(txn, None)
+        self.journals.pop(txn, None)
+        self.boundary.pop(txn, None)
+        self.windows.pop(txn, None)
+
+    def losers(self) -> list[str]:
+        return [
+            txn
+            for txn in self.seen
+            if txn not in self.committed and txn not in self.aborted
+        ]
+
+    # -- checkpoint (de)serialization ---------------------------------------
+
+    def to_dict(self) -> dict:
+        # ``committed`` is not serialized: it is always set(winner_order).
+        return {
+            "seen": list(self.seen),
+            "aborted": sorted(self.aborted),
+            "winner_order": list(self.winner_order),
+            "journals": {
+                txn: [[lsn, _entry_to_dict(e)] for lsn, e in journal.items()]
+                for txn, journal in self.journals.items()
+                if journal
+            },
+            "boundary": dict(self.boundary),
+            "windows": {
+                txn: [dict(r) for r in recs]
+                for txn, recs in self.windows.items()
+                if recs
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisState":
+        state = cls()
+        state.seen = {txn: None for txn in data["seen"]}
+        state.aborted = set(data["aborted"])
+        state.winner_order = list(data["winner_order"])
+        state.committed = set(state.winner_order)
+        state.journals = {
+            txn: {lsn: _entry_from_dict(e) for lsn, e in pairs}
+            for txn, pairs in data["journals"].items()
+        }
+        state.boundary = dict(data["boundary"])
+        state.windows = {
+            txn: [dict(r) for r in recs]
+            for txn, recs in data["windows"].items()
+        }
+        return state
 
 
 def _redo(records: list[dict], store) -> int:
@@ -372,41 +582,52 @@ def _redo(records: list[dict], store) -> int:
     return applied
 
 
-def _collect_windows(
-    records: list[dict],
-    losers: list[str],
-    boundary: dict[str, int],
-) -> list[dict]:
-    """The physical records of rollback steps interrupted mid-flight.
+def _redo_durable(records: list[dict], store, start: int) -> int:
+    """Pass 2, durable flavor: conditional redo from ``start``.
 
-    A loser's *window* is its non-journaled physical records after its last
-    rollback-progress marker: the writes of a compensation that started but
-    whose ``comp-done`` never became durable.  Reverting them — strictly
-    interleaved with the journal's undo entries in reverse global LSN
-    order — walks each slot's history backward.  Where writes of different
-    transactions *did* interleave on a slot (commuting updates, concurrent
-    rollbacks), delta-aware undo (``UndoRecord.resolve``) removes exactly
-    this record's contribution instead of resurrecting a stale absolute
-    before-image over surviving work.
-
-    ``consumes``-tagged records are excluded: they are compensation log
-    records (durably applied undo steps), redone but never reverted — the
-    rollbacks of concurrent losers *can* interleave on a page through the
-    lock-free undo path, so their before-images may be stale.  Analysis
-    already popped their journal entries, so nothing replays them either.
+    History is repeated only where the durable page images have not already
+    witnessed it: a record is applied iff its LSN exceeds the target page's
+    pageLSN.  Skipping a ``set``/``del`` whose page is *absent* is sound —
+    absence means a later ``dealloc`` (≥ redo start) removed the page, and
+    that dealloc's own conditional check already ran or will run.
     """
-    loser_set = set(losers)
-    return [
-        rec
-        for rec in records
-        if (
-            rec.get("txn") in loser_set
-            and rec["t"] in PHYSICAL_TYPES
-            and not rec.get("j")
-            and rec.get("consumes") is None
-            and rec["lsn"] > boundary.get(rec["txn"], -1)
-        )
-    ]
+    applied = 0
+    for rec in records[start:]:
+        t = rec["t"]
+        if t not in PHYSICAL_TYPES:
+            continue
+        page_id, lsn = rec["page"], rec["lsn"]
+        page_lsn = store.page_lsn(page_id)
+        if t == "alloc":
+            if page_lsn is None or page_lsn < lsn:
+                store.install(Page(page_id, rec["capacity"]))
+                store.note_write(page_id, lsn)
+                applied += 1
+        elif t == "dealloc":
+            if page_lsn is not None and page_lsn < lsn:
+                store.remove(page_id)
+                applied += 1
+        else:
+            if page_lsn is None or page_lsn >= lsn:
+                continue
+            page = store.get(page_id)
+            if t == "set":
+                page.slots[rec["slot"]] = rec["value"]
+            else:  # del
+                page.slots.pop(rec["slot"], None)
+            store.note_write(page_id, lsn)
+            applied += 1
+    return applied
+
+
+def _durable_redo_start(ckpt: dict, records: list[dict]) -> int:
+    """Where conditional redo must begin: min(recLSN) over the dirty-page
+    table reconstructed from the checkpoint's DPT plus the log tail."""
+    dpt = dict(ckpt["dpt"])
+    for rec in records[ckpt["lsn"] + 1 :]:
+        if rec["t"] in PHYSICAL_TYPES and rec["page"] not in dpt:
+            dpt[rec["page"]] = rec["lsn"]
+    return min(dpt.values()) if dpt else ckpt["lsn"] + 1
 
 
 def _revert_record(db: "ObjectDatabase", rec: dict) -> None:
@@ -432,6 +653,7 @@ def recover(
     wal: WriteAheadLog,
     db: "ObjectDatabase",
     *,
+    store=None,
     faults: "FaultPlan | None" = None,
     skip_compensation: bool = False,
 ) -> RecoveryReport:
@@ -439,27 +661,67 @@ def recover(
 
     ``db`` must be a freshly materialized database whose objects were
     created by the same deterministic bootstrap as the crashed instance
-    (recovery needs the object directory to re-send compensating methods);
-    its page store is discarded and rebuilt from the log.  The log is
-    reopened and recovery appends its own records to it, so crashing *during*
-    recovery (via ``faults``) and calling :func:`recover` again converges to
-    the same state.  ``skip_compensation`` is the ablation hook: a recovery
-    that "forgets" compensation replay, which the crash oracle must catch.
+    (recovery needs the object directory to re-send compensating methods).
+    With the in-memory backend its page store is discarded and rebuilt from
+    genesis; with a durable ``store`` (or a durable ``db.store``), analysis
+    resumes from the last complete fuzzy checkpoint's transaction table and
+    redo is *conditional* from min(recLSN) — pages whose images already
+    witnessed a record (pageLSN ≥ LSN) are skipped, so recovery cost tracks
+    the WAL tail, not all history.  The log is reopened and recovery appends
+    its own records to it, so crashing *during* recovery (via ``faults``)
+    and calling :func:`recover` again converges to the same state.
+    ``skip_compensation`` is the ablation hook: a recovery that "forgets"
+    compensation replay, which the crash oracle must catch.
     """
     wal.reopen()
+    if store is not None:
+        db.store = store
     db.wal = wal
     wal.bind(db.bus, db.metrics)
-    records = wal.to_list()
+    durable = db.store.durable
+    if durable:
+        db.store.connect(
+            force_log=wal.force_up_to,
+            fault_hit=db._fault_hit,
+            metrics=db.metrics,
+        )
+    # A cheap pointer copy, NOT to_list(): recovery never mutates existing
+    # records, and an O(history) dict-copy here would defeat the flatness
+    # the checkpoint buys.
+    records = list(wal.records)
     report = RecoveryReport(records=len(records))
 
-    committed, aborted, losers, journals, boundary = _analyze(records)
+    ckpt = wal.durable_checkpoint() if durable else None
+    if ckpt is not None:
+        state = AnalysisState.from_dict(ckpt["att"])
+        tail_start = ckpt["lsn"] + 1
+    else:
+        state = AnalysisState()
+        tail_start = 0
+    for rec in records[tail_start:]:
+        state.observe(rec)
+    if durable:
+        # Adopt the state as the WAL's running analysis *before* the undo
+        # loop: recovery's own appends (undo records, comp-done, abort-done)
+        # must be observed, or a post-recovery checkpoint's transaction
+        # table would still carry the losers it just finished unwinding.
+        wal.analysis = state
+    losers = state.losers()
+    journals = state.journals
     # Keep winners in commit-record order — the crash oracle replays them
     # serially in exactly this order.
-    report.winners = [r["txn"] for r in records if r["t"] == "commit"]
-    report.finished_aborts = sorted(aborted)
+    report.winners = list(state.winner_order)
+    report.finished_aborts = sorted(state.aborted)
     report.losers = list(losers)
 
-    report.redo_applied = _redo(records, db.store)
+    if ckpt is not None:
+        report.redo_applied = _redo_durable(
+            records, db.store, _durable_redo_start(ckpt, records)
+        )
+    elif durable:
+        report.redo_applied = _redo_durable(records, db.store, 0)
+    else:
+        report.redo_applied = _redo(records, db.store)
 
     # One backward pass over everything that must be physically or
     # semantically unwound: the losers' surviving journal entries AND the
@@ -474,8 +736,9 @@ def recover(
         for lsn, entry in journals.get(txn, {}).items()
     ]
     merged.extend(
-        (rec["lsn"], rec["txn"], rec)
-        for rec in _collect_windows(records, losers, boundary)
+        (rec["lsn"], txn, rec)
+        for txn in losers
+        for rec in state.windows.get(txn, ())
     )
     merged.sort(key=lambda item: item[0], reverse=True)
     remaining = {txn: sum(1 for _, t, _ in merged if t == txn) for txn in losers}
@@ -486,6 +749,7 @@ def recover(
                 faults.hit("recovery.step")
             except SimulatedCrash:
                 wal.crash()
+                db.store.crash()
                 raise
         if isinstance(entry, dict):
             _revert_record(db, entry)
@@ -525,6 +789,14 @@ def recover(
         ctx.root_frame.log.entries.clear()
         db.scheduler.abort(ctx)
         ctx.status = TxnStatus.ABORTED
+
+    if durable and not wal.crashed:
+        # Make the recovered state durable and fence it with a fresh
+        # checkpoint: a second recover() over this log is then a no-op
+        # redo (digest-identical), and the next crash's redo tail starts
+        # here rather than at the pre-crash checkpoint.
+        db.store.flush_dirty()
+        db.checkpoint()
     return report
 
 

@@ -33,6 +33,7 @@ in the executed history (no lost admitted commits).
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -42,10 +43,12 @@ from collections import deque
 
 from repro.analysis.compare import make_scheduler
 from repro.core.certify import OnlineCertifier, certified_base
+from repro.errors import DatabaseError
 from repro.fuzz.generator import GeneratorProfile, build_workload, generate
 from repro.fuzz.oracle import check_history, strictness_for
 from repro.oodb.database import ObjectDatabase
 from repro.oodb.session import DatabaseSession
+from repro.oodb.wal import WriteAheadLog
 from repro.runtime.executor import (
     ExecutionResult,
     InterleavedExecutor,
@@ -92,6 +95,12 @@ class ServiceConfig:
     #: certify each settled batch incrementally (the online audit); off,
     #: the history is only judged by an explicit :meth:`certify` call
     online_certify: bool = True
+    #: root of the durable file-backed storage engine (None = in-memory)
+    data_dir: str | None = None
+    #: buffer-pool frames when ``data_dir`` is set
+    frames: int = 256
+    #: fuzzy-checkpoint interval in WAL records when ``data_dir`` is set
+    checkpoint_every: int = 512
 
     def to_dict(self) -> dict:
         return {
@@ -103,6 +112,9 @@ class ServiceConfig:
             "default_quota": self.default_quota.to_dict(),
             "retry_policy": self.retry_policy.to_dict(),
             "online_certify": self.online_certify,
+            "data_dir": self.data_dir,
+            "frames": self.frames,
+            "checkpoint_every": self.checkpoint_every,
         }
 
 
@@ -220,9 +232,35 @@ class TransactionService:
         self.config = config or ServiceConfig()
         spec = generate(self.config.seed, profile)
         self.spec = spec
+        self._wal: WriteAheadLog | None = None
+        store = None
+        if self.config.data_dir is not None:
+            from repro.oodb.store import FileBackedPageStore
+
+            os.makedirs(self.config.data_dir, exist_ok=True)
+            wal_path = os.path.join(self.config.data_dir, "wal.jsonl")
+            if os.path.exists(wal_path):
+                # Bootstrapping over prior state would append a second
+                # genesis onto its log; make the operator decide first.
+                raise DatabaseError(
+                    f"data dir {self.config.data_dir} already holds a WAL; "
+                    "run `repro recover --data-dir` and move it aside, or "
+                    "point --data-dir at a fresh directory"
+                )
+            self._wal = WriteAheadLog(path=wal_path)
+            store = FileBackedPageStore(
+                self.config.data_dir,
+                frames=self.config.frames,
+                default_capacity=4 * spec.key_space + 16,
+            )
         self.db = ObjectDatabase(
             scheduler=make_scheduler(self.config.protocol, spec.layers()),
             page_capacity=4 * spec.key_space + 16,
+            wal=self._wal,
+            store=store,
+            checkpoint_every=(
+                self.config.checkpoint_every if store is not None else None
+            ),
         )
         # Materialize the object graph only; the spec's canned programs are
         # discarded — clients author the programs here.
@@ -319,6 +357,13 @@ class TransactionService:
             except queue.Empty:
                 break
             self._cancel(request)  # pragma: no cover - defensive
+        # Durable shutdown: a final checkpoint fences redo for the next
+        # open, every dirty page reaches its image, and the handles close.
+        if self._wal is not None and not self._wal.crashed:
+            self.db.checkpoint()
+            self._wal.sync()
+            self.db.store.close()
+            self._wal.close()
 
     def _cancel(self, request: _Request) -> None:
         """Settle an admitted request that will never execute."""

@@ -1,0 +1,105 @@
+"""Tests for the on-disk page-image layer and the file-backed store."""
+
+import os
+
+import pytest
+
+from repro.errors import PageError
+from repro.oodb.pages import Page
+from repro.oodb.store import FileBackedPageStore, PageImageStore
+
+
+def make_page(page_id="PageA", **slots):
+    page = Page(page_id, 16)
+    for key, value in slots.items():
+        page.write(key, value)
+    return page
+
+
+class TestPageImageStore:
+    def test_round_trip_preserves_slots_and_page_lsn(self, tmp_path):
+        disk = PageImageStore(str(tmp_path))
+        disk.write_page(make_page(total=7, s1=3), page_lsn=42)
+        loaded, page_lsn = disk.read_page("PageA")
+        assert page_lsn == 42
+        assert loaded.read("total") == 7
+        assert loaded.read("s1") == 3
+
+    def test_non_string_slot_keys_survive(self, tmp_path):
+        disk = PageImageStore(str(tmp_path))
+        page = Page("PageK", 16)
+        page.write(5, "five")
+        disk.write_page(page, page_lsn=1)
+        loaded, _ = disk.read_page("PageK")
+        assert loaded.read(5) == "five"
+
+    def test_corrupt_image_is_rejected(self, tmp_path):
+        disk = PageImageStore(str(tmp_path))
+        disk.write_page(make_page(total=1), page_lsn=0)
+        path = disk._index["PageA"]
+        with open(path, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            fh.write(b"X")  # flip the last payload byte
+        with pytest.raises(PageError, match="checksum"):
+            disk.read_page("PageA")
+
+    def test_stray_tmp_is_swept_on_open(self, tmp_path):
+        disk = PageImageStore(str(tmp_path))
+        disk.write_page(make_page(total=1), page_lsn=0)
+        torn = disk._index["PageA"] + ".tmp"
+        with open(torn, "wb") as fh:
+            fh.write(b"half a page image")
+        reopened = PageImageStore(str(tmp_path))
+        assert not os.path.exists(torn)
+        loaded, _ = reopened.read_page("PageA")
+        assert loaded.read("total") == 1
+
+    def test_images_land_in_hashed_subdirectories(self, tmp_path):
+        disk = PageImageStore(str(tmp_path))
+        for n in range(8):
+            disk.write_page(make_page(f"Page{n}", total=n), page_lsn=n)
+        prefixes = {
+            name
+            for name in os.listdir(disk.pages_dir)
+            if os.path.isdir(os.path.join(disk.pages_dir, name))
+        }
+        assert len(prefixes) > 1  # not one flat directory
+        assert disk.page_ids == sorted(f"Page{n}" for n in range(8))
+
+
+class TestFileBackedPageStore:
+    def test_allocate_get_and_restart(self, tmp_path):
+        store = FileBackedPageStore(str(tmp_path), frames=4)
+        page = store.allocate()
+        page.write("total", 9)
+        store.note_write(page.page_id, 3)
+        store.flush_dirty()
+        store.close()
+
+        reopened = FileBackedPageStore(str(tmp_path), frames=4)
+        assert page.page_id in reopened
+        assert reopened.get(page.page_id).read("total") == 9
+        assert reopened.page_lsn(page.page_id) == 3
+        # the meta counter survived: fresh ids never collide with old ones
+        fresh = reopened.allocate()
+        assert fresh.page_id != page.page_id
+
+    def test_deallocate_removes_the_image(self, tmp_path):
+        store = FileBackedPageStore(str(tmp_path), frames=4)
+        page = store.allocate("PageZ")
+        store.note_write("PageZ", 0)
+        store.flush_dirty()
+        assert store.disk.has("PageZ")
+        store.deallocate("PageZ")
+        assert "PageZ" not in store
+        assert not store.disk.has("PageZ")
+
+    def test_crash_makes_writes_inert_but_reads_fault_in(self, tmp_path):
+        store = FileBackedPageStore(str(tmp_path), frames=4)
+        page = store.allocate("PageC")
+        page.write("total", 5)
+        store.note_write("PageC", 1)
+        store.flush_dirty()
+        store.crash()
+        assert store.flush_dirty() == 0
+        assert store.get("PageC").read("total") == 5  # from the image

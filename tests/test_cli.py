@@ -125,6 +125,52 @@ def test_recover_command(tmp_path):
     assert "page-store digest:" in output
 
 
+def test_fuzz_crash_durable_smoke():
+    code, output = run_cli(
+        "fuzz", "--crash", "--smoke", "--seeds", "1", "--durable",
+        "--protocols", "open-nested-oo",
+    )
+    assert code == 0
+    assert "[durable store]" in output
+    assert "no crash-oracle violations" in output
+
+
+def test_recover_data_dir_round_trip(tmp_path):
+    from repro.fuzz.crash import _build_db, _durable_store, DurableConfig
+    from repro.fuzz.generator import GeneratorProfile, generate
+    from repro.oodb.wal import WriteAheadLog
+    from repro.runtime.executor import InterleavedExecutor
+
+    spec = generate(0, GeneratorProfile.smoke())
+    data_dir = tmp_path / "data"
+    data_dir.mkdir()
+    wal = WriteAheadLog(str(data_dir / "wal.jsonl"))
+    store = _durable_store(spec, str(data_dir), DurableConfig(frames=8))
+    db, programs = _build_db(
+        spec, "open-nested-oo", wal=wal, store=store, checkpoint_every=32
+    )
+    InterleavedExecutor(db, seed=spec.seed).run(programs)
+    # abrupt stop: synced but never checkpointed/closed cleanly
+    wal.sync()
+    wal.close()
+
+    code, output = run_cli(
+        "recover", "--data-dir", str(data_dir), "--seed", "0", "--smoke"
+    )
+    assert code == 0
+    assert "recovered" in output
+    assert f"data dir {data_dir} recovered and checkpointed" in output
+
+    # idempotent: a second recovery has nothing left to redo
+    code, second = run_cli(
+        "recover", "--data-dir", str(data_dir), "--seed", "0", "--smoke"
+    )
+    assert code == 0
+    assert "redo 0" in second
+    digest = [l for l in output.splitlines() if "digest" in l]
+    assert digest == [l for l in second.splitlines() if "digest" in l]
+
+
 def test_trace_emits_valid_chrome_trace(tmp_path):
     import json
 
