@@ -28,7 +28,6 @@ own entry and regressions show up as numbers, not anecdotes.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import platform
 import sys
@@ -45,6 +44,7 @@ from repro.core.commutativity import MatrixCommutativity
 from repro.core.transactions import TransactionSystem
 from repro.fuzz.driver import run_campaign
 from repro.fuzz.generator import GeneratorProfile
+from repro.fuzz.parallel import available_cpus
 from repro.locking.lock_table import Lock, LockTable
 from repro.oodb.context import TransactionContext
 from repro.oodb.pages import PageStore
@@ -403,7 +403,9 @@ def _write_trajectory(entry: dict) -> dict:
 def run_perf_bench() -> dict:
     return {
         "label": os.environ.get("BENCH_PERF_LABEL", "pr3"),
-        "cpus": multiprocessing.cpu_count(),
+        # Affinity/cgroup-aware: the ">=2x on >=4 CPUs" gate below must not
+        # fire on a container that advertises 64 host cores but runs on 2.
+        "cpus": available_cpus(),
         "python": platform.python_version(),
         "campaign": _campaign_section(),
         "lock_table": _lock_table_section(),

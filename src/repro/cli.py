@@ -300,6 +300,13 @@ def _build_fuzz_parser(subparsers) -> None:
         "the campaign report is byte-identical to a serial run",
     )
     parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run every cell on the sharded runtime with N shards over a "
+        "grouped (cross-shard) workload, judged by the composed Def 15/16 "
+        "oracle; composes with --jobs, and at 1 the report is byte-"
+        "identical to the single-core campaign",
+    )
+    parser.add_argument(
         "--max-violations", type=int, default=1,
         help="stop the campaign after this many violations",
     )
@@ -360,6 +367,23 @@ def cmd_fuzz(args) -> int:
     )
     from repro.fuzz.generator import WorkloadSpec
 
+    if args.shards > 1 and (
+        args.replay is not None
+        or args.service
+        or args.crash
+        or args.crash_ablate
+        or args.crash_ablate_force
+        or args.certify
+        or args.trace_dir
+    ):
+        print(
+            "error: --shards composes with --jobs only; --replay, "
+            "--service, the crash modes, --certify and --trace-dir are "
+            "single-core campaign features",
+            file=sys.stderr,
+        )
+        return EXIT_OPERATIONAL
+
     if args.replay is not None:
         with open(args.replay) as fh:
             data = json.load(fh)
@@ -398,6 +422,7 @@ def cmd_fuzz(args) -> int:
         jobs=args.jobs,
         trace_dir=args.trace_dir,
         certify=args.certify,
+        shards=args.shards,
     )
     header, rows = campaign.table()
     print(
@@ -414,6 +439,21 @@ def cmd_fuzz(args) -> int:
     if not campaign.violations:
         print("no oracle violations" if campaign.ok else "simulator errors")
         return 0 if campaign.ok else 1
+
+    if campaign.shards > 1:
+        # The shrinker minimizes single-core cells; a sharded violation is
+        # already seed-reproducible through the sharded runtime.
+        violation = campaign.violations[0]
+        print(
+            f"violation: generator seed {violation.seed} under "
+            f"{violation.protocol} at {campaign.shards} shards; "
+            f"reproduce with: python -m repro shard "
+            f"--seed {violation.seed} --protocol {violation.protocol} "
+            f"--shards {campaign.shards}"
+            + (" --smoke" if args.smoke else "")
+        )
+        print(violation.report.description)
+        return 1
 
     violation = campaign.violations[0]
     print(
@@ -933,28 +973,45 @@ def _build_stats_parser(subparsers) -> None:
         "--format", choices=("table", "prometheus"), default="table",
         help="table (default) or Prometheus text exposition format",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run the cell on the sharded runtime and print the merged "
+        "per-shard metric registry (shard label folded into one table)",
+    )
 
 
 def cmd_stats(args) -> int:
-    from repro.fuzz.driver import execute_cell
     from repro.fuzz.generator import GeneratorProfile, generate
     from repro.obs import prometheus_text
 
     profile = GeneratorProfile.smoke() if args.smoke else None
-    spec = generate(args.seed, profile)
-    result = execute_cell(spec, args.protocol)
-    registry = result.db.metrics
-    if args.format == "prometheus":
-        print(prometheus_text(registry), end="")
-        return 0
-    rows = [[name, value] for name, value in registry.as_dict().items()]
-    print(
-        render_table(
-            ["metric", "value"],
-            rows,
-            title=f"seed {args.seed}, {args.protocol}",
-        )
-    )
+    if args.shards > 1:
+        from repro.shard import run_sharded_cell
+
+        profile = (profile or GeneratorProfile()).grouped(args.shards)
+        spec = generate(args.seed, profile)
+        result = run_sharded_cell(spec, args.protocol, args.shards)
+        # Numeric samples are already summed across the per-shard
+        # registries; the flattened keys keep exposition sample syntax.
+        flat = dict(sorted(result.metrics.items()))
+        title = f"seed {args.seed}, {args.protocol}, {args.shards} shards"
+        if args.format == "prometheus":
+            print(f"# merged across {args.shards} shards")
+            for name, value in flat.items():
+                print(f"{name} {value}")
+            return 0
+    else:
+        from repro.fuzz.driver import execute_cell
+
+        spec = generate(args.seed, profile)
+        result = execute_cell(spec, args.protocol)
+        title = f"seed {args.seed}, {args.protocol}"
+        if args.format == "prometheus":
+            print(prometheus_text(result.db.metrics), end="")
+            return 0
+        flat = result.db.metrics.as_dict()
+    rows = [[name, value] for name, value in flat.items()]
+    print(render_table(["metric", "value"], rows, title=title))
     return 0
 
 
@@ -1012,6 +1069,12 @@ def _build_serve_parser(subparsers) -> None:
         help="seconds before a stalled client session is dropped",
     )
     parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the hosted object graph across N shards and run "
+        "batches on the sharded runtime (cross-shard requests two-phase "
+        "commit through the Def 15/16 coordinator); excludes --data-dir",
+    )
+    parser.add_argument(
         "--data-dir", default=None, metavar="DIR",
         help="run on the durable file-backed storage engine rooted here: "
         "page images + DIR/wal.jsonl survive restarts (recover with "
@@ -1053,6 +1116,7 @@ def cmd_serve(args) -> int:
         data_dir=args.data_dir,
         frames=args.frames,
         checkpoint_every=args.checkpoint_every,
+        shards=args.shards,
     )
     try:
         service = TransactionService(config)
@@ -1071,6 +1135,7 @@ def cmd_serve(args) -> int:
         f"serving protocol={args.protocol} seed={args.seed} on "
         f"{args.host}:{server.port} "
         f"(metrics http://{args.host}:{server.metrics_port}/metrics)"
+        + (f" shards={args.shards}" if args.shards > 1 else "")
         + (f" data-dir={args.data_dir}" if args.data_dir else ""),
         flush=True,
     )
@@ -1140,6 +1205,11 @@ def _build_load_parser(subparsers) -> None:
         help="mean client think time between requests",
     )
     parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="assert the server is running with N shards before driving "
+        "load (probes the config op; mismatch is an operational error)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="print the report as JSON"
     )
     _add_timeout_flag(parser)
@@ -1150,6 +1220,20 @@ def cmd_load(args) -> int:
 
     from repro.faults.service import ServiceFaultPlan
     from repro.service.client import run_load
+
+    if args.shards is not None:
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(args.host, args.port) as probe:
+            config = probe.request({"op": "config"})
+        served = config.get("config", config).get("shards", 1)
+        if served != args.shards:
+            print(
+                f"error: server runs shards={served}, expected "
+                f"--shards {args.shards}",
+                file=sys.stderr,
+            )
+            return EXIT_OPERATIONAL
 
     fault_plan_for = None
     if args.faults:
@@ -1190,6 +1274,102 @@ def cmd_load(args) -> int:
     return EXIT_OK
 
 
+def _build_shard_parser(subparsers) -> None:
+    from repro.fuzz import FUZZ_PROTOCOLS
+
+    parser = subparsers.add_parser(
+        "shard",
+        help="run one workload cell on the sharded multi-core runtime and "
+        "print its canonical report (cross-shard 2PC, composed Def 15/16 "
+        "oracle); --single prints the single-core reference instead",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--protocol", default="page-2pl", choices=list(FUZZ_PROTOCOLS),
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="shard count; the workload is grouped (cross-shard) only "
+        "when N > 1, so --shards 1 stays comparable to --single",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="use the small/fast smoke generator profile",
+    )
+    parser.add_argument(
+        "--single", action="store_true",
+        help="print the single-core reference report for the same spec "
+        "(diff against a --shards 1 run for the byte-identity check)",
+    )
+    parser.add_argument(
+        "--mp", action="store_true",
+        help="fan shards out to real worker processes instead of the "
+        "deterministic in-process epoch driver",
+    )
+    parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="write per-shard WAL segments + the coordinator decide log "
+        "under DIR (resolve after a crash with --recover)",
+    )
+    parser.add_argument(
+        "--recover", action="store_true",
+        help="instead of running, resolve the WAL segments under "
+        "--data-dir: presumed abort for undecided prepares, forced "
+        "commit for durable decide-commit verdicts",
+    )
+    _add_timeout_flag(parser)
+
+
+def cmd_shard(args) -> int:
+    from repro.fuzz.generator import GeneratorProfile, generate
+
+    profile = GeneratorProfile.smoke() if args.smoke else GeneratorProfile()
+    if args.shards > 1:
+        profile = profile.grouped(args.shards)
+    spec = generate(args.seed, profile)
+
+    if args.recover:
+        from repro.shard import resolve_segments
+
+        if not args.data_dir:
+            print("error: --recover requires --data-dir", file=sys.stderr)
+            return EXIT_OPERATIONAL
+        report = resolve_segments(
+            spec, args.shards, args.data_dir, protocol=args.protocol
+        )
+        for base, verdict in sorted(report.decisions.items()):
+            print(f"decision {base}: {verdict}")
+        for resolution in report.shards:
+            print(
+                f"shard {resolution.shard}: "
+                f"resolved_commits={sorted(resolution.resolved_commits)} "
+                f"presumed_aborts={sorted(resolution.presumed_aborts)} "
+                f"winners={sorted(resolution.recovery.winners)} "
+                f"digest={resolution.digest[:12]}"
+            )
+        print(f"winners: {sorted(report.winners)}")
+        return EXIT_OK
+
+    if args.single:
+        from repro.shard import single_core_text
+
+        print(single_core_text(spec, args.protocol), end="")
+        return EXIT_OK
+
+    from repro.shard import run_sharded_cell
+
+    result = run_sharded_cell(
+        spec,
+        args.protocol,
+        args.shards,
+        mp=args.mp,
+        data_dir=args.data_dir,
+        collect_events=True,
+    )
+    print(result.canonical_text(), end="")
+    return EXIT_OK if result.ok else EXIT_FAILURE
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1212,6 +1392,7 @@ def main(argv: list[str] | None = None) -> int:
     _build_stats_parser(subparsers)
     _build_serve_parser(subparsers)
     _build_load_parser(subparsers)
+    _build_shard_parser(subparsers)
     args = parser.parse_args(argv)
     try:
         if args.command == "compare":
@@ -1232,6 +1413,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_serve(args)
         if args.command == "load":
             return _with_timeout(cmd_load, args)
+        if args.command == "shard":
+            return _with_timeout(cmd_shard, args)
         return cmd_figures(args)
     except (OSError, ConnectionError) as exc:
         # Operational failures (unreachable server, missing file) get the

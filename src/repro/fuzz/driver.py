@@ -167,6 +167,8 @@ class CampaignResult:
     #: (seed, protocol, repr(error)) for runs that crashed the simulator
     errors: list[tuple[int, str, str]] = field(default_factory=list)
     seeds_run: int = 0
+    #: shard count the campaign ran under (1 = plain single-core cells)
+    shards: int = 1
 
     @property
     def ok(self) -> bool:
@@ -184,7 +186,14 @@ class CampaignResult:
             "oo-only",
             "delta",
         ]
-        return header, [t.row() for t in self.tallies.values()]
+        rows = [t.row() for t in self.tallies.values()]
+        if self.shards > 1:
+            # The column only appears for sharded campaigns, so a
+            # ``--shards 1`` report stays byte-identical to the historical
+            # single-core table (pinned by the campaign baseline test).
+            header = header[:1] + ["shards"] + header[1:]
+            rows = [row[:1] + [self.shards] + row[1:] for row in rows]
+        return header, rows
 
 
 @dataclass
@@ -216,6 +225,66 @@ def _cell_ablation_for(
     if ablation is None and ablate_first_leaf:
         return Ablation(object_name=spec.leaf_objects[0].name)
     return ablation
+
+
+def _sharded_profile(
+    profile: GeneratorProfile | None, shards: int
+) -> GeneratorProfile:
+    """The grouped workload profile a sharded campaign fuzzes with.
+
+    One object group per shard keeps the partitioner honest (every group
+    becomes its own call component) while ``p_cross_group`` makes a steady
+    fraction of transactions span shards — the 2PC/Def 16 surface under
+    test.  A profile that is already grouped is taken as-is.
+    """
+    profile = profile or GeneratorProfile()
+    if profile.groups > 1:
+        return profile
+    return profile.grouped(shards)
+
+
+def run_sharded_seed_cells(
+    seed: int,
+    *,
+    shards: int,
+    protocols: tuple[str, ...] = FUZZ_PROTOCOLS,
+    profile: GeneratorProfile | None = None,
+    ablation: Ablation | None = None,
+    ablate_first_leaf: bool = False,
+) -> list[CellOutcome]:
+    """The per-seed worker of a ``--shards N`` campaign.
+
+    Each cell runs the full sharded runtime — static partition, per-shard
+    executors, 2PC through the coordinator — and is judged by the composed
+    oracle (per-shard Def 10-14 replay plus the global Def 15/16 union,
+    plus atomicity), so a violation here means the *distributed* protocol
+    let a non-oo-serializable history commit.  Deterministic in ``seed``
+    exactly like :func:`run_seed_cells`.
+    """
+    from repro.shard.runtime import run_sharded_cell
+
+    spec = generate(seed, _sharded_profile(profile, shards))
+    cell_ablation = _cell_ablation_for(spec, ablation, ablate_first_leaf)
+    cells: list[CellOutcome] = []
+    for protocol in protocols:
+        try:
+            result = run_sharded_cell(
+                spec, protocol, shards, ablation=cell_ablation
+            )
+        except ReproError as exc:
+            cells.append(CellOutcome(protocol=protocol, error=repr(exc)))
+            continue
+        cells.append(
+            CellOutcome(
+                protocol=protocol,
+                committed=len(result.committed),
+                gave_up=len(result.gave_up),
+                restarts=sum(s.restarts for s in result.summaries),
+                oo_only=result.report.oo_only,
+                report=result.report,
+            )
+        )
+    return cells
 
 
 def run_seed_cells(
@@ -357,25 +426,45 @@ def run_campaign(
     progress=None,
     trace_dir: str | None = None,
     certify: bool = False,
+    shards: int = 1,
 ) -> CampaignResult:
     """Run every seed under every protocol; stop after ``max_violations``.
 
     ``jobs > 1`` shards seeds across worker processes; the report is
     byte-identical to a serial run over the same seeds (results are folded
     in seed order either way).  ``jobs = 0`` means one worker per CPU.
+
+    ``shards > 1`` runs every cell on the sharded runtime
+    (:mod:`repro.shard`) over a grouped workload profile and judges it
+    with the composed cross-shard oracle; ``--jobs`` still fans seeds out
+    across processes on top (each worker drives its shards in-process).
     """
     campaign = CampaignResult(
-        tallies={p: ProtocolTally(protocol=p) for p in protocols}
+        tallies={p: ProtocolTally(protocol=p) for p in protocols},
+        shards=shards,
     )
-    worker = functools.partial(
-        run_seed_cells,
-        protocols=tuple(protocols),
-        profile=profile,
-        ablation=ablation,
-        ablate_first_leaf=ablate_first_leaf,
-        trace_dir=trace_dir,
-        certify=certify,
-    )
+    if shards > 1:
+        # Normalized here too so _fold_seed regenerates violation specs
+        # with the exact profile the workers fuzzed (idempotent).
+        profile = _sharded_profile(profile, shards)
+        worker = functools.partial(
+            run_sharded_seed_cells,
+            shards=shards,
+            protocols=tuple(protocols),
+            profile=profile,
+            ablation=ablation,
+            ablate_first_leaf=ablate_first_leaf,
+        )
+    else:
+        worker = functools.partial(
+            run_seed_cells,
+            protocols=tuple(protocols),
+            profile=profile,
+            ablation=ablation,
+            ablate_first_leaf=ablate_first_leaf,
+            trace_dir=trace_dir,
+            certify=certify,
+        )
     for seed, cells in iter_seed_results(worker, seeds, jobs):
         stopped = _fold_seed(
             campaign,

@@ -315,6 +315,24 @@ class GeneratorProfile:
     #: weights over ENTRY_KINDS when drawing a matrix entry
     entry_weights: tuple = (0.3, 0.2, 0.25, 0.1, 0.15)
     state_threshold: int = 8
+    #: independent object groups.  With ``groups > 1`` the object graph is
+    #: generated per group (``n_objects`` each, named ``L<layer>G<g>O<i>``)
+    #: and nested calls never leave a group — the unit the sharded runtime
+    #: partitions by — while *programs* send across groups, producing the
+    #: cross-shard transactions that exercise the 2PC/acyclicity path.
+    #: ``groups == 1`` preserves the historical generator byte for byte.
+    groups: int = 1
+    #: probability that a send leaves the program's home group (groups > 1)
+    p_cross_group: float = 0.35
+
+    def grouped(self, groups: int, p_cross_group: float | None = None) -> "GeneratorProfile":
+        """A copy of this profile split into ``groups`` object groups."""
+        from dataclasses import replace
+
+        kwargs = {"groups": groups}
+        if p_cross_group is not None:
+            kwargs["p_cross_group"] = p_cross_group
+        return replace(self, **kwargs)
 
     @staticmethod
     def smoke() -> "GeneratorProfile":
@@ -357,8 +375,18 @@ def generate(seed: int, profile: GeneratorProfile | None = None) -> WorkloadSpec
     """Derive a complete workload spec from a seed (deterministically)."""
     profile = profile or GeneratorProfile()
     rng = random.Random(seed)
-    objects = _generate_objects(rng, profile)
-    programs = _generate_programs(rng, profile, objects)
+    if profile.groups <= 1:
+        # The historical single-group path, byte for byte: the RNG draw
+        # order below must never change under the default profile.
+        objects = _generate_objects(rng, profile)
+        programs = _generate_programs(rng, profile, objects)
+    else:
+        group_objects = [
+            _generate_objects(rng, profile, group=g)
+            for g in range(profile.groups)
+        ]
+        objects = [spec for group in group_objects for spec in group]
+        programs = _generate_group_programs(rng, profile, group_objects)
     return WorkloadSpec(
         seed=seed,
         key_space=profile.key_space,
@@ -368,14 +396,17 @@ def generate(seed: int, profile: GeneratorProfile | None = None) -> WorkloadSpec
 
 
 def _generate_objects(
-    rng: random.Random, profile: GeneratorProfile
+    rng: random.Random, profile: GeneratorProfile, group: int | None = None
 ) -> list[ObjectSpec]:
     n_layers = min(profile.n_layers, profile.n_objects)
     # Every layer gets at least one object; the rest are spread at random.
     layer_of: list[int] = list(range(n_layers))
     layer_of += [rng.randrange(n_layers) for _ in range(profile.n_objects - n_layers)]
     layer_of.sort()
-    names = [f"L{layer}O{i}" for i, layer in enumerate(layer_of)]
+    # The layer stays the leading name component so the multilevel
+    # protocol's prefix -> level matching works unchanged on grouped names.
+    infix = "" if group is None else f"G{group}"
+    names = [f"L{layer}{infix}O{i}" for i, layer in enumerate(layer_of)]
 
     specs: list[ObjectSpec] = []
     for i, (name, layer) in enumerate(zip(names, layer_of)):
@@ -564,6 +595,56 @@ def _generate_programs(
     return programs
 
 
+def _generate_group_programs(
+    rng: random.Random,
+    profile: GeneratorProfile,
+    group_objects: list[list[ObjectSpec]],
+) -> list[ProgramSpec]:
+    """Programs over a grouped object graph (``profile.groups > 1``).
+
+    Each program has a *home* group (round-robin, so every group gets
+    load); each send stays home unless the ``p_cross_group`` coin sends it
+    to another group — those are the transactions that span shards under
+    the sharded runtime and must two-phase commit.
+    """
+    groups = len(group_objects)
+    roots_of = [
+        [o for o in objs if o.layer == max(o.layer for o in objs)]
+        for objs in group_objects
+    ]
+    programs: list[ProgramSpec] = []
+    for t in range(profile.n_programs):
+        home = t % groups
+        ops: list = []
+        for _ in range(profile.ops_per_program):
+            g = home
+            if groups > 1 and rng.random() < profile.p_cross_group:
+                g = rng.randrange(groups - 1)
+                if g >= home:
+                    g += 1
+            roll = rng.random()
+            if roll < 0.55:
+                target = rng.choice(roots_of[g])
+            else:
+                target = rng.choice(group_objects[g])
+            method = rng.choice(
+                [m.name for m in target.methods if m.name != "aux"] or ["get"]
+            )
+            ops.append(
+                [
+                    "send",
+                    target.name,
+                    method,
+                    rng.randrange(profile.key_space),
+                    rng.randint(1, profile.max_amount),
+                ]
+            )
+            if profile.max_think:
+                ops.append(["work", rng.randint(0, profile.max_think)])
+        programs.append(ProgramSpec(label=f"T{t}", ops=ops))
+    return programs
+
+
 # ---------------------------------------------------------------------------
 # materialization
 # ---------------------------------------------------------------------------
@@ -613,32 +694,44 @@ def make_object_class(spec: ObjectSpec, key_space: int) -> type[FuzzObjectBase]:
     return type(f"Fz{spec.name}", (FuzzObjectBase,), namespace)
 
 
+def build_program(pspec: ProgramSpec, kind: str = "fuzz") -> TransactionProgram:
+    """Compile one program spec into an executable transaction program."""
+
+    def body(api, ops=tuple(tuple(op) for op in pspec.ops)):
+        for op in ops:
+            if op[0] == "send":
+                _, oid, method, key, amount = op
+                api.send(oid, method, key, amount)
+            elif op[1]:
+                api.work(op[1])
+
+    return TransactionProgram(
+        pspec.label, body, max_restarts=pspec.max_restarts, kind=kind
+    )
+
+
 def build_workload(
-    db: ObjectDatabase, spec: WorkloadSpec
+    db: ObjectDatabase,
+    spec: WorkloadSpec,
+    *,
+    objects: list[ObjectSpec] | None = None,
+    programs: list[ProgramSpec] | None = None,
 ) -> tuple[list[str], list[TransactionProgram]]:
     """Materialize a workload spec on a fresh database.
 
     Returns ``(object_ids, programs)`` — the same builder shape the
-    cross-protocol comparison engine expects.
+    cross-protocol comparison engine expects.  ``objects``/``programs``
+    restrict the build to a subset of the spec (in the given order) — the
+    sharded runtime materializes only a shard's owned objects and branch
+    programs on each shard database.
     """
     oids: list[str] = []
-    for ospec in spec.objects:
+    for ospec in spec.objects if objects is None else objects:
         cls = make_object_class(ospec, spec.key_space)
         oids.append(db.create(cls, oid=ospec.name))
 
-    programs: list[TransactionProgram] = []
-    for pspec in spec.programs:
-        def body(api, ops=tuple(tuple(op) for op in pspec.ops)):
-            for op in ops:
-                if op[0] == "send":
-                    _, oid, method, key, amount = op
-                    api.send(oid, method, key, amount)
-                elif op[1]:
-                    api.work(op[1])
-
-        programs.append(
-            TransactionProgram(
-                pspec.label, body, max_restarts=pspec.max_restarts, kind="fuzz"
-            )
-        )
-    return oids, programs
+    compiled = [
+        build_program(pspec)
+        for pspec in (spec.programs if programs is None else programs)
+    ]
+    return oids, compiled

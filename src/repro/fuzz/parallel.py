@@ -18,12 +18,37 @@ pool context manager tears the workers down.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from collections.abc import Callable, Iterable, Iterator
 
 
-def default_jobs() -> int:
-    """A sensible worker count for ``--jobs 0`` (one per CPU)."""
+def available_cpus() -> int:
+    """CPUs *this process* may actually run on.
+
+    ``os.process_cpu_count`` (3.13+) respects CPU affinity and cgroup
+    limits — on a container pinned to 2 of 64 host cores it answers 2,
+    where ``cpu_count()`` answers 64 and oversubscribes the pool 32x.
+    Before 3.13, ``sched_getaffinity`` gives the same answer on Linux;
+    ``cpu_count()`` is the portable last resort.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        counted = process_cpu_count()
+        if counted:
+            return counted
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            affinity = os.sched_getaffinity(0)
+        except OSError:  # pragma: no cover - platform-specific
+            affinity = None
+        if affinity:
+            return len(affinity)
     return multiprocessing.cpu_count()
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``--jobs 0`` (one per available CPU)."""
+    return available_cpus()
 
 
 def iter_seed_results(

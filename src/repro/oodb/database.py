@@ -582,7 +582,7 @@ class ObjectDatabase:
             )
         self.scheduler.end_action(ctx, frame.node, release=release)
 
-    def commit(self, ctx: TransactionContext) -> None:
+    def commit(self, ctx: TransactionContext, *, prepared: bool = False) -> None:
         if not ctx.is_active:
             raise DatabaseError(f"{ctx.txn_id} is not active")
         if ctx.depth != 0:
@@ -591,7 +591,12 @@ class ObjectDatabase:
         # the commit record: a transaction is a winner exactly when its
         # commit record is durable, so nothing may fail after the append —
         # and the record must be durable before any lock releases.
-        self.scheduler.prepare(ctx)
+        # ``prepared=True`` skips the prepare: the sharded runtime's
+        # two-phase commit already ran it when the branch voted, and a
+        # validation failure after the coordinator's decision would break
+        # cross-shard atomicity.
+        if not prepared:
+            self.scheduler.prepare(ctx)
         self._fault_hit("commit.before")
         if self.wal is not None:
             self.wal.append({"t": "commit", "txn": ctx.txn_id})

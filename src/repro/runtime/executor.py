@@ -98,6 +98,10 @@ class WorkerOutcome:
     #: the worker thread failed to stop within the executor's join timeout —
     #: a liveness failure surfaced in metrics, never a silent drop
     hung: bool = False
+    #: the coordinator of a sharded run aborted this branch after it voted
+    #: (Definition 16 cycle or cross-shard deadlock) — no restart follows,
+    #: and the whole cross-shard transaction aborted with it
+    cross_abort: bool = False
 
     @property
     def label(self) -> str:
@@ -180,9 +184,7 @@ class _Worker:
                 api = ProgramAPI(db, ctx, executor)
                 try:
                     self.program.body(api)
-                    db.commit(ctx)
-                    self.outcome.committed = True
-                    self.outcome.final_ctx = ctx
+                    self._finalize(ctx)
                     return
                 except SimulatedCrash:
                     # The system died mid-action.  No rollback, no lock
@@ -233,6 +235,17 @@ class _Worker:
         finally:
             executor._worker_done(self)
 
+    def _finalize(self, ctx) -> None:
+        """Terminal step of a successful attempt: commit and record it.
+
+        The sharded runtime's two-phase worker overrides this — a branch of
+        a cross-shard transaction must vote and park for the coordinator's
+        decision instead of committing unilaterally.
+        """
+        self.executor.db.commit(ctx)
+        self.outcome.committed = True
+        self.outcome.final_ctx = ctx
+
 
 class InterleavedExecutor:
     """Runs transaction programs concurrently and deterministically."""
@@ -282,11 +295,27 @@ class InterleavedExecutor:
             return ExecutionResult(
                 [], 0, dict(self._scheduler_stats()), self.db, seed=self.seed
             )
-        self._workers = [_Worker(self, program) for program in programs]
+        self.start(programs)
+        self._controller_loop()
+        return self.finish()
+
+    def start(self, programs: list[TransactionProgram]) -> None:
+        """Create and launch the worker threads without driving them.
+
+        Split out of :meth:`run` for the sharded runtime, which drives the
+        controller loop in epochs (run until quiescent, exchange votes,
+        resume) instead of in one shot.
+        """
+        self._workers = [self._make_worker(program) for program in programs]
         for worker in self._workers:
             worker.outcome.seed = self.seed
             worker.thread.start()
-        self._controller_loop()
+
+    def _make_worker(self, program: TransactionProgram) -> _Worker:
+        return _Worker(self, program)
+
+    def finish(self) -> ExecutionResult:
+        """Join the workers and assemble the aggregate result."""
         self._join_workers()
         for worker in self._workers:
             if worker.outcome.error is not None and not worker.outcome.hung:
@@ -348,7 +377,7 @@ class InterleavedExecutor:
     # controller
     # ------------------------------------------------------------------
 
-    def _controller_loop(self) -> None:
+    def _controller_loop(self) -> str:
         """Synchronous rounds: one tick of simulated time per round, one
         execution slice per runnable worker per round.
 
@@ -356,12 +385,16 @@ class InterleavedExecutor:
         concurrently advance the clock by one, while a blocked worker's
         round is lost — which is exactly how lock waits turn into latency
         and reduced throughput.
+
+        Returns ``"done"`` when every worker finished, or ``"stalled"``
+        when :meth:`_on_stall` asked for control back (the sharded
+        executor's quiescence point; the base executor never stalls).
         """
         with self._cond:
             while True:
                 pending = [w for w in self._workers if w.state != _DONE]
                 if not pending:
-                    return
+                    return "done"
                 if self.crashed:
                     # Unwind parked workers: they resume only to observe
                     # the crash and die (their locks are never released).
@@ -370,29 +403,9 @@ class InterleavedExecutor:
                             worker.state = _READY
                 runnable = [w for w in pending if w.state == _READY]
                 if not runnable:
-                    errors = [
-                        w.outcome.error
-                        for w in self._workers
-                        if w.outcome.error is not None
-                    ]
-                    if errors:
-                        raise errors[0]
-                    if self._wakeups_dropped:
-                        # Lost-wakeup tolerance: a swallowed notification
-                        # (fault injection) may have stranded the blocked
-                        # workers; sweep-wake them so they re-check their
-                        # lock conditions.  Only when drops actually
-                        # happened — a stall without them is still a bug.
-                        self._wakeups_dropped = 0
-                        for worker in pending:
-                            if worker.state == _BLOCKED:
-                                worker.state = _READY
-                        continue
-                    blocked = {w.program.label: w.state for w in pending}
-                    raise SimulationError(
-                        f"all transactions blocked — scheduler bug? {blocked}",
-                        seed=self.seed,
-                    )
+                    if not self._on_stall(pending):
+                        return "stalled"
+                    continue
                 self.now += 1
                 if self.now > self.max_ticks:
                     raise SimulationError(
@@ -406,6 +419,37 @@ class InterleavedExecutor:
                     self._current = worker
                     self._cond.notify_all()
                     self._cond.wait_for(lambda: self._current == "controller")
+
+    def _on_stall(self, pending: list[_Worker]) -> bool:
+        """No worker is runnable: recover, stall, or fail.
+
+        Returns True to keep the controller loop going (after a recovery
+        action) and False to return control to the caller with the loop
+        state intact — only the sharded executor does the latter, at its
+        two-phase-commit quiescence point.  Called with ``_cond`` held.
+        """
+        errors = [
+            w.outcome.error
+            for w in self._workers
+            if w.outcome.error is not None
+        ]
+        if errors:
+            raise errors[0]
+        if self._wakeups_dropped:
+            # Lost-wakeup tolerance: a swallowed notification (fault
+            # injection) may have stranded the blocked workers; sweep-wake
+            # them so they re-check their lock conditions.  Only when
+            # drops actually happened — a stall without them is still a bug.
+            self._wakeups_dropped = 0
+            for worker in pending:
+                if worker.state == _BLOCKED:
+                    worker.state = _READY
+            return True
+        blocked = {w.program.label: w.state for w in pending}
+        raise SimulationError(
+            f"all transactions blocked — scheduler bug? {blocked}",
+            seed=self.seed,
+        )
 
     # ------------------------------------------------------------------
     # worker-side primitives

@@ -101,6 +101,9 @@ class ServiceConfig:
     frames: int = 256
     #: fuzzy-checkpoint interval in WAL records when ``data_dir`` is set
     checkpoint_every: int = 512
+    #: run the sharded multi-core backend with this many shards (1 = the
+    #: classic single-executor engine; see :mod:`repro.shard.service`)
+    shards: int = 1
 
     def to_dict(self) -> dict:
         return {
@@ -115,6 +118,7 @@ class ServiceConfig:
             "data_dir": self.data_dir,
             "frames": self.frames,
             "checkpoint_every": self.checkpoint_every,
+            "shards": self.shards,
         }
 
 
@@ -230,9 +234,21 @@ class TransactionService:
         clock=time.monotonic,
     ):
         self.config = config or ServiceConfig()
+        if self.config.shards > 1 and (profile is None or profile.groups <= 1):
+            # The hosted object graph must actually spread over the shards:
+            # an ungrouped spec can collapse into one call component, which
+            # would pin every object to shard 0.  Same normalization as the
+            # fuzz driver's --shards path.
+            profile = (profile or GeneratorProfile()).grouped(
+                self.config.shards
+            )
         spec = generate(self.config.seed, profile)
         self.spec = spec
         self._wal: WriteAheadLog | None = None
+        self._group = None
+        if self.config.shards > 1:
+            self._init_sharded(spec, clock, quotas)
+            return
         store = None
         if self.config.data_dir is not None:
             from repro.oodb.store import FileBackedPageStore
@@ -279,6 +295,58 @@ class TransactionService:
         )
         for tenant, quota in (quotas or {}).items():
             self.admission.register(tenant, quota)
+        self._init_engine_state()
+        if self.config.online_certify:
+            # The online audit: every settled batch's commits are certified
+            # against the growing history, in the engine thread (the
+            # executor is idle between batches, so the trees are quiescent).
+            self._certifier = OnlineCertifier(
+                certified_base(self.db.system),
+                self.db.commutativity_registry().copy(),
+                strict_cross_object=strictness_for(self.config.protocol),
+                metrics=self.db.metrics,
+            )
+
+    def _init_sharded(self, spec, clock, quotas) -> None:
+        """The ``shards > 1`` construction path: N shard databases and
+        executors behind one coordinator (:class:`repro.shard.service.
+        ShardGroup`) replace the single shared executor.  The group
+        duck-types the narrow database surface the service front half
+        reads — catalog lookups and the metrics registry — so admission,
+        sessions and settlement run unchanged."""
+        from repro.shard.service import ShardGroup
+
+        if self.config.data_dir is not None:
+            raise DatabaseError(
+                "shards > 1 does not compose with --data-dir: the sharded "
+                "runtime keeps per-shard WAL segments only in cell mode "
+                "(python -m repro shard --data-dir)"
+            )
+        self._group = ShardGroup(
+            spec,
+            self.config.protocol,
+            self.config.shards,
+            seed=self.config.seed,
+            max_ticks=self.config.max_ticks,
+            retry_policy=self.config.retry_policy,
+            join_timeout=self.config.join_timeout,
+        )
+        self.db = self._group
+        self.oids = sorted(self._group.shard_map.assignment)
+        self.executor = None
+        self.admission = AdmissionController(
+            self.config.default_quota,
+            clock=clock,
+            metrics=self._group.metrics,
+        )
+        for tenant, quota in (quotas or {}).items():
+            self.admission.register(tenant, quota)
+        self._init_engine_state()
+        # The online certifier is a single-history device; the composed
+        # sharded oracle (ShardGroup.certify) is the audit surface instead.
+
+    def _init_engine_state(self) -> None:
+        """State shared by both construction paths (single and sharded)."""
         self._sessions: dict[str, DatabaseSession] = {}
         self._sessions_lock = threading.Lock()
         self._queue: queue.Queue[_Request] = queue.Queue()
@@ -307,9 +375,6 @@ class TransactionService:
             "admitted requests settled, by terminal status",
             labelnames=("tenant", "status"),
         )
-        # The online audit: every settled batch's commits are certified
-        # against the growing history, in the engine thread (the executor
-        # is idle between batches, so the trees are quiescent).
         self._certify_lag = m.gauge(
             "service_certify_lag",
             "committed transactions settled but not yet certified",
@@ -320,13 +385,6 @@ class TransactionService:
         )
         self._certifier_lock = threading.Lock()
         self._certifier: OnlineCertifier | None = None
-        if self.config.online_certify:
-            self._certifier = OnlineCertifier(
-                certified_base(self.db.system),
-                self.db.commutativity_registry().copy(),
-                strict_cross_object=strictness_for(self.config.protocol),
-                metrics=m,
-            )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -574,6 +632,9 @@ class TransactionService:
         )
 
     def _run_batch(self, batch: list[_Request]) -> None:
+        if self._group is not None:
+            self._run_batch_sharded(batch)
+            return
         for request in batch:
             self.admission.started(request.tenant)
         programs = [self._program_for(request) for request in batch]
@@ -599,6 +660,36 @@ class TransactionService:
         for request in batch:
             self._settle(request, by_label[request.label])
         self._certify_batch(result.outcomes)
+
+    def _run_batch_sharded(self, batch: list[_Request]) -> None:
+        """One engine batch on the shard group: split, 2PC, settle.
+
+        The group merges every transaction's branch outcomes into one
+        :class:`~repro.runtime.executor.WorkerOutcome`, so settlement —
+        ledgers, admission accounting, responses — is byte-for-byte the
+        single-core path.
+        """
+        for request in batch:
+            self.admission.started(request.tenant)
+        requests = [
+            {
+                "label": request.label,
+                "ops": request.ops,
+                "max_restarts": request.max_restarts,
+                "deadline_ticks": request.deadline_ticks,
+            }
+            for request in batch
+        ]
+        try:
+            outcomes = self._group.run_batch(requests)
+        except BaseException as exc:
+            for request in batch:
+                self._settle_error(request, exc)
+            return
+        self._batches.inc()
+        self._batch_size.observe(len(batch))
+        for request in batch:
+            self._settle(request, outcomes[request.label])
 
     def _certify_batch(self, outcomes) -> None:
         """The online audit step: certify this batch's commits incrementally.
@@ -670,6 +761,14 @@ class TransactionService:
         """The whole service run as one oracle-checkable result."""
         with self._outcome_lock:
             outcomes = list(self._outcomes)
+        if self._group is not None:
+            return ExecutionResult(
+                outcomes=outcomes,
+                makespan=self._group.now,
+                scheduler_stats={},
+                db=self.db,
+                seed=self.config.seed,
+            )
         return ExecutionResult(
             outcomes=outcomes,
             makespan=self.executor.now,
@@ -719,6 +818,8 @@ class TransactionService:
         computed and returned instead.  ``exact=True`` or an ``ablation``
         forces the full :func:`check_history` replay.
         """
+        if self._group is not None:
+            return self._group.certify(ablation)
         strict = strictness_for(self.config.protocol)
         if ablation is not None or exact or self._certifier is None:
             return check_history(

@@ -1,0 +1,67 @@
+"""Sharded multi-core transaction runtime (cross-shard oo-serializability).
+
+The object space is statically partitioned across N shards
+(:mod:`repro.shard.partition`); each shard runs its own lock table, WAL
+segment, and Def 10–14 dependency analysis.  Transactions that span shards
+two-phase commit through a coordinator that maintains the global Def 15
+added-action relation and aborts any prepare that would close a Def 16
+cycle (:mod:`repro.shard.coordinator`).  The drivers — deterministic
+in-process epochs and a real multiprocessing fan-out — live in
+:mod:`repro.shard.runtime`; presumed-abort segment recovery in
+:mod:`repro.shard.recovery`.
+"""
+
+from repro.shard.coordinator import ABORT, COMMIT, Coordinator, canonical_cycle
+from repro.shard.partition import (
+    ShardMap,
+    SplitWorkload,
+    call_components,
+    split_ops,
+    split_programs,
+)
+from repro.shard.recovery import (
+    ResolutionReport,
+    ShardResolution,
+    in_doubt_attempts,
+    load_decisions,
+    resolve_segments,
+)
+from repro.shard.runtime import (
+    ShardedResult,
+    ShardedRuntime,
+    ShardExecutor,
+    ShardState,
+    ShardSummary,
+    base_label,
+    format_cell_report,
+    merge_events,
+    run_sharded_cell,
+    single_core_text,
+)
+
+__all__ = [
+    "ABORT",
+    "COMMIT",
+    "Coordinator",
+    "ResolutionReport",
+    "ShardExecutor",
+    "ShardMap",
+    "ShardResolution",
+    "ShardState",
+    "ShardSummary",
+    "ShardedResult",
+    "ShardedRuntime",
+    "SplitWorkload",
+    "base_label",
+    "call_components",
+    "canonical_cycle",
+    "format_cell_report",
+    "in_doubt_attempts",
+    "load_decisions",
+    "merge_events",
+    "resolve_segments",
+    "run_sharded_cell",
+    "single_core_text",
+    "split_ops",
+    "split_programs",
+]

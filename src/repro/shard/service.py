@@ -1,0 +1,372 @@
+"""The sharded backend of the transaction service (``--shards N``).
+
+:class:`ShardGroup` is the long-lived counterpart of the per-cell
+:class:`~repro.shard.runtime.ShardedRuntime`: N persistent shard databases
+and executors plus one :class:`~repro.shard.coordinator.Coordinator`,
+reused across engine batches.  The service's engine thread hands each
+batch of admitted requests to :meth:`run_batch`; the group splits every
+request's ops across the owning shards, registers multi-shard transactions
+with the coordinator, drives the barrier/epoch protocol until the batch
+drains, and merges each transaction's branch outcomes back into one
+:class:`~repro.runtime.executor.WorkerOutcome` the service settles like
+any single-core outcome.
+
+The end-of-run oracle composes exactly like the fuzz cell's
+(:func:`~repro.shard.runtime.assemble_result`): every shard's cumulative
+committed projection must pass the local Def 10-14 analysis and the
+base-mapped union of their Definition 15 constraint sets must stay acyclic
+(Definition 16 at global scope).  The online per-batch certifier is a
+single-history device and stays disabled in sharded mode; :meth:`certify`
+is the audit surface instead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import make_scheduler
+from repro.core.serializability import (
+    analyze_system,
+    conventional_constraints,
+    conventional_serializable,
+)
+from repro.errors import SimulationError
+from repro.fuzz.generator import WorkloadSpec, build_workload
+from repro.fuzz.oracle import OracleReport, strictness_for
+from repro.obs.metrics import MetricsRegistry
+from repro.oodb.database import ObjectDatabase
+from repro.oodb.trace import committed_projection
+from repro.runtime.executor import RetryPolicy, WorkerOutcome, _DONE
+from repro.runtime.program import TransactionProgram
+from repro.shard.coordinator import ABORT, Coordinator
+from repro.shard.partition import ShardMap, split_ops
+from repro.shard.runtime import (
+    _SEED_STRIDE,
+    ShardExecutor,
+    _acyclic,
+    _base_edges,
+    base_label,
+)
+
+
+class ShardGroup:
+    """N persistent shards + one coordinator behind the service engine."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        protocol: str,
+        n_shards: int,
+        *,
+        seed: int = 0,
+        max_ticks: int = 500_000,
+        retry_policy: RetryPolicy | None = None,
+        join_timeout: float = 30.0,
+        max_rounds: int = 10_000,
+    ):
+        self.spec = spec
+        self.protocol = protocol
+        self.n_shards = n_shards
+        self.strict = strictness_for(protocol)
+        self.max_rounds = max_rounds
+        self.shard_map = ShardMap.plan(spec, n_shards)
+        self.coordinator = Coordinator({})
+        #: service-level metrics registry (per-shard databases keep their
+        #: own; the service's engine/admission counters live here)
+        self.metrics = MetricsRegistry()
+        self.dbs: list[ObjectDatabase] = []
+        self.executors: list[ShardExecutor] = []
+        self.clock_offsets = [0] * n_shards
+        #: per shard: base label -> committed attempt label, cumulative
+        self.committed_attempts: list[dict[str, str]] = [
+            {} for _ in range(n_shards)
+        ]
+        for shard in range(n_shards):
+            db = ObjectDatabase(
+                scheduler=make_scheduler(protocol, spec.layers()),
+                page_capacity=4 * spec.key_space + 16,
+            )
+            build_workload(
+                db, spec, objects=self.shard_map.owned(shard, spec), programs=[]
+            )
+            executor = ShardExecutor(
+                db,
+                set(),
+                seed=seed + shard * _SEED_STRIDE,
+                max_ticks=max_ticks,
+                retry_policy=retry_policy or RetryPolicy(),
+                join_timeout=join_timeout,
+            )
+            db.bus.clock = (
+                lambda s=shard: self.clock_offsets[s] + self.executors[s].now
+            )
+            self.dbs.append(db)
+            self.executors.append(executor)
+
+    # -- the catalog surface the service validates against -------------------
+
+    def has_object(self, oid: str) -> bool:
+        shard = self.shard_map.assignment.get(oid)
+        return shard is not None and self.dbs[shard].has_object(oid)
+
+    def get_object(self, oid: str):
+        return self.dbs[self.shard_map.shard_of(oid)].get_object(oid)
+
+    @property
+    def now(self) -> int:
+        """The group's logical clock: the barrier-aligned global maximum."""
+        return max(
+            offset + executor.now
+            for offset, executor in zip(self.clock_offsets, self.executors)
+        )
+
+    # -- batch execution (engine thread only) ---------------------------------
+
+    def _branch_program(
+        self,
+        label: str,
+        ops: list,
+        *,
+        max_restarts: int,
+        deadline_tick: int | None,
+    ) -> TransactionProgram:
+        def body(api, ops=tuple(tuple(op) for op in ops)):
+            for op in ops:
+                if op[0] == "send":
+                    api.send(op[1], op[2], int(op[3]), int(op[4]))
+                else:
+                    api.work(int(op[1]))
+
+        return TransactionProgram(
+            label,
+            body,
+            max_restarts=max_restarts,
+            kind="service",
+            deadline_tick=deadline_tick,
+        )
+
+    def run_batch(self, requests: list[dict]) -> dict[str, WorkerOutcome]:
+        """Execute one batch of admitted requests across the shards.
+
+        Each request dict carries ``label``, ``ops``, ``max_restarts`` and
+        ``deadline_ticks``.  Returns one merged outcome per label.
+        """
+        per_shard: dict[int, list[TransactionProgram]] = {
+            shard: [] for shard in range(self.n_shards)
+        }
+        multi: dict[str, tuple[int, ...]] = {}
+        shards_of: dict[str, list[int]] = {}
+        for request in requests:
+            split = split_ops(request["ops"], self.shard_map)
+            shards = sorted(split)
+            shards_of[request["label"]] = shards
+            if len(shards) > 1:
+                multi[request["label"]] = tuple(shards)
+            for shard in shards:
+                budget = request.get("deadline_ticks")
+                per_shard[shard].append(
+                    self._branch_program(
+                        request["label"],
+                        split[shard],
+                        max_restarts=request["max_restarts"],
+                        deadline_tick=(
+                            self.executors[shard].now + int(budget)
+                            if budget is not None
+                            else None
+                        ),
+                    )
+                )
+        self.coordinator.register(multi)
+        for shard, executor in enumerate(self.executors):
+            executor.multi_labels.update(multi)
+            executor.start(per_shard[shard])
+
+        decisions_delta: dict[str, str] = {}
+        rounds = 0
+        while True:
+            reports = [
+                self._run_epoch(shard, decisions_delta)
+                for shard in range(self.n_shards)
+            ]
+            global_tick = max(
+                offset + executor.now
+                for offset, executor in zip(self.clock_offsets, self.executors)
+            )
+            self.clock_offsets = [
+                global_tick - executor.now for executor in self.executors
+            ]
+            if all(report["status"] == "done" for report in reports):
+                break
+            decisions_delta = self.coordinator.round(reports)
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise SimulationError(
+                    f"sharded service batch exceeded {self.max_rounds} "
+                    f"coordinator rounds (livelock?)"
+                )
+
+        outcomes: dict[str, WorkerOutcome] = {}
+        for shard, executor in enumerate(self.executors):
+            result = executor.finish()
+            for outcome in result.outcomes:
+                if outcome.committed and outcome.final_ctx is not None:
+                    self.committed_attempts[shard][
+                        base_label(outcome.final_ctx.txn_id)
+                    ] = outcome.final_ctx.txn_id
+                self._merge(outcomes, outcome, shards_of[outcome.label])
+        return outcomes
+
+    def _run_epoch(self, shard: int, decisions: dict[str, str]) -> dict:
+        executor = self.executors[shard]
+        before = (
+            executor.now,
+            len(executor.prepared_attempts),
+            sum(1 for w in executor._workers if w.outcome.committed),
+        )
+        executor.apply_decisions(decisions)
+        status = (
+            executor._controller_loop()
+            if any(w.state != _DONE for w in executor._workers)
+            else "done"
+        )
+        failed = sorted(
+            w.program.label
+            for w in executor._workers
+            if w.program.label in self.coordinator.multi
+            and w.state == _DONE
+            and not w.outcome.committed
+            and not w.outcome.cross_abort
+        )
+        committed_now = {
+            base_label(w.outcome.final_ctx.txn_id)
+            for w in executor._workers
+            if w.outcome.committed and w.outcome.final_ctx is not None
+        }
+        return {
+            "shard": shard,
+            "status": status,
+            "advanced": (
+                executor.now,
+                len(executor.prepared_attempts),
+                sum(1 for w in executor._workers if w.outcome.committed),
+            )
+            != before,
+            "prepared": sorted(executor.prepared_attempts),
+            "failed": failed,
+            "committed_local": sorted(
+                set(self.committed_attempts[shard]) | committed_now
+            ),
+            "edges": self._edges(shard),
+            "crashed": executor.crashed,
+            "now": executor.now,
+        }
+
+    def _edges(self, shard: int) -> list:
+        """The shard's cumulative Def 15 constraints, base-mapped."""
+        executor = self.executors[shard]
+        labels = set(self.committed_attempts[shard].values())
+        for worker in executor._workers:
+            outcome = worker.outcome
+            if outcome.committed and outcome.final_ctx is not None:
+                labels.add(outcome.final_ctx.txn_id)
+        for base, attempt in executor.prepared_attempts.items():
+            if executor.decisions.get(base) != ABORT:
+                labels.add(attempt)
+        projection = committed_projection(self.dbs[shard].system, labels)
+        verdict, _ = analyze_system(
+            projection,
+            self.dbs[shard].commutativity_registry(),
+            propagate_cross_object=self.strict,
+        )
+        return _base_edges(verdict.top_order_constraints)
+
+    def _merge(
+        self,
+        outcomes: dict[str, WorkerOutcome],
+        branch: WorkerOutcome,
+        shards: list[int],
+    ) -> None:
+        """Fold one branch outcome into the transaction's merged outcome.
+
+        Branches arrive in shard order, so the merged ``final_ctx`` is the
+        lowest shard's — a real committed context, which is what the
+        service's "no lost admitted commits" audit requires.  A transaction
+        committed only if *every* branch committed (2PC guarantees all or
+        none; a disagreement here would be an atomicity bug, and shows up
+        as a non-committed merge, never a phantom commit).
+        """
+        label = branch.label
+        if len(shards) <= 1 or label not in outcomes:
+            outcomes[label] = branch
+            return
+        merged = outcomes[label]
+        merged.committed = merged.committed and branch.committed
+        merged.attempts = max(merged.attempts, branch.attempts)
+        merged.gave_up = merged.gave_up or branch.gave_up
+        merged.deadline_exceeded = (
+            merged.deadline_exceeded or branch.deadline_exceeded
+        )
+        merged.hung = merged.hung or branch.hung
+        merged.cross_abort = merged.cross_abort or branch.cross_abort
+        if merged.error is None:
+            merged.error = branch.error
+        if not merged.committed:
+            merged.final_ctx = None
+
+    # -- the composed oracle --------------------------------------------------
+
+    def certify(self, ablation=None) -> OracleReport:
+        """Judge the whole service run with the composed sharded oracle."""
+        oo_ok = True
+        conv_ok = True
+        oo_edges: set = set()
+        conv_edges: set = set()
+        committed: set[str] = set()
+        for shard in range(self.n_shards):
+            committed.update(self.committed_attempts[shard])
+            registry = self.dbs[shard].commutativity_registry()
+            if ablation is not None:
+                registry = ablation.apply(registry)
+            projection = committed_projection(
+                self.dbs[shard].system,
+                set(self.committed_attempts[shard].values()),
+            )
+            verdict, _ = analyze_system(
+                projection, registry, propagate_cross_object=self.strict
+            )
+            oo_ok = oo_ok and verdict.oo_serializable
+            conv_ok = conv_ok and conventional_serializable(projection)
+            oo_edges.update(
+                tuple(e) for e in _base_edges(verdict.top_order_constraints)
+            )
+            conv_edges.update(
+                tuple(e) for e in _base_edges(conventional_constraints(projection))
+            )
+        oo_ok = (
+            oo_ok and _acyclic(oo_edges) and not self.coordinator.violations
+        )
+        conv_ok = conv_ok and _acyclic(conv_edges)
+        description = (
+            f"{len(committed)} committed across {self.n_shards} shard(s); "
+            + (
+                "globally oo-serializable"
+                if oo_ok
+                else "OO-SERIALIZABILITY VIOLATED"
+            )
+        )
+        return OracleReport(
+            oo_serializable=oo_ok,
+            conventional_serializable=conv_ok,
+            oo_constraints=len(oo_edges),
+            conventional_constraints=len(conv_edges),
+            committed=len(committed),
+            description=description,
+            gave_up=0,
+        )
+
+    def stats(self) -> dict:
+        """Coordinator counters plus per-shard commit tallies."""
+        stats = self.coordinator.stats()
+        stats["shards"] = {
+            shard: len(self.committed_attempts[shard])
+            for shard in range(self.n_shards)
+        }
+        return stats

@@ -423,3 +423,62 @@ def test_serve_load_roundtrip_over_sockets():
         server.stop()
     assert service.audit()["ok"]
     assert not service.certify().violation
+
+
+def test_shard_one_shard_is_byte_identical_to_single():
+    argv = ["shard", "--seed", "11", "--smoke", "--shards", "1"]
+    code_sharded, sharded = run_cli(*argv)
+    code_single, single = run_cli(*argv, "--single")
+    assert code_sharded == 0 and code_single == 0
+    assert sharded == single
+    assert "shards=1" in sharded
+
+
+def test_shard_two_shards_reports_coordination():
+    code, output = run_cli("shard", "--seed", "11", "--smoke", "--shards", "2")
+    assert code == 0
+    assert "shards=2" in output
+    assert "coordinator: rounds=" in output
+
+
+def test_fuzz_shards_reject_single_core_modes(capsys):
+    code, _ = run_cli(
+        "fuzz", "--smoke", "--seeds", "1", "--shards", "2", "--certify"
+    )
+    assert code == 2
+    assert "--shards" in capsys.readouterr().err
+
+
+def test_stats_shards_merges_per_shard_registries():
+    code, output = run_cli(
+        "stats", "--seed", "7", "--protocol", "page-2pl", "--smoke",
+        "--shards", "2",
+    )
+    assert code == 0
+    assert "2 shards" in output
+    assert "scheduler_acquired_total" in output
+
+
+def test_load_shards_mismatch_is_operational(capsys):
+    from repro.service import ServiceConfig, ServiceServer, TransactionService
+
+    service = TransactionService(ServiceConfig(seed=3, shards=2))
+    server = ServiceServer(service, session_read_timeout=0.5)
+    server.start()
+    try:
+        code, _ = run_cli(
+            "load", "--port", str(server.port), "--tenants", "1",
+            "--clients-per-tenant", "1", "--requests-per-client", "1",
+            "--shards", "3",
+        )
+        assert code == 2
+        assert "shards=2" in capsys.readouterr().err
+        code, _ = run_cli(
+            "load", "--port", str(server.port), "--tenants", "1",
+            "--clients-per-tenant", "1", "--requests-per-client", "2",
+            "--shards", "2",
+        )
+        assert code == 0
+    finally:
+        server.stop()
+    assert service.audit()["ok"]
